@@ -1,0 +1,64 @@
+// Ablation: ramp apodisation windows.
+//
+// The paper reconstructs with the plain Ram-Lak ramp (Eq. 2); production
+// systems choose windows per application.  This bench quantifies the
+// resolution/noise trade on the same data: flat-region RMSE (accuracy in
+// smooth areas), total variation (ringing/noise), and edge sharpness.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "recon/fdk.hpp"
+
+int main()
+{
+    using namespace xct;
+    bench::heading("Ablation: filter apodisation windows", "Eq. 2 / production practice");
+
+    CbctGeometry g;
+    g.dso = 100.0;
+    g.dsd = 250.0;
+    g.num_proj = 120;
+    g.nu = 128;
+    g.nv = 128;
+    g.du = g.dv = 0.4;
+    g.vol = {64, 64, 64};
+    g.dx = g.dy = g.dz = CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, g.vol.x) * 0.7;
+    const auto head = phantom::shepp_logan_3d(g.dx * static_cast<double>(g.vol.x) / 2.4);
+    const Volume truth = phantom::voxelize(head, g);
+
+    std::printf("%-14s %-14s %-14s %-16s\n", "window", "flat RMSE", "total var.",
+                "edge 10-90% [vox]");
+    for (const char* name : {"ram-lak", "shepp-logan", "cosine", "hamming", "hann"}) {
+        const recon::FdkResult r = recon::reconstruct_fdk(g, head, filter::window_from_name(name));
+
+        const double flat = recon::rmse_flat(r.volume, truth, 4);
+        double tv = 0.0;
+        const index_t mid = g.vol.z / 2;
+        for (index_t j = 0; j < g.vol.y; ++j)
+            for (index_t i = 0; i + 1 < g.vol.x; ++i)
+                tv += std::abs(r.volume.at(i + 1, j, mid) - r.volume.at(i, j, mid));
+
+        // Edge sharpness: 10%-90% rise width across the skull boundary
+        // along +X from the centre row.
+        double lo_x = -1.0, hi_x = -1.0;
+        const index_t j = g.vol.y / 2;
+        float inside = r.volume.at(g.vol.x / 2, j, mid);
+        for (index_t i = g.vol.x / 2; i + 1 < g.vol.x; ++i) {
+            const float a = r.volume.at(i, j, mid);
+            const float b = r.volume.at(i + 1, j, mid);
+            if (hi_x < 0 && a >= 0.9f * inside && b < 0.9f * inside)
+                hi_x = static_cast<double>(i);
+            if (hi_x >= 0 && a >= 0.1f * inside && b < 0.1f * inside) {
+                lo_x = static_cast<double>(i + 1);
+                break;
+            }
+        }
+        const double edge = (lo_x > 0 && hi_x > 0) ? lo_x - hi_x : -1.0;
+        std::printf("%-14s %-14.4f %-14.1f %-16.1f\n", name, flat, tv, edge);
+    }
+    bench::note("expected: smoother windows trade edge sharpness (wider 10-90 rise) for");
+    bench::note("lower ringing (smaller TV); flat-region accuracy stays comparable.");
+    return 0;
+}

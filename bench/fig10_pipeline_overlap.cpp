@@ -1,0 +1,66 @@
+// Figure 10: end-to-end pipeline overlap timelines.
+//
+//   (a) one device reconstructing a tomo-like problem (the paper's
+//       2048^3-on-one-V100 case) — regenerated from a *real* pipelined
+//       run at laptop scale;
+//   (b) 128 GPUs on the bumblebee problem (Ng = 64, Nr = 8, 4096^3) —
+//       regenerated from the Sec. 5 event simulation at the paper's full
+//       scale and machine parameters.
+//
+// The reproduction target is the *shape*: all five stages busy
+// concurrently after the pipeline fills, back-projection (a) or the
+// store/reduce tail (b) setting the critical path.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perfmodel/model.hpp"
+#include "pipeline/timeline.hpp"
+#include "recon/fdk.hpp"
+
+int main()
+{
+    using namespace xct;
+    bench::heading("End-to-end pipeline overlap", "Figure 10");
+
+    // (a) real single-device run.
+    {
+        const io::Dataset ds = io::dataset_by_name("tomo_00029").scaled(16.0).with_volume(96);
+        const CbctGeometry& g = ds.geometry;
+        const auto head = phantom::shepp_logan_3d(g.dx * static_cast<double>(g.vol.x) / 2.4);
+        recon::PhantomSource src(head, g);
+        recon::RankConfig cfg;
+        cfg.geometry = g;
+        cfg.batches = 8;
+        const recon::FdkResult r = recon::reconstruct_fdk(cfg, src);
+
+        pipeline::Timeline tl;
+        for (const auto& s : r.stats.spans) tl.record(s.stage, s.item, s.begin, s.end);
+        std::printf("\n(a) measured single-device pipeline, tomo_00029 1/16 -> %lld^3:\n%s",
+                    static_cast<long long>(g.vol.x), tl.render(64).c_str());
+        std::printf("    stage busy: load %.3f filter %.3f bp %.3f store %.3f | wall %.3f s\n",
+                    r.stats.t_load, r.stats.t_filter, r.stats.t_bp, r.stats.t_store, r.stats.wall);
+        std::printf("    overlap factor %.2f (>1 means stages genuinely overlapped)\n",
+                    tl.overlap_factor());
+    }
+
+    // (b) modelled 128-GPU run (paper Fig. 10b: bumblebee, Ng=64, Nr=8).
+    {
+        perfmodel::RunConfig rc;
+        rc.geometry = io::dataset_by_name("bumblebee").with_volume(4096).geometry;
+        // The paper's caption quotes Ngpus=128 with Nr=8; Ng follows from
+        // Eq. 9 as 128/8 = 16 (the printed "Ng=64" contradicts Eq. 9).
+        rc.layout = GroupLayout{16, 8};
+        rc.batches = 8;
+        const auto spans = perfmodel::simulate_spans(rc, perfmodel::MachineParams::abci_v100());
+        pipeline::Timeline tl;
+        for (const auto& s : spans) tl.record(s.stage, s.batch, s.begin, s.end);
+        std::printf("\n(b) modelled rank timeline at 128 GPUs (bumblebee -> 4096^3, Nr=8):\n%s",
+                    tl.render(64).c_str());
+        const perfmodel::Projection p =
+            perfmodel::simulate(rc, perfmodel::MachineParams::abci_v100());
+        std::printf("    modelled end-to-end %.1f s (paper Fig. 10b: ~23.3 s incl. I/O)\n",
+                    p.runtime);
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 11: reconstructions of the real-world datasets (coffee bean on
+// the left, bumblebee on the right in the paper).
+//
+// Data substitution per DESIGN.md §2: the porous-bean and Shepp-Logan
+// phantoms are scanned through the *paper's* coffee-bean and bumblebee
+// geometries (magnification 9.48x / 16.9x, Table-4 offsets, Beer-law raw
+// counts) at laptop resolution.  The bench writes the PGM gallery (the
+// role 3D Slicer plays in the paper) and prints quantitative quality
+// metrics in place of the paper's visual inspection.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "io/raw_io.hpp"
+#include "recon/fdk.hpp"
+#include "recon/quality.hpp"
+
+namespace {
+using namespace xct;
+
+void reconstruct_and_report(const std::string& dataset, double scale, index_t volume,
+                            const std::vector<phantom::Ellipsoid>& ph, const char* png_prefix)
+{
+    const io::Dataset ds = io::dataset_by_name(dataset).scaled(scale).with_volume(volume);
+    const CbctGeometry& g = ds.geometry;
+
+    recon::PhantomSource src(ph, g, ds.beer);  // raw counts: Eq. 1 runs
+    recon::RankConfig cfg;
+    cfg.geometry = g;
+    cfg.beer = ds.beer;
+    const recon::FdkResult r = recon::reconstruct_fdk(cfg, src);
+    const Volume truth = phantom::voxelize(ph, g);
+
+    const auto axial = std::string(png_prefix) + "_axial.pgm";
+    const auto coronal_k = g.vol.z / 2;
+    io::write_pgm_slice(axial, r.volume, coronal_k);
+
+    const auto body = recon::region_stats(r.volume, static_cast<double>(g.vol.x) / 2.0,
+                                          static_cast<double>(g.vol.y) / 2.0,
+                                          static_cast<double>(g.vol.z) / 2.0, 2.5);
+    const auto air = recon::region_stats(r.volume, 2.0, 2.0, static_cast<double>(g.vol.z) / 2.0,
+                                         1.5);
+    std::printf("%-12s mag %-5.2f  flat RMSE %-8.4f  PSNR %-6.1f  CNR(body/air) %-6.1f  -> %s\n",
+                dataset.c_str(), g.magnification(), recon::rmse_flat(r.volume, truth, 4),
+                recon::psnr(r.volume, truth), recon::cnr(body, air), axial.c_str());
+}
+
+}  // namespace
+
+int main()
+{
+    using namespace xct;
+    bench::heading("Reconstruction gallery (phantom-substituted datasets)", "Figure 11");
+
+    const io::Dataset cb = io::dataset_by_name("coffee_bean").scaled(64.0).with_volume(48);
+    const double cb_r = cb.geometry.dx * 48.0 / 2.4;
+    reconstruct_and_report("coffee_bean", 64.0, 48, phantom::porous_bean(cb_r, 20, 2021),
+                           "fig11_coffee_bean");
+
+    const io::Dataset bb = io::dataset_by_name("bumblebee").scaled(40.0).with_volume(48);
+    const double bb_r = bb.geometry.dx * 48.0 / 2.4;
+    reconstruct_and_report("bumblebee", 40.0, 48, phantom::shepp_logan_3d(bb_r),
+                           "fig11_bumblebee");
+
+    bench::note("inspect the PGMs the way the paper inspects Fig. 11 with 3D Slicer; the");
+    bench::note("metrics quantify what the paper verifies visually (features resolved, no");
+    bench::note("geometry-offset artefacts despite sigma_cor != 0).");
+    return 0;
+}

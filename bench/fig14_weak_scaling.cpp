@@ -1,0 +1,56 @@
+// Figure 14: weak scaling — a fixed 4096^3 output while the input view
+// count and the group width grow with the GPU count:
+//   (a) coffee bean:  Np = 6401 * Ngpus/1024,  Nr = Ngpus/64
+//   (b) bumblebee:    Np = 3142 * Ngpus/1024,  Nr = Ngpus/128
+//
+// Expected shape (paper): runtime nearly flat (~13-15 s measured, ~9 s
+// projected) because storing the 256 GiB volume through the shared
+// 28.5 GB/s PFS is the longest pipeline stage at every scale.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perfmodel/model.hpp"
+
+namespace {
+using namespace xct;
+
+void weak(const std::string& dataset, index_t np_full, index_t gpus_per_np_unit,
+          index_t min_gpus, const std::string& anchor)
+{
+    std::printf("\n%s -> 4096^3   (%s)\n", dataset.c_str(), anchor.c_str());
+    std::printf("%-8s %-8s %-6s %-14s %-14s %-14s\n", "GPUs", "Np", "Nr", "projected [s]",
+                "simulated [s]", "store floor");
+    const perfmodel::MachineParams m = perfmodel::MachineParams::abci_v100();
+    for (index_t gpus = min_gpus; gpus <= 1024; gpus *= 2) {
+        io::Dataset ds = io::dataset_by_name(dataset).with_volume(4096);
+        const index_t np = std::max<index_t>(8, np_full * gpus / 1024);
+        ds.geometry.num_proj = np;
+        const index_t nr = std::max<index_t>(1, gpus / gpus_per_np_unit);
+        perfmodel::RunConfig rc;
+        rc.geometry = ds.geometry;
+        rc.layout = GroupLayout{gpus / nr, nr};
+        rc.batches = 8;
+        const auto proj = perfmodel::project(rc, m);
+        const auto sim = perfmodel::simulate(rc, m);
+        const double floor = 4096.0 * 4096.0 * 4096.0 * 4.0 / (m.bw_store_gbps * 1e9);
+        std::printf("%-8lld %-8lld %-6lld %-14.1f %-14.1f %-14.1f\n",
+                    static_cast<long long>(gpus), static_cast<long long>(np),
+                    static_cast<long long>(nr), proj.runtime, sim.runtime, floor);
+    }
+}
+
+}  // namespace
+
+int main()
+{
+    using namespace xct;
+    bench::heading("Weak scaling at fixed 4096^3 output", "Figure 14");
+    bench::note("expected: near-flat runtime bounded below by the shared-PFS store time");
+    bench::note("(~9.6 s for 256 GiB at 28.5 GB/s) — the paper's ~9 s projected plateau.");
+
+    weak("coffee_bean", 6401, 64, 64, "paper Fig. 14a: measured 12.9-15.3 s, projected ~9 s");
+    weak("bumblebee", 3142, 128, 128, "paper Fig. 14b: measured 11.5-12.7 s, projected ~9 s");
+    return 0;
+}

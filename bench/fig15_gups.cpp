@@ -1,0 +1,48 @@
+// Figure 15: aggregate update throughput (GUPS) when generating 4096^3
+// volumes, for the coffee bean, bumblebee and tomo_00029 configurations
+// of Fig. 13, from 4 to 1024 GPUs.
+//
+// Expected shape (paper): two orders of magnitude growth from one GPU to
+// hundreds, flattening as I/O and communication dominate; tens of
+// thousands of GUPS at 1024 GPUs (the paper peaks around ~35,000 for the
+// coffee bean).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perfmodel/model.hpp"
+
+int main()
+{
+    using namespace xct;
+    bench::heading("Aggregate reconstruction throughput (GUPS)", "Figure 15");
+
+    struct Row {
+        const char* dataset;
+        index_t nr;
+    };
+    const Row rows[] = {{"coffee_bean", 16}, {"bumblebee", 8}, {"tomo_00029", 4}};
+    const perfmodel::MachineParams m = perfmodel::MachineParams::abci_v100();
+
+    std::printf("%-8s", "GPUs");
+    for (const Row& r : rows) std::printf(" %-14s", r.dataset);
+    std::printf("\n");
+    for (index_t gpus = 4; gpus <= 1024; gpus *= 2) {
+        std::printf("%-8lld", static_cast<long long>(gpus));
+        for (const Row& r : rows) {
+            if (gpus < r.nr) {
+                std::printf(" %-14s", "-");
+                continue;
+            }
+            perfmodel::RunConfig rc;
+            rc.geometry = io::dataset_by_name(r.dataset).with_volume(4096).geometry;
+            rc.layout = GroupLayout{gpus / r.nr, r.nr};
+            rc.batches = 8;
+            std::printf(" %-14.0f", perfmodel::simulate(rc, m).gups);
+        }
+        std::printf("\n");
+    }
+    bench::note("expected: ~linear growth then flattening past ~256 GPUs; the coffee bean");
+    bench::note("series peaks in the tens of thousands of GUPS as in the paper.");
+    return 0;
+}

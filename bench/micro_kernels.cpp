@@ -1,0 +1,208 @@
+// Google-benchmark micro suite (the Sec. 5 "micro-benchmark
+// measurements"): per-kernel throughputs feeding the performance model,
+// plus kernel parity checks (ours vs reference vs RTK-style) at the
+// machine level.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "backproj/kernel.hpp"
+#include "backproj/reference.hpp"
+#include "backproj/rtk_style.hpp"
+#include "core/decompose.hpp"
+#include "fft/fft.hpp"
+#include "filter/ramp.hpp"
+#include "minimpi/comm.hpp"
+#include "phantom/shepp_logan.hpp"
+
+namespace {
+using namespace xct;
+
+CbctGeometry bench_geo(index_t n)
+{
+    CbctGeometry g;
+    g.dso = 100.0;
+    g.dsd = 250.0;
+    g.num_proj = 32;
+    g.nu = 2 * n;
+    g.nv = 2 * n;
+    g.du = g.dv = 0.4;
+    g.vol = {n, n, n};
+    g.dx = g.dy = g.dz = CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, n) * 0.7;
+    return g;
+}
+
+ProjectionStack random_stack(const CbctGeometry& g)
+{
+    ProjectionStack p(g.num_proj, g.nv, g.nu);
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<float> u(0.0f, 1.0f);
+    for (float& v : p.span()) v = u(rng);
+    return p;
+}
+
+void BM_BackprojStreaming(benchmark::State& state)
+{
+    const CbctGeometry g = bench_geo(state.range(0));
+    const ProjectionStack p = random_stack(g);
+    const auto mats = projection_matrices(g);
+    sim::Device dev(1u << 30);
+    sim::Texture3 tex(dev, g.nu, g.num_proj, g.nv);
+    std::vector<float> plane(static_cast<std::size_t>(g.nu * g.num_proj));
+    for (index_t v = 0; v < g.nv; ++v) {
+        for (index_t s = 0; s < g.num_proj; ++s) {
+            const auto row = p.row(s, v);
+            std::copy(row.begin(), row.end(),
+                      plane.begin() + static_cast<std::ptrdiff_t>(s * g.nu));
+        }
+        tex.copy_planes(plane, v, 1);
+    }
+    Volume vol(g.vol);
+    for (auto _ : state) {
+        backproj::backproject_streaming(tex, mats, vol, backproj::StreamOffsets{0, 0}, g.nu, g.nv);
+        benchmark::DoNotOptimize(vol.span().data());
+    }
+    state.counters["GUPS"] = benchmark::Counter(
+        static_cast<double>(g.vol.count()) * static_cast<double>(g.num_proj) * 1e-9 *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BackprojStreaming)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_BackprojStreamingIncremental(benchmark::State& state)
+{
+    const CbctGeometry g = bench_geo(state.range(0));
+    const ProjectionStack p = random_stack(g);
+    const auto mats = projection_matrices(g);
+    sim::Device dev(1u << 30);
+    sim::Texture3 tex(dev, g.nu, g.num_proj, g.nv);
+    std::vector<float> plane(static_cast<std::size_t>(g.nu * g.num_proj));
+    for (index_t v = 0; v < g.nv; ++v) {
+        for (index_t s = 0; s < g.num_proj; ++s) {
+            const auto row = p.row(s, v);
+            std::copy(row.begin(), row.end(),
+                      plane.begin() + static_cast<std::ptrdiff_t>(s * g.nu));
+        }
+        tex.copy_planes(plane, v, 1);
+    }
+    Volume vol(g.vol);
+    for (auto _ : state) {
+        backproj::backproject_streaming_incremental(tex, mats, vol,
+                                                    backproj::StreamOffsets{0, 0}, g.nu, g.nv);
+        benchmark::DoNotOptimize(vol.span().data());
+    }
+    state.counters["GUPS"] = benchmark::Counter(
+        static_cast<double>(g.vol.count()) * static_cast<double>(g.num_proj) * 1e-9 *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BackprojStreamingIncremental)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_BackprojReference(benchmark::State& state)
+{
+    const CbctGeometry g = bench_geo(state.range(0));
+    const ProjectionStack p = random_stack(g);
+    const auto mats = projection_matrices(g);
+    Volume vol(g.vol);
+    for (auto _ : state) {
+        vol.fill(0.0f);
+        backproj::backproject_reference(p, mats, g, vol);
+        benchmark::DoNotOptimize(vol.span().data());
+    }
+    state.counters["GUPS"] = benchmark::Counter(
+        static_cast<double>(g.vol.count()) * static_cast<double>(g.num_proj) * 1e-9 *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BackprojReference)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_BackprojRtkStyle(benchmark::State& state)
+{
+    const CbctGeometry g = bench_geo(state.range(0));
+    const ProjectionStack p = random_stack(g);
+    const auto mats = projection_matrices(g);
+    Volume vol(g.vol);
+    for (auto _ : state) {
+        sim::Device dev(1u << 30);
+        backproj::backproject_rtk_style(dev, p, mats, g, vol, 16);
+        benchmark::DoNotOptimize(vol.span().data());
+    }
+    state.counters["GUPS"] = benchmark::Counter(
+        static_cast<double>(g.vol.count()) * static_cast<double>(g.num_proj) * 1e-9 *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BackprojRtkStyle)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_FilterEngine(benchmark::State& state)
+{
+    const CbctGeometry g = bench_geo(64);
+    const filter::FilterEngine eng(g);
+    ProjectionStack stack(4, g.nv, g.nu, 1.0f);
+    for (auto _ : state) {
+        eng.apply(stack);
+        benchmark::DoNotOptimize(stack.span().data());
+    }
+    state.counters["Melem/s"] = benchmark::Counter(
+        static_cast<double>(stack.count()) * 1e-6 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FilterEngine)->Unit(benchmark::kMillisecond);
+
+void BM_Fft(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<std::complex<double>> data(n, {1.0, 0.5});
+    for (auto _ : state) {
+        fft::transform(data, false);
+        fft::transform(data, true);
+        benchmark::DoNotOptimize(data.data());
+    }
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ComputeAb(benchmark::State& state)
+{
+    const CbctGeometry g = bench_geo(64);
+    index_t acc = 0;
+    for (auto _ : state) {
+        for (index_t k = 0; k + 8 <= g.vol.z; k += 8) acc += compute_ab(g, Range{k, k + 8}).length();
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_ComputeAb);
+
+void BM_SegmentedReduce(benchmark::State& state)
+{
+    const index_t ranks = state.range(0);
+    const std::size_t elems = 1 << 16;
+    for (auto _ : state) {
+        minimpi::run(ranks, [&](minimpi::Communicator& c) {
+            std::vector<float> send(elems, 1.0f);
+            std::vector<float> recv(c.rank() == 0 ? elems : 0);
+            c.reduce_sum(send, recv, 0);
+        });
+    }
+    state.counters["MiB/s"] = benchmark::Counter(
+        static_cast<double>(elems * sizeof(float)) / (1024.0 * 1024.0) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SegmentedReduce)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_PhantomForwardProject(benchmark::State& state)
+{
+    const CbctGeometry g = bench_geo(32);
+    const auto head = phantom::shepp_logan_3d(g.dx * 13.0);
+    for (auto _ : state) {
+        const ProjectionStack p =
+            phantom::forward_project(head, g, Range{0, 4}, Range{0, g.nv});
+        benchmark::DoNotOptimize(p.span().data());
+    }
+}
+BENCHMARK(BM_PhantomForwardProject)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

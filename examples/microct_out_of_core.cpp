@@ -1,0 +1,77 @@
+// Out-of-core micro-CT reconstruction: the coffee-bean scenario of the
+// paper (Zeiss Versa geometry, 9.48x magnification, rotation-centre offset
+// of Table 4) at laptop scale, on a simulated accelerator whose memory is
+// deliberately too small to hold the projections and volume at once.
+//
+//   ./microct_out_of_core [scale_divisor]
+//
+// Demonstrates:
+//   * dataset descriptors carrying the paper's real geometries,
+//   * the Beer-law preprocessing path (the source emits photon counts),
+//   * streaming reconstruction through the circular texture (Algorithm 3)
+//     with a device budget ~4x below the in-core requirement,
+//   * the per-stage statistics a Table-5 row is made of.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/decompose.hpp"
+#include "io/datasets.hpp"
+#include "io/raw_io.hpp"
+#include "recon/fdk.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace xct;
+    const double scale = argc > 1 ? std::atof(argv[1]) : 64.0;
+
+    // The paper's coffee-bean scan, shrunk: same magnification and cone
+    // angle, fewer pixels.
+    io::Dataset ds = io::dataset_by_name("coffee_bean").scaled(scale);
+    ds = ds.with_volume(ds.geometry.nu / 2);
+    const CbctGeometry& g = ds.geometry;
+    std::printf("microct (coffee bean /%g): detector %lldx%lld, %lld views, volume %lld^3, "
+                "magnification %.2f\n",
+                scale, static_cast<long long>(g.nu), static_cast<long long>(g.nv),
+                static_cast<long long>(g.num_proj), static_cast<long long>(g.vol.x),
+                g.magnification());
+
+    // A porous bean phantom, emitted as raw photon counts (Eq. 1 applies).
+    const double radius = g.dx * static_cast<double>(g.vol.x) / 2.4;
+    const auto bean = phantom::porous_bean(radius, 24, /*seed=*/2021);
+    recon::PhantomSource source(bean, g, ds.beer);
+
+    // Size the device budget just above the streaming minimum (largest
+    // slab's row band + one slab buffer) — far below the in-core
+    // requirement of projections + volume.
+    const std::size_t in_core_bytes =
+        static_cast<std::size_t>(g.num_proj * g.nv * g.nu + g.vol.count()) * sizeof(float);
+    recon::RankConfig cfg;
+    cfg.geometry = g;
+    cfg.batches = 8;
+    cfg.beer = ds.beer;
+    const index_t nb = (g.vol.z + cfg.batches - 1) / cfg.batches;
+    index_t h = 1;
+    for (const auto& p : plan_slabs(g, Range{0, g.vol.z}, nb)) h = std::max(h, p.rows.length());
+    const std::size_t streaming_bytes =
+        static_cast<std::size_t>(g.num_proj * h * g.nu + g.vol.x * g.vol.y * nb) * sizeof(float);
+    cfg.device_capacity = streaming_bytes + (streaming_bytes / 8);
+    std::printf("  in-core footprint %.1f MiB, device budget %.1f MiB -> out-of-core\n",
+                static_cast<double>(in_core_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(cfg.device_capacity) / (1024.0 * 1024.0));
+
+    const recon::FdkResult r = recon::reconstruct_fdk(cfg, source);
+
+    const Volume truth = phantom::voxelize(bean, g);
+    std::printf("  flat-region RMSE vs phantom : %.4f\n", recon::rmse_flat(r.volume, truth, 4));
+    std::printf("  T_load %.3f  T_flt %.3f  T_bp %.3f  T_store %.3f  wall %.3f s\n",
+                r.stats.t_load, r.stats.t_filter, r.stats.t_bp, r.stats.t_store, r.stats.wall);
+    std::printf("  H2D %.1f MiB (each projection row moved once), D2H %.1f MiB\n",
+                static_cast<double>(r.stats.h2d.bytes) / (1024.0 * 1024.0),
+                static_cast<double>(r.stats.d2h.bytes) / (1024.0 * 1024.0));
+
+    io::write_pgm_slice("microct_axial.pgm", r.volume, g.vol.z / 2);
+    io::write_pgm_slice("microct_axial_truth.pgm", truth, g.vol.z / 2);
+    std::printf("  wrote microct_axial.pgm / microct_axial_truth.pgm\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: reconstruct a 3D Shepp-Logan head from synthetic cone-beam
+// projections with the FDK pipeline, check the error against the analytic
+// phantom, and export a PGM slice for inspection.
+//
+//   ./quickstart [volume_size] [num_projections]
+//
+// This is the minimal end-to-end use of the public API:
+//   1. describe the scanner (CbctGeometry),
+//   2. provide projections (here: a PhantomSource; real code would load
+//      its own data and use a MemorySource or a custom ProjectionSource),
+//   3. call reconstruct_fdk().
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "io/raw_io.hpp"
+#include "recon/fdk.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace xct;
+    const index_t n = argc > 1 ? std::atoll(argv[1]) : 64;
+    const index_t np = argc > 2 ? std::atoll(argv[2]) : 2 * n;
+
+    // 1. Scanner description: a micro-CT-like cone-beam setup with 2.5x
+    //    magnification and a detector that oversamples the volume 2:1.
+    CbctGeometry g;
+    g.dso = 100.0;                  // source to rotation axis [mm]
+    g.dsd = 250.0;                  // source to detector [mm]
+    g.num_proj = np;                // full 360-degree scan
+    g.nu = 2 * n;                   // detector pixels (width)
+    g.nv = 2 * n;                   // detector pixels (height)
+    g.du = g.dv = 0.4;              // pixel pitch [mm]
+    g.vol = {n, n, n};              // output voxels
+    g.dx = g.dy = g.dz = CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, n) * 0.7;
+    g.validate();
+
+    std::printf("quickstart: %lld^3 volume from %lld projections of %lldx%lld\n",
+                static_cast<long long>(n), static_cast<long long>(np),
+                static_cast<long long>(g.nu), static_cast<long long>(g.nv));
+
+    // 2. Synthetic data: the classical head phantom, projected analytically.
+    const double radius = g.dx * static_cast<double>(n) / 2.4;
+    const auto head = phantom::shepp_logan_3d(radius);
+
+    // 3. Reconstruct.
+    const recon::FdkResult r = recon::reconstruct_fdk(g, head);
+
+    // Quality check against the analytic ground truth.
+    const Volume truth = phantom::voxelize(head, g);
+    std::printf("  flat-region RMSE vs phantom : %.4f (unit contrast)\n",
+                recon::rmse_flat(r.volume, truth, 4));
+    std::printf("  centre voxel                : %.4f (expected 0.200)\n",
+                static_cast<double>(r.volume.at(n / 2, n / 2, n / 2)));
+
+    // Pipeline statistics (the Fig. 9 stages).
+    std::printf("  stage busy seconds: load %.3f | filter %.3f | bp %.3f | store %.3f\n",
+                r.stats.t_load, r.stats.t_filter, r.stats.t_bp, r.stats.t_store);
+    std::printf("  wall %.3f s, H2D %.1f MiB in %llu transfers\n", r.stats.wall,
+                static_cast<double>(r.stats.h2d.bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(r.stats.h2d.transfers));
+
+    io::write_pgm_slice("quickstart_slice.pgm", r.volume, n / 2, -0.05f, 0.45f);
+    io::write_volume("quickstart_volume.xvol", r.volume);
+    std::printf("  wrote quickstart_slice.pgm and quickstart_volume.xvol\n");
+    return 0;
+}

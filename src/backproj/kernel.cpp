@@ -1,0 +1,138 @@
+#include "backproj/kernel.hpp"
+
+#include <cmath>
+
+namespace xct::backproj {
+
+namespace {
+
+/// Listing 1 devSubPixel: manual single-precision bilinear interpolation
+/// over four integer texture fetches.  `x` is the detector column, `yrel`
+/// the detector row relative to the streaming origin (texture wraps it),
+/// `s` the view.  Templated over the texture type so the fp32 and the
+/// 8-bit-quantised paths share one implementation.
+template <typename Tex>
+inline float dev_sub_pixel(const Tex& tex, float x, float yrel, index_t s)
+{
+    const float fx = std::floor(x);
+    const float fy = std::floor(yrel);
+    const float du = x - fx;
+    const float dv = yrel - fy;
+    const index_t iu = static_cast<index_t>(fx);
+    const index_t iv = static_cast<index_t>(fy);
+    const float v0 = tex.fetch(iu, s, iv);
+    const float v1 = tex.fetch(iu + 1, s, iv);
+    const float v2 = tex.fetch(iu, s, iv + 1);
+    const float v3 = tex.fetch(iu + 1, s, iv + 1);
+    return (v0 * (1.0f - du) + v1 * du) * (1.0f - dv) + (v2 * (1.0f - du) + v3 * du) * dv;
+}
+
+template <typename Tex>
+void bp_impl(const Tex& tex, std::span<const Mat34> mats, Volume& vol, const StreamOffsets& off,
+             index_t nu, index_t nv)
+{
+    require(static_cast<index_t>(mats.size()) == tex.height(),
+            "backproject_streaming: texture height must equal the view count");
+    require(tex.width() == nu, "backproject_streaming: texture width must equal Nu");
+    const Dim3 d = vol.size();
+    const index_t views = static_cast<index_t>(mats.size());
+
+    // Pre-convert the matrices to float once (the CUDA kernel reads float4
+    // rows via __ldg).
+    std::vector<std::array<float, 12>> fm(static_cast<std::size_t>(views));
+    for (index_t s = 0; s < views; ++s) {
+        const Mat34& m = mats[static_cast<std::size_t>(s)];
+        fm[static_cast<std::size_t>(s)] = {
+            static_cast<float>(m[0].x), static_cast<float>(m[0].y), static_cast<float>(m[0].z),
+            static_cast<float>(m[0].w), static_cast<float>(m[1].x), static_cast<float>(m[1].y),
+            static_cast<float>(m[1].z), static_cast<float>(m[1].w), static_cast<float>(m[2].x),
+            static_cast<float>(m[2].y), static_cast<float>(m[2].z), static_cast<float>(m[2].w)};
+    }
+
+    const float proj_y0 = static_cast<float>(off.proj_y);
+
+#pragma omp parallel for collapse(2) schedule(static)
+    for (index_t k = 0; k < d.z; ++k) {
+        for (index_t j = 0; j < d.y; ++j) {
+            const float kk = static_cast<float>(k + off.volume_z);  // offset K (Listing 1 line 9)
+            const float jj = static_cast<float>(j);
+            for (index_t i = 0; i < d.x; ++i) {
+                const float ii = static_cast<float>(i);
+                float sum = 0.0f;
+                for (index_t s = 0; s < views; ++s) {
+                    const auto& m = fm[static_cast<std::size_t>(s)];
+                    // Eq. 8 (Listing 1 lines 12-14).
+                    const float z = m[8] * ii + m[9] * jj + m[10] * kk + m[11];
+                    if (z <= 0.0f) continue;
+                    const float x = (m[0] * ii + m[1] * jj + m[2] * kk + m[3]) / z;
+                    const float y = (m[4] * ii + m[5] * jj + m[6] * kk + m[7]) / z;
+                    if (x < 0.0f || x > static_cast<float>(nu - 1) || y < 0.0f ||
+                        y > static_cast<float>(nv - 1))
+                        continue;
+                    const float yrel = y - proj_y0;  // offset Y (Listing 1 line 15)
+                    sum += 1.0f / (z * z) * dev_sub_pixel(tex, x, yrel, s);
+                }
+                vol.at(i, j, k) += sum;  // one volume write per voxel (line 19)
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void backproject_streaming(const sim::Texture3& tex, std::span<const Mat34> mats, Volume& vol,
+                           const StreamOffsets& off, index_t nu, index_t nv)
+{
+    bp_impl(tex, mats, vol, off, nu, nv);
+}
+
+void backproject_streaming_q8(const sim::QuantizedTexture3& tex, std::span<const Mat34> mats,
+                              Volume& vol, const StreamOffsets& off, index_t nu, index_t nv)
+{
+    bp_impl(tex, mats, vol, off, nu, nv);
+}
+
+void backproject_streaming_incremental(const sim::Texture3& tex, std::span<const Mat34> mats,
+                                       Volume& vol, const StreamOffsets& off, index_t nu,
+                                       index_t nv)
+{
+    require(static_cast<index_t>(mats.size()) == tex.height(),
+            "backproject_streaming_incremental: texture height must equal the view count");
+    require(tex.width() == nu, "backproject_streaming_incremental: texture width must equal Nu");
+    const Dim3 d = vol.size();
+    const index_t views = static_cast<index_t>(mats.size());
+    const float proj_y0 = static_cast<float>(off.proj_y);
+    const float x_hi = static_cast<float>(nu - 1);
+    const float y_hi = static_cast<float>(nv - 1);
+
+#pragma omp parallel for collapse(2) schedule(static)
+    for (index_t k = 0; k < d.z; ++k) {
+        for (index_t j = 0; j < d.y; ++j) {
+            const double kk = static_cast<double>(k + off.volume_z);
+            const double jj = static_cast<double>(j);
+            std::vector<float> acc(static_cast<std::size_t>(d.x), 0.0f);
+            for (index_t s = 0; s < views; ++s) {
+                const Mat34& m = mats[static_cast<std::size_t>(s)];
+                // Row constants at i = 0 (double precision so the
+                // incremental walk starts exact).
+                float xn = static_cast<float>(m[0].y * jj + m[0].z * kk + m[0].w);
+                float yn = static_cast<float>(m[1].y * jj + m[1].z * kk + m[1].w);
+                float zn = static_cast<float>(m[2].y * jj + m[2].z * kk + m[2].w);
+                const float dxn = static_cast<float>(m[0].x);
+                const float dyn = static_cast<float>(m[1].x);
+                const float dzn = static_cast<float>(m[2].x);
+                for (index_t i = 0; i < d.x; ++i, xn += dxn, yn += dyn, zn += dzn) {
+                    if (zn <= 0.0f) continue;
+                    const float x = xn / zn;
+                    const float y = yn / zn;
+                    if (x < 0.0f || x > x_hi || y < 0.0f || y > y_hi) continue;
+                    acc[static_cast<std::size_t>(i)] +=
+                        1.0f / (zn * zn) * dev_sub_pixel(tex, x, y - proj_y0, s);
+                }
+            }
+            for (index_t i = 0; i < d.x; ++i) vol.at(i, j, k) += acc[static_cast<std::size_t>(i)];
+        }
+    }
+}
+
+}  // namespace xct::backproj

@@ -1,0 +1,63 @@
+#pragma once
+// The paper's streaming back-projection kernel (Listing 1), ported from
+// CUDA onto the simulated device.
+//
+// Differences from the classical kernel that enable decomposition +
+// out-of-core operation (Sec. 4.3):
+//   * the volume is addressed with a global slice offset (offset_volume_z);
+//   * projections live in a 3D texture whose *depth* axis is the detector
+//     row dimension, addressed circularly (row - offset_proj_y, then
+//     mod depth inside the texture) so row bands stream through a fixed
+//     device allocation and the overlap between consecutive slabs is
+//     reused without re-upload;
+//   * every view updates a register accumulator and the volume is written
+//     once per voxel, minimising device-memory traffic.
+//
+// Texture axis mapping (matches Listing 1's devPixel call):
+//   x = detector column u, y = view index s, z = detector row v relative to
+//   offset_proj_y.
+
+#include <span>
+
+#include "core/geometry.hpp"
+#include "core/volume.hpp"
+#include "sim/device.hpp"
+
+namespace xct::backproj {
+
+/// Arguments of the streaming kernel that vary per slab (the gray-shaded
+/// offsets of Listing 1).
+struct StreamOffsets {
+    index_t volume_z = 0;  ///< global z index of the slab's first slice
+    index_t proj_y = 0;    ///< global detector row mapped to texture depth 0
+};
+
+/// Accumulate the back-projection of all `mats.size()` views held in `tex`
+/// into the slab `vol`.  `nu`/`nv` are the full detector dimensions for the
+/// off-detector bounds test.  The slab must be zero-initialised (or hold a
+/// partial accumulation from a previous view batch).
+void backproject_streaming(const sim::Texture3& tex, std::span<const Mat34> mats, Volume& vol,
+                           const StreamOffsets& off, index_t nu, index_t nv);
+
+/// The same kernel over an 8-bit quantised texture — CUDA's *hardware*
+/// texture-interpolation precision, which the paper rejects (Sec. 4.3.1)
+/// in favour of fp32 manual interpolation.  Exists for the precision
+/// ablation (bench/ablation_interpolation_precision).
+void backproject_streaming_q8(const sim::QuantizedTexture3& tex, std::span<const Mat34> mats,
+                              Volume& vol, const StreamOffsets& off, index_t nu, index_t nv);
+
+/// Optimised variant: view-major over each voxel row with incremental
+/// update of the three dot products (x, y, z are affine in i, so stepping
+/// i adds a constant — 3 FMAs replace 9 multiply-adds per update).
+/// Results agree with backproject_streaming to float rounding; see the
+/// micro_kernels bench for the measured speed difference and test_backproj
+/// for the equivalence bound.
+void backproject_streaming_incremental(const sim::Texture3& tex, std::span<const Mat34> mats,
+                                       Volume& vol, const StreamOffsets& off, index_t nu,
+                                       index_t nv);
+
+/// Approximate floating-point operations per (voxel, view) update of the
+/// kernel inner loop — used by the roofline analysis (Fig. 12).
+inline constexpr double kFlopsPerUpdate = 38.0;
+
+}  // namespace xct::backproj

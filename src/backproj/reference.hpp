@@ -1,0 +1,35 @@
+#pragma once
+// Verbatim port of Algorithm 1 (the RTK-derived 3D back-projection loop
+// with the SubPixel bilinear interpolation function).  This is the
+// numerical ground truth every optimised kernel is validated against
+// (the paper's own 1e-5 acceptance threshold, Sec. 6.1).
+
+#include <span>
+
+#include "core/geometry.hpp"
+#include "core/volume.hpp"
+
+namespace xct::backproj {
+
+/// Bilinear sample of one projection row-pair (the SubPixel function of
+/// Algorithm 1), with row indices clamped to the stack's resident band and
+/// column indices clamped to [0, cols).  `x`/`y` are detector coordinates
+/// at sub-pixel precision, `y` global.
+float sub_pixel(const ProjectionStack& p, index_t s, float x, float y);
+
+/// Algorithm 1: accumulate the back-projection of every view of `p`
+/// (matrices `mats`, one per view) into `vol`.
+///
+/// `vol` may be a slab of the full reconstruction: `vol_z_offset` is the
+/// global z index of its first slice (matrices are always built for the
+/// full volume, so voxel coordinates must be global).  `nu`/`nv` are the
+/// full detector dimensions used for the off-detector bounds test; voxels
+/// projecting outside [0, Nu-1] x [0, Nv-1] receive no contribution.
+void backproject_reference(const ProjectionStack& p, std::span<const Mat34> mats, Volume& vol,
+                           index_t vol_z_offset, index_t nu, index_t nv);
+
+/// Convenience overload for full-volume, full-detector reconstruction.
+void backproject_reference(const ProjectionStack& p, std::span<const Mat34> mats,
+                           const CbctGeometry& g, Volume& vol);
+
+}  // namespace xct::backproj

@@ -1,0 +1,29 @@
+#pragma once
+// Classical (RTK/iFDK-style) back-projector used as the performance and
+// capability baseline (Table 5, Fig. 12).
+//
+// It follows the conventional cone-beam recipe the paper contrasts with
+// (Sec. 4.3 "Conventional approaches"):
+//   * the *entire* output volume must be resident on the device — a
+//     DeviceOutOfMemory escape reproduces the "✗" cells of Table 5 (RTK
+//     cannot generate volumes beyond ~8 GB on a 16 GB V100);
+//   * projections are uploaded in view batches of full detector frames
+//     (no Nv split — the Table 2 "input lower bound O(Nu x Nv)" row);
+//   * each batch updates every voxel (2D-layered-texture style).
+
+#include <span>
+
+#include "core/geometry.hpp"
+#include "core/volume.hpp"
+#include "sim/device.hpp"
+
+namespace xct::backproj {
+
+/// Back-project the full stack into `vol` through device `dev`, keeping the
+/// whole volume device-resident and streaming projections in batches of
+/// `batch_views` full frames.  Throws sim::DeviceOutOfMemory when the
+/// volume (plus one batch) does not fit — the baseline's capability limit.
+void backproject_rtk_style(sim::Device& dev, const ProjectionStack& p, std::span<const Mat34> mats,
+                           const CbctGeometry& g, Volume& vol, index_t batch_views);
+
+}  // namespace xct::backproj

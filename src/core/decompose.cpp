@@ -1,0 +1,126 @@
+#include "core/decompose.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace xct {
+namespace {
+
+/// Clamp a raw [min_y, max_y] detector-row interval to the detector and
+/// convert to the half-open band [floor(min), ceil(max) + 1) used
+/// throughout; the +1 keeps the bilinear interpolator's iv+1 fetch inside.
+Range clamp_band(const CbctGeometry& g, double min_y, double max_y)
+{
+    index_t lo = static_cast<index_t>(std::floor(min_y));
+    index_t hi = static_cast<index_t>(std::ceil(max_y)) + 1;
+    lo = std::max<index_t>(lo, 0);
+    hi = std::min<index_t>(hi, g.nv);
+    if (hi <= lo) {  // slab projects entirely off-detector: empty band at the clamp point
+        hi = lo;
+    }
+    return {lo, hi};
+}
+
+}  // namespace
+
+Range compute_ab(const CbctGeometry& g, Range slab)
+{
+    require(!slab.empty() && slab.lo >= 0 && slab.hi <= g.vol.z,
+            "compute_ab: slab must be a non-empty sub-range of [0, Nz)");
+    const double k0 = static_cast<double>(slab.lo);
+    const double k1 = static_cast<double>(slab.hi - 1);
+
+    // Algorithm 2: four projections of the corner voxel (0, 0, k) at the
+    // nearest/furthest angles; min/max of the four y coordinates.
+    const Mat34 m_near = projection_matrix(g, kAngleNearest);
+    const Mat34 m_far = projection_matrix(g, kAngleFurthest);
+    const double y0 = project(m_near, 0.0, 0.0, k0).y;
+    const double y1 = project(m_far, 0.0, 0.0, k0).y;
+    const double y2 = project(m_near, 0.0, 0.0, k1).y;
+    const double y3 = project(m_far, 0.0, 0.0, k1).y;
+
+    const double min_y = std::min(std::min(y0, y1), std::min(y2, y3));
+    const double max_y = std::max(std::max(y0, y1), std::max(y2, y3));
+    return clamp_band(g, min_y, max_y);
+}
+
+Range compute_ab_exhaustive(const CbctGeometry& g, Range slab, index_t angle_samples)
+{
+    require(!slab.empty() && slab.lo >= 0 && slab.hi <= g.vol.z,
+            "compute_ab_exhaustive: slab must be a non-empty sub-range of [0, Nz)");
+    require(angle_samples > 0, "compute_ab_exhaustive: need at least one angle sample");
+
+    const double corners_i[4] = {0.0, static_cast<double>(g.vol.x - 1), 0.0,
+                                 static_cast<double>(g.vol.x - 1)};
+    const double corners_j[4] = {0.0, 0.0, static_cast<double>(g.vol.y - 1),
+                                 static_cast<double>(g.vol.y - 1)};
+    const double ks[2] = {static_cast<double>(slab.lo), static_cast<double>(slab.hi - 1)};
+
+    double min_y = std::numeric_limits<double>::infinity();
+    double max_y = -std::numeric_limits<double>::infinity();
+    for (index_t a = 0; a < angle_samples; ++a) {
+        const double phi =
+            2.0 * std::numbers::pi * static_cast<double>(a) / static_cast<double>(angle_samples);
+        for (int c = 0; c < 4; ++c)
+            for (double k : ks) {
+                const Projected p = project_direct(g, phi, corners_i[c], corners_j[c], k);
+                min_y = std::min(min_y, p.y);
+                max_y = std::max(max_y, p.y);
+            }
+    }
+    return clamp_band(g, min_y, max_y);
+}
+
+std::vector<SlabPlan> plan_slabs(const CbctGeometry& g, Range slices, index_t nb)
+{
+    require(!slices.empty() && slices.lo >= 0 && slices.hi <= g.vol.z,
+            "plan_slabs: slices must be a non-empty sub-range of [0, Nz)");
+    require(nb > 0, "plan_slabs: batch size must be positive");
+
+    std::vector<SlabPlan> plans;
+    for (index_t k = slices.lo; k < slices.hi; k += nb) {
+        SlabPlan p;
+        p.slab = Range{k, std::min(k + nb, slices.hi)};
+        p.rows = compute_ab(g, p.slab);
+        if (plans.empty()) {
+            p.delta = p.rows;
+        } else {
+            // Eq. 6: only the part of [a_i, b_i) not already resident.
+            // Bands move monotonically with k, so the new part is a single
+            // interval past the previous band's end (and possibly below its
+            // start when slabs descend — handled by the general formula).
+            const Range prev = plans.back().rows;
+            const Range above{std::max(p.rows.lo, prev.hi), p.rows.hi};
+            const Range below{p.rows.lo, std::min(p.rows.hi, prev.lo)};
+            p.delta = above.empty() ? below : above;
+            if (p.delta.hi < p.delta.lo) p.delta = Range{p.rows.lo, p.rows.lo};
+        }
+        plans.push_back(p);
+    }
+    return plans;
+}
+
+Range split_even(index_t n, index_t parts, index_t part)
+{
+    require(parts > 0 && part >= 0 && part < parts, "split_even: part out of range");
+    const index_t base = n / parts;
+    const index_t extra = n % parts;
+    const index_t lo = part * base + std::min(part, extra);
+    const index_t len = base + (part < extra ? 1 : 0);
+    return {lo, lo + len};
+}
+
+index_t size_ab(const CbctGeometry& g, const SlabPlan& p, index_t nr)
+{
+    require(nr > 0, "size_ab: nr must be positive");
+    return g.nu * (g.num_proj / nr) * p.rows.length();
+}
+
+index_t size_bb(const CbctGeometry& g, const SlabPlan& p, index_t nr)
+{
+    require(nr > 0, "size_bb: nr must be positive");
+    return g.nu * (g.num_proj / nr) * p.delta.length();
+}
+
+}  // namespace xct

@@ -1,0 +1,104 @@
+#pragma once
+// The paper's decomposition scheme (Sec. 3):
+//
+//   * the output volume is split into Nn = Nz/Nb horizontal slabs of Nb
+//     slices each (Eq. 3, Fig. 3c);
+//   * every 2D projection is split along the detector-row (V) dimension:
+//     slab i needs only the row band [a_i, b_i) returned by compute_ab()
+//     (Eq. 4 / Algorithm 2, Fig. 4) — consecutive bands *overlap* because
+//     of the cone magnification;
+//   * consecutive slabs therefore require only the differential band
+//     b_{i-1}..b_i to be loaded/transferred (Eqs. 6-7), which is what makes
+//     the host->device traffic move each projection row exactly once;
+//   * the view (Np) dimension is additionally split evenly across the Nr
+//     ranks of an MPI group (Sec. 3.1.3) — no overlap in that dimension;
+//   * MPI ranks are arranged into Ng groups of Nr ranks (Sec. 4.4.1); group
+//     g owns the contiguous slice range of Ns = Nz/Ng slices (Eq. 10) and
+//     processes it in Nc batches of Nb = Ns/Nc slices (Eq. 12).
+//
+// Angle choice in compute_ab: the detector-row extremes of a slab are
+// reached when the volume's XY corner voxel (0, 0, k) is rotated onto the
+// source-object axis, i.e. to its nearest/furthest positions from the
+// source (Fig. 5).  Under the axis convention of geometry.hpp those angles
+// are 45 deg (nearest) and 225 deg (furthest); the paper quotes 135/315 deg
+// for its (mirrored) convention.  The bound is a supremum over *continuous*
+// rotation, hence conservative for any discrete angle set.
+
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/types.hpp"
+
+namespace xct {
+
+/// Gantry angle placing corner voxel (0,0,k) nearest to the source.
+inline constexpr double kAngleNearest = 0.25 * 3.14159265358979323846;
+/// Gantry angle placing corner voxel (0,0,k) furthest from the source.
+inline constexpr double kAngleFurthest = 1.25 * 3.14159265358979323846;
+
+/// Algorithm 2: the half-open detector-row band [a, b) required to
+/// reconstruct volume slices `slab` (half-open, in [0, Nz)).  The band is
+/// clamped to [0, Nv) and widened by one row at the top so the bilinear
+/// interpolator's (iv + 1) fetch stays inside the band.
+Range compute_ab(const CbctGeometry& g, Range slab);
+
+/// Brute-force oracle for compute_ab: scans `angle_samples` uniformly
+/// spaced continuous angles and all four XY corner voxels at both slab
+/// ends, returning the exact min/max detector row (same clamping/widening
+/// as compute_ab).  Used by property tests; O(angle_samples).
+Range compute_ab_exhaustive(const CbctGeometry& g, Range slab, index_t angle_samples);
+
+/// One volume slab together with its projection requirements.
+struct SlabPlan {
+    Range slab;   ///< output slices [k0, k1)
+    Range rows;   ///< detector rows needed, [a_i, b_i)  (Eq. 4)
+    Range delta;  ///< rows not already resident from slab i-1 (Eq. 6); equals
+                  ///< `rows` for the first slab
+};
+
+/// Split slices `slices` into ceil(len/nb) slabs of at most `nb` slices and
+/// annotate each with its row band and differential band.  The union of the
+/// delta bands equals hull(rows_0, ..., rows_last) and the deltas are
+/// pairwise disjoint (tested invariants).
+std::vector<SlabPlan> plan_slabs(const CbctGeometry& g, Range slices, index_t nb);
+
+/// Evenly split `n` items into `parts` contiguous chunks; chunk `part` gets
+/// the half-open range.  First (n % parts) chunks are one item longer.
+Range split_even(index_t n, index_t parts, index_t part);
+
+/// Total elements of the first partial projection for slab i (Eq. 5):
+/// Nu * (Np/Nr) * (b_i - a_i).
+index_t size_ab(const CbctGeometry& g, const SlabPlan& p, index_t nr);
+
+/// Total elements of the differential update for slab i (Eq. 7):
+/// Nu * (Np/Nr) * (b_i - b_{i-1}).
+index_t size_bb(const CbctGeometry& g, const SlabPlan& p, index_t nr);
+
+/// Rank arrangement of Sec. 4.4.1: `nranks` = Ng * Nr ranks; ranks with the
+/// same `group_of` value form one MPI group (same MPI_Comm_split colour) and
+/// cooperate on one contiguous slice range; within a group each rank owns an
+/// even share of the Np views.
+struct GroupLayout {
+    index_t num_groups = 1;       ///< Ng
+    index_t ranks_per_group = 1;  ///< Nr
+
+    index_t nranks() const { return num_groups * ranks_per_group; }
+    index_t group_of(index_t rank) const { return rank / ranks_per_group; }
+    index_t rank_in_group(index_t rank) const { return rank % ranks_per_group; }
+    /// Root (world) rank of a group: its first rank.
+    index_t group_root(index_t group) const { return group * ranks_per_group; }
+
+    /// Output slices owned by `group` (Eq. 10 generalised to Nz not
+    /// divisible by Ng).
+    Range slices_of_group(index_t group, index_t nz) const
+    {
+        return split_even(nz, num_groups, group);
+    }
+    /// Views processed by `rank` (the Np split of Sec. 3.1.3).
+    Range views_of_rank(index_t rank, index_t np) const
+    {
+        return split_even(np, ranks_per_group, rank_in_group(rank));
+    }
+};
+
+}  // namespace xct

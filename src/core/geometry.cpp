@@ -1,0 +1,111 @@
+#include "core/geometry.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace xct {
+
+double CbctGeometry::angle_of(index_t s) const
+{
+    return scan_range * static_cast<double>(s) / static_cast<double>(num_proj);
+}
+
+bool CbctGeometry::short_scan() const
+{
+    return scan_range < 2.0 * std::numbers::pi - 1e-9;
+}
+
+void CbctGeometry::validate() const
+{
+    require(dso > 0.0, "CbctGeometry: dso must be positive");
+    require(dsd > dso, "CbctGeometry: dsd must exceed dso (detector behind the object)");
+    require(num_proj > 0, "CbctGeometry: num_proj must be positive");
+    require(nu > 1 && nv > 1, "CbctGeometry: detector must be at least 2x2 pixels");
+    require(du > 0.0 && dv > 0.0, "CbctGeometry: pixel pitches must be positive");
+    require(vol.x > 0 && vol.y > 0 && vol.z > 0, "CbctGeometry: volume extents must be positive");
+    require(dx > 0.0 && dy > 0.0 && dz > 0.0, "CbctGeometry: voxel pitches must be positive");
+    require(scan_range > 0.0 && scan_range <= 2.0 * std::numbers::pi + 1e-9,
+            "CbctGeometry: scan_range must be in (0, 2*pi]");
+}
+
+double CbctGeometry::natural_pitch(double du, double dsd, double dso, index_t nu, index_t nx)
+{
+    return du * (dso / dsd) * static_cast<double>(nu) / static_cast<double>(nx);
+}
+
+Mat34 projection_matrix(const CbctGeometry& g, double phi_rad)
+{
+    const double c = std::cos(phi_rad);
+    const double s = std::sin(phi_rad);
+    const double cu = (static_cast<double>(g.nu) - 1.0) / 2.0 + g.sigma_u;
+    const double cv = (static_cast<double>(g.nv) - 1.0) / 2.0 + g.sigma_v;
+
+    // K: camera coordinates (x_cam, d, z_cam, 1) -> homogeneous detector
+    // pixels scaled by d (so the third row recovers the depth).
+    Mat34 k;
+    k[0] = Vec4{g.dsd / g.du, cu, 0.0, 0.0};
+    k[1] = Vec4{0.0, cv, g.dsd / g.dv, 0.0};
+    k[2] = Vec4{0.0, 1.0, 0.0, 0.0};
+
+    // E: physical object coordinates -> camera coordinates (object rotated
+    // by phi, rotation-centre offset applied laterally).
+    Mat44 e = Mat44::identity();
+    e.m[0] = {c, -s, 0.0, g.sigma_cor};
+    e.m[1] = {s, c, 0.0, g.dso};
+    e.m[2] = {0.0, 0.0, 1.0, 0.0};
+
+    // V: voxel index -> physical mm, centring the volume on the rotation axis.
+    Mat44 v = Mat44::identity();
+    v.m[0] = {g.dx, 0.0, 0.0, -g.dx * (static_cast<double>(g.vol.x) - 1.0) / 2.0};
+    v.m[1] = {0.0, g.dy, 0.0, -g.dy * (static_cast<double>(g.vol.y) - 1.0) / 2.0};
+    v.m[2] = {0.0, 0.0, g.dz, -g.dz * (static_cast<double>(g.vol.z) - 1.0) / 2.0};
+
+    Mat34 m = multiply(multiply(k, e), v);
+    // Normalise so the homogeneous depth is d/Dso and 1/z^2 is the FDK weight.
+    for (int r = 0; r < 3; ++r) {
+        m[r].x /= g.dso;
+        m[r].y /= g.dso;
+        m[r].z /= g.dso;
+        m[r].w /= g.dso;
+    }
+    return m;
+}
+
+std::vector<Mat34> projection_matrices(const CbctGeometry& g)
+{
+    std::vector<Mat34> mats;
+    mats.reserve(static_cast<std::size_t>(g.num_proj));
+    for (index_t s = 0; s < g.num_proj; ++s) mats.push_back(projection_matrix(g, g.angle_of(s)));
+    return mats;
+}
+
+Projected project(const Mat34& m, double i, double j, double k)
+{
+    const Vec4 p{i, j, k, 1.0};
+    Projected r;
+    r.z = m[2].dot(p);
+    r.x = m[0].dot(p) / r.z;
+    r.y = m[1].dot(p) / r.z;
+    return r;
+}
+
+Projected project_direct(const CbctGeometry& g, double phi_rad, double i, double j, double k)
+{
+    const double px = g.dx * (i - (static_cast<double>(g.vol.x) - 1.0) / 2.0);
+    const double py = g.dy * (j - (static_cast<double>(g.vol.y) - 1.0) / 2.0);
+    const double pz = g.dz * (k - (static_cast<double>(g.vol.z) - 1.0) / 2.0);
+
+    const double c = std::cos(phi_rad);
+    const double s = std::sin(phi_rad);
+    const double x_cam = c * px - s * py + g.sigma_cor;
+    const double depth = s * px + c * py + g.dso;
+    const double z_cam = pz;
+
+    Projected r;
+    r.x = (x_cam * g.dsd / depth) / g.du + (static_cast<double>(g.nu) - 1.0) / 2.0 + g.sigma_u;
+    r.y = (z_cam * g.dsd / depth) / g.dv + (static_cast<double>(g.nv) - 1.0) / 2.0 + g.sigma_v;
+    r.z = depth / g.dso;
+    return r;
+}
+
+}  // namespace xct

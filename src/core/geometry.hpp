@@ -1,0 +1,104 @@
+#pragma once
+// Cone-beam CT geometry (Table 1 of the paper) and the general 3x4
+// projection matrix of Sec. 4.1, including the geometric-calibration
+// corrections of Table 4 (detector offsets sigma_u / sigma_v and rotation
+// centre offset sigma_cor).
+//
+// World frame
+// -----------
+//   * rotation axis = Z, object centred at the origin;
+//   * at gantry angle phi = 0 the X-ray source sits at (0, -Dso, 0) and the
+//     flat-panel detector plane is perpendicular to +Y at distance Dsd from
+//     the source;
+//   * scanning is modelled by rotating the *object* by phi about Z
+//     (equivalent to rotating source+detector by -phi);
+//   * the detector U axis is parallel to world X, V parallel to world Z
+//     (paper Sec. 2.2.1).
+//
+// Projection of a voxel index (i, j, k):
+//   1. centre:            p = ((i - (Nx-1)/2) dx, (j - (Ny-1)/2) dy, (k - (Nz-1)/2) dz)
+//   2. rotate + offset:   x_cam = cos(phi) px - sin(phi) py + sigma_cor
+//                         d     = sin(phi) px + cos(phi) py + Dso       (depth from source)
+//                         z_cam = pz
+//   3. perspective:       u_px = (x_cam Dsd / d) / du + cu,   cu = (Nu-1)/2 + sigma_u
+//                         v_px = (z_cam Dsd / d) / dv + cv,   cv = (Nv-1)/2 + sigma_v
+//
+// The matrix returned by projection_matrix() produces homogeneous
+// (xh, yh, zh) with zh = d / Dso, so that (x, y) = (xh/zh, yh/zh) are the
+// detector pixel coordinates and 1/zh^2 = (Dso/d)^2 is exactly the FDK
+// distance weight used in Algorithm 1 line 9 / Listing 1 line 16.
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace xct {
+
+/// Full parameter set of a CBCT system (Table 1).
+struct CbctGeometry {
+    double dso = 0.0;        ///< source-to-rotation-axis distance [mm]
+    double dsd = 0.0;        ///< source-to-detector distance [mm]
+    index_t num_proj = 0;    ///< number of 2D projections (Np), full 360 deg scan
+    index_t nu = 0;          ///< detector width [pixels]
+    index_t nv = 0;          ///< detector height [pixels]
+    double du = 1.0;         ///< detector pixel pitch along U [mm/pixel]
+    double dv = 1.0;         ///< detector pixel pitch along V [mm/pixel]
+    Dim3 vol{};              ///< output volume size (Nx, Ny, Nz) [voxels]
+    double dx = 1.0;         ///< voxel pitch X [mm]
+    double dy = 1.0;         ///< voxel pitch Y [mm]
+    double dz = 1.0;         ///< voxel pitch Z [mm]
+    double sigma_u = 0.0;    ///< detector offset along U [pixels] (Fig. 7a)
+    double sigma_v = 0.0;    ///< detector offset along V [pixels] (Fig. 7a)
+    double sigma_cor = 0.0;  ///< rotation-centre offset [mm] (Fig. 7b)
+    /// Angular range of the scan [radians].  2*pi (the default) is the
+    /// paper's full scan; anything smaller is a short scan and requires
+    /// Parker redundancy weighting (filter/parker.hpp) with
+    /// scan_range >= pi + 2 * fan half-angle.
+    double scan_range = 6.283185307179586476925286766559;
+
+    /// Cone-beam magnification factor Dsd/Dso (Sec. 2.2.2).
+    double magnification() const { return dsd / dso; }
+
+    /// Gantry angle [radians] of projection s: scan_range * s / Np
+    /// (2*pi*s/Np for the paper's full scan).
+    double angle_of(index_t s) const;
+
+    /// True when this is a short scan (scan_range meaningfully below 2*pi).
+    bool short_scan() const;
+
+    /// Throws std::invalid_argument unless every parameter is physically
+    /// meaningful (positive distances/pitches, non-empty extents, dsd > dso).
+    void validate() const;
+
+    /// Voxel pitch chosen so the reconstructed volume inscribes the detector
+    /// field of view at the rotation axis: pitch = du/magnification * Nu/Nx.
+    /// Helper used by examples and dataset descriptors.
+    static double natural_pitch(double du, double dsd, double dso, index_t nu, index_t nx);
+};
+
+/// The general projection matrix M_phi of Sec. 4.1 for gantry angle
+/// `phi_rad`, including all Table-4 corrections.  See file header for the
+/// exact convention.
+Mat34 projection_matrix(const CbctGeometry& g, double phi_rad);
+
+/// Projection matrices for all Np angles of a full scan,
+/// Mat[s] = M_{2 pi s / Np} (Algorithm 1 input).
+std::vector<Mat34> projection_matrices(const CbctGeometry& g);
+
+/// Result of projecting one voxel: detector pixel coordinates plus the
+/// homogeneous depth zh = d/Dso (Eq. 8).
+struct Projected {
+    double x = 0.0;  ///< detector U coordinate [pixels], sub-pixel precision
+    double y = 0.0;  ///< detector V coordinate [pixels], sub-pixel precision
+    double z = 0.0;  ///< normalised depth d/Dso; FDK weight is 1/z^2
+};
+
+/// Apply Eq. 8: project voxel index (i, j, k) through matrix `m`.
+Projected project(const Mat34& m, double i, double j, double k);
+
+/// Direct (matrix-free) trigonometric projection used as the oracle in
+/// tests; must agree with project(projection_matrix(g, phi), ...) to
+/// floating-point round-off.
+Projected project_direct(const CbctGeometry& g, double phi_rad, double i, double j, double k);
+
+}  // namespace xct

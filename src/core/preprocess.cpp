@@ -1,0 +1,51 @@
+#include "core/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xct {
+namespace {
+
+constexpr float kMinTransmission = 1e-6f;  // clamp so log() stays finite
+
+inline float beer_one(float count, float dark, float blank)
+{
+    const float denom = blank - dark;
+    float t = (count - dark) / denom;
+    t = std::max(t, kMinTransmission);
+    return -std::log(t);
+}
+
+}  // namespace
+
+void beer_law(std::span<float> counts, const BeerLawScalar& cal)
+{
+    require(cal.blank > cal.dark, "beer_law: blank must exceed dark");
+    for (float& c : counts) c = beer_one(c, cal.dark, cal.blank);
+}
+
+void beer_law(std::span<float> counts, std::span<const float> dark, std::span<const float> blank)
+{
+    require(dark.size() == blank.size() && !dark.empty(),
+            "beer_law: dark/blank images must be non-empty and equal-sized");
+    require(counts.size() % dark.size() == 0,
+            "beer_law: counts must be a whole number of projections");
+    const std::size_t pix = dark.size();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const std::size_t p = i % pix;
+        counts[i] = beer_one(counts[i], dark[p], blank[p]);
+    }
+}
+
+void beer_law(ProjectionStack& stack, const BeerLawScalar& cal)
+{
+    beer_law(stack.span(), cal);
+}
+
+void inverse_beer_law(std::span<float> line_integrals, const BeerLawScalar& cal)
+{
+    require(cal.blank > cal.dark, "inverse_beer_law: blank must exceed dark");
+    for (float& p : line_integrals) p = cal.dark + (cal.blank - cal.dark) * std::exp(-p);
+}
+
+}  // namespace xct

@@ -1,0 +1,41 @@
+#pragma once
+// Beer-law projection preprocessing (Sec. 2.1, Eq. 1):
+//
+//     P = -log((lambda - lambda_dark) / (lambda_blank - lambda_dark))
+//
+// converting raw photon counts into line integrals of attenuation.  The
+// dark/blank fields may be scalars (tomobank-style constants of Table 4) or
+// full per-pixel calibration images.
+
+#include <optional>
+#include <span>
+
+#include "core/types.hpp"
+#include "core/volume.hpp"
+
+namespace xct {
+
+/// Scalar dark/blank calibration (Table 4 style: lambda_dark = 0,
+/// lambda_blank = 2^16 for the coffee-bean dataset).
+struct BeerLawScalar {
+    float dark = 0.0f;
+    float blank = 65536.0f;
+};
+
+/// Apply Eq. 1 in place to a span of raw counts with scalar calibration.
+/// Counts are clamped to a tiny positive transmission before the log so
+/// dead pixels produce large-but-finite attenuation instead of inf/NaN.
+void beer_law(std::span<float> counts, const BeerLawScalar& cal);
+
+/// Apply Eq. 1 in place with per-pixel dark/blank images (each the size of
+/// one projection); `counts` must be a whole number of projections.
+void beer_law(std::span<float> counts, std::span<const float> dark, std::span<const float> blank);
+
+/// Apply Eq. 1 to every projection of a stack (scalar calibration).
+void beer_law(ProjectionStack& stack, const BeerLawScalar& cal);
+
+/// Inverse of Eq. 1 (used by the synthetic raw-count generator):
+/// lambda = dark + (blank - dark) * exp(-P).
+void inverse_beer_law(std::span<float> line_integrals, const BeerLawScalar& cal);
+
+}  // namespace xct

@@ -1,0 +1,35 @@
+#include "core/types.hpp"
+
+namespace xct {
+
+Mat34 multiply(const Mat34& a, const Mat44& b)
+{
+    Mat34 r;
+    for (int i = 0; i < 3; ++i) {
+        const Vec4& ar = a[i];
+        const std::array<double, 4> av{ar.x, ar.y, ar.z, ar.w};
+        std::array<double, 4> out{};
+        for (int j = 0; j < 4; ++j) {
+            double s = 0.0;
+            for (int k = 0; k < 4; ++k)
+                s += av[static_cast<std::size_t>(k)] * b.m[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+            out[static_cast<std::size_t>(j)] = s;
+        }
+        r[i] = Vec4{out[0], out[1], out[2], out[3]};
+    }
+    return r;
+}
+
+Mat44 multiply(const Mat44& a, const Mat44& b)
+{
+    Mat44 r;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < 4; ++k) s += a.m[i][k] * b.m[k][j];
+            r.m[i][j] = s;
+        }
+    return r;
+}
+
+}  // namespace xct

@@ -1,0 +1,112 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace xct::fft {
+
+index_t next_pow2(index_t n)
+{
+    require(n >= 1, "next_pow2: n must be >= 1");
+    index_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+bool is_pow2(index_t n)
+{
+    return n >= 1 && (n & (n - 1)) == 0;
+}
+
+void transform(std::span<std::complex<double>> data, bool inverse)
+{
+    const std::size_t n = data.size();
+    require(is_pow2(static_cast<index_t>(n)), "fft::transform: size must be a power of two");
+    if (n == 1) return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(data[i], data[j]);
+    }
+
+    // Iterative Cooley-Tukey butterflies.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+        const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w{1.0, 0.0};
+            for (std::size_t j = 0; j < len / 2; ++j) {
+                const std::complex<double> u = data[i + j];
+                const std::complex<double> v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double inv_n = 1.0 / static_cast<double>(n);
+        for (auto& x : data) x *= inv_n;
+    }
+}
+
+std::vector<std::complex<double>> real_forward(std::span<const float> signal, index_t n)
+{
+    require(is_pow2(n) && n >= static_cast<index_t>(signal.size()),
+            "fft::real_forward: n must be a power of two >= signal length");
+    std::vector<std::complex<double>> buf(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < signal.size(); ++i) buf[i] = std::complex<double>(signal[i], 0.0);
+    transform(buf, /*inverse=*/false);
+    return buf;
+}
+
+void multiply_spectra(std::span<std::complex<double>> a, std::span<const std::complex<double>> b)
+{
+    require(a.size() == b.size(), "fft::multiply_spectra: size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+}
+
+std::vector<float> convolve_same(std::span<const float> signal, std::span<const float> kernel,
+                                 index_t offset)
+{
+    const index_t m = static_cast<index_t>(signal.size());
+    const index_t l = static_cast<index_t>(kernel.size());
+    require(m > 0 && l > 0, "fft::convolve_same: empty inputs");
+    require(offset >= 0 && offset < l, "fft::convolve_same: offset must lie within the kernel");
+
+    RowConvolver conv(m, kernel, offset);
+    std::vector<float> out(signal.begin(), signal.end());
+    conv.apply(out);
+    return out;
+}
+
+RowConvolver::RowConvolver(index_t row_len, std::span<const float> kernel, index_t offset)
+    : row_len_(row_len), offset_(offset)
+{
+    require(row_len > 0, "RowConvolver: row_len must be positive");
+    require(!kernel.empty(), "RowConvolver: kernel must be non-empty");
+    require(offset >= 0 && offset < static_cast<index_t>(kernel.size()),
+            "RowConvolver: offset must lie within the kernel");
+    padded_ = next_pow2(row_len + static_cast<index_t>(kernel.size()) - 1);
+    kernel_spectrum_ = real_forward(kernel, padded_);
+}
+
+void RowConvolver::apply(std::span<float> row) const
+{
+    require(static_cast<index_t>(row.size()) == row_len_, "RowConvolver::apply: row length mismatch");
+    std::vector<std::complex<double>> buf(static_cast<std::size_t>(padded_));
+    for (index_t i = 0; i < row_len_; ++i)
+        buf[static_cast<std::size_t>(i)] = std::complex<double>(row[static_cast<std::size_t>(i)], 0.0);
+    transform(buf, /*inverse=*/false);
+    multiply_spectra(buf, kernel_spectrum_);
+    transform(buf, /*inverse=*/true);
+    for (index_t i = 0; i < row_len_; ++i)
+        row[static_cast<std::size_t>(i)] =
+            static_cast<float>(buf[static_cast<std::size_t>(i + offset_)].real());
+}
+
+}  // namespace xct::fft

@@ -1,0 +1,67 @@
+#pragma once
+// Self-contained FFT substrate for the filtering stage (the paper uses
+// Intel IPP/MKL on the CPU for this step; we provide an equivalent).
+//
+// Provides an iterative radix-2 decimation-in-time complex FFT plus helpers
+// for real input and power-of-two padded linear convolution.  Sizes are
+// restricted to powers of two — the filter engine always pads to
+// next_pow2(2 * Nu), so no general-size transform is required.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace xct::fft {
+
+/// Smallest power of two >= n (n >= 1).
+index_t next_pow2(index_t n);
+
+/// True when n is a power of two (n >= 1).
+bool is_pow2(index_t n);
+
+/// In-place complex FFT of power-of-two length.  `inverse` selects the
+/// inverse transform, which includes the 1/N normalisation (so
+/// fft(ifft(x)) == x).
+void transform(std::span<std::complex<double>> data, bool inverse);
+
+/// Out-of-place forward FFT of a real signal zero-padded to `n` (power of
+/// two, n >= signal length).  Returns the full n-point complex spectrum.
+std::vector<std::complex<double>> real_forward(std::span<const float> signal, index_t n);
+
+/// Cyclic convolution theorem helper: multiply spectra element-wise in
+/// place (a *= b).  Sizes must match.
+void multiply_spectra(std::span<std::complex<double>> a, std::span<const std::complex<double>> b);
+
+/// Linear convolution of `signal` (length m) with `kernel` (length l) via
+/// zero-padded FFT; returns the first `m` samples of the full convolution
+/// starting at output index `offset` (use offset = (l-1)/2 for a centred,
+/// "same"-size filter result).
+std::vector<float> convolve_same(std::span<const float> signal, std::span<const float> kernel,
+                                 index_t offset);
+
+/// A reusable plan for filtering many equal-length rows with one fixed
+/// kernel spectrum: precomputes the padded kernel FFT once (what the
+/// paper's IPP-based filter thread amortises across rows).
+class RowConvolver {
+public:
+    /// `row_len` is the signal length (Nu); `kernel` the spatial-domain
+    /// filter taps; `offset` selects which output sample aligns with the
+    /// first input sample (centred kernels use (taps-1)/2).
+    RowConvolver(index_t row_len, std::span<const float> kernel, index_t offset);
+
+    index_t row_len() const { return row_len_; }
+    index_t padded_len() const { return padded_; }
+
+    /// Filter one row in place (row.size() == row_len()).
+    void apply(std::span<float> row) const;
+
+private:
+    index_t row_len_ = 0;
+    index_t padded_ = 0;
+    index_t offset_ = 0;
+    std::vector<std::complex<double>> kernel_spectrum_;
+};
+
+}  // namespace xct::fft

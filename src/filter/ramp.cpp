@@ -1,0 +1,167 @@
+#include "filter/ramp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft.hpp"
+
+namespace xct::filter {
+
+Window window_from_name(const std::string& name)
+{
+    if (name == "ram-lak" || name == "ramlak" || name == "ramp") return Window::RamLak;
+    if (name == "shepp-logan") return Window::SheppLogan;
+    if (name == "cosine") return Window::Cosine;
+    if (name == "hamming") return Window::Hamming;
+    if (name == "hann") return Window::Hann;
+    throw std::invalid_argument("unknown filter window: " + name);
+}
+
+std::vector<float> ramp_kernel(index_t half_width, double du)
+{
+    require(half_width >= 1, "ramp_kernel: half_width must be >= 1");
+    require(du > 0.0, "ramp_kernel: du must be positive");
+    std::vector<float> taps(static_cast<std::size_t>(2 * half_width + 1), 0.0f);
+    const double pi2 = std::numbers::pi * std::numbers::pi;
+    taps[static_cast<std::size_t>(half_width)] = static_cast<float>(1.0 / (4.0 * du));
+    for (index_t n = 1; n <= half_width; n += 2) {
+        const float v = static_cast<float>(-1.0 / (pi2 * static_cast<double>(n * n) * du));
+        taps[static_cast<std::size_t>(half_width + n)] = v;
+        taps[static_cast<std::size_t>(half_width - n)] = v;
+    }
+    return taps;
+}
+
+double window_gain(Window w, double x)
+{
+    x = std::clamp(x, 0.0, 1.0);
+    const double pi = std::numbers::pi;
+    switch (w) {
+        case Window::RamLak: return 1.0;
+        case Window::SheppLogan: {
+            const double a = pi * x / 2.0;
+            return a == 0.0 ? 1.0 : std::sin(a) / a;
+        }
+        case Window::Cosine: return std::cos(pi * x / 2.0);
+        case Window::Hamming: return 0.54 + 0.46 * std::cos(pi * x);
+        case Window::Hann: return 0.5 * (1.0 + std::cos(pi * x));
+    }
+    return 1.0;  // unreachable
+}
+
+FilterEngine::FilterEngine(const CbctGeometry& g, Window w, double extra_scale)
+{
+    g.validate();
+    nu_ = g.nu;
+    dsd2_ = g.dsd * g.dsd;
+    dv_ = g.dv;
+    cv_ = (static_cast<double>(g.nv) - 1.0) / 2.0 + g.sigma_v;
+
+    const double cu = (static_cast<double>(g.nu) - 1.0) / 2.0 + g.sigma_u;
+    pu2_.resize(static_cast<std::size_t>(g.nu));
+    for (index_t u = 0; u < g.nu; ++u) {
+        const double p = g.du * (static_cast<double>(u) - cu);
+        pu2_[static_cast<std::size_t>(u)] = p * p;
+    }
+
+    // FDK angular quadrature + virtual->real detector change of variables
+    // folded into the kernel (see file header).  Full scans measure every
+    // ray twice (factor 1/2); short scans rely on Parker weights summing
+    // conjugate pairs to one, so the quadrature enters unhalved.
+    const double angular = g.short_scan()
+                               ? g.scan_range / static_cast<double>(g.num_proj)
+                               : std::numbers::pi / static_cast<double>(g.num_proj);
+    const double fdk_scale = angular * (g.dsd / g.dso) * extra_scale;
+
+    std::vector<float> taps = ramp_kernel(g.nu, g.du);
+    for (float& t : taps) t = static_cast<float>(t * fdk_scale);
+    offset_ = g.nu;  // centre tap index: output sample i aligns with input i
+    padded_ = fft::next_pow2(nu_ + static_cast<index_t>(taps.size()) - 1);
+    kernel_spectrum_ = fft::real_forward(taps, padded_);
+
+    // Apodisation in the frequency domain.  Bin k of the padded transform
+    // corresponds to normalised frequency min(k, N-k) / (N/2).
+    if (w != Window::RamLak) {
+        const index_t n = padded_;
+        for (index_t k = 0; k < n; ++k) {
+            const index_t sym = std::min(k, n - k);
+            const double x = static_cast<double>(sym) / (static_cast<double>(n) / 2.0);
+            kernel_spectrum_[static_cast<std::size_t>(k)] *= window_gain(w, x);
+        }
+    }
+}
+
+void FilterEngine::weight_row(std::span<float> row, index_t v_global) const
+{
+    // Eq. 2 point-wise weight.
+    const double pv = dv_ * (static_cast<double>(v_global) - cv_);
+    const double pv2 = pv * pv;
+    for (index_t u = 0; u < nu_; ++u) {
+        const double wgt =
+            std::sqrt(dsd2_) / std::sqrt(pu2_[static_cast<std::size_t>(u)] + pv2 + dsd2_);
+        row[static_cast<std::size_t>(u)] = static_cast<float>(row[static_cast<std::size_t>(u)] * wgt);
+    }
+}
+
+void FilterEngine::apply_row(std::span<float> row, index_t v_global) const
+{
+    require(static_cast<index_t>(row.size()) == nu_, "FilterEngine: row length != Nu");
+    weight_row(row, v_global);
+
+    // Row convolution with the precomputed kernel spectrum.
+    std::vector<std::complex<double>> buf(static_cast<std::size_t>(padded_));
+    for (index_t i = 0; i < nu_; ++i)
+        buf[static_cast<std::size_t>(i)] =
+            std::complex<double>(row[static_cast<std::size_t>(i)], 0.0);
+    fft::transform(buf, /*inverse=*/false);
+    fft::multiply_spectra(buf, kernel_spectrum_);
+    fft::transform(buf, /*inverse=*/true);
+    for (index_t i = 0; i < nu_; ++i)
+        row[static_cast<std::size_t>(i)] =
+            static_cast<float>(buf[static_cast<std::size_t>(i + offset_)].real());
+}
+
+void FilterEngine::apply_row_pair(std::span<float> a, index_t va, std::span<float> b,
+                                  index_t vb) const
+{
+    require(static_cast<index_t>(a.size()) == nu_ && static_cast<index_t>(b.size()) == nu_,
+            "FilterEngine: row length != Nu");
+    weight_row(a, va);
+    weight_row(b, vb);
+
+    // Pack a + i b, one forward/inverse FFT pair for both rows.
+    std::vector<std::complex<double>> buf(static_cast<std::size_t>(padded_));
+    for (index_t i = 0; i < nu_; ++i)
+        buf[static_cast<std::size_t>(i)] =
+            std::complex<double>(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+    fft::transform(buf, /*inverse=*/false);
+    fft::multiply_spectra(buf, kernel_spectrum_);
+    fft::transform(buf, /*inverse=*/true);
+    for (index_t i = 0; i < nu_; ++i) {
+        a[static_cast<std::size_t>(i)] =
+            static_cast<float>(buf[static_cast<std::size_t>(i + offset_)].real());
+        b[static_cast<std::size_t>(i)] =
+            static_cast<float>(buf[static_cast<std::size_t>(i + offset_)].imag());
+    }
+}
+
+void FilterEngine::apply(ProjectionStack& stack) const
+{
+    require(stack.cols() == nu_, "FilterEngine: stack width != Nu");
+    const index_t views = stack.views();
+    const index_t v0 = stack.row_begin();
+    const index_t rows = stack.rows();
+    const index_t pairs = rows / 2;
+#pragma omp parallel for collapse(2) schedule(static)
+    for (index_t s = 0; s < views; ++s)
+        for (index_t p = 0; p < pairs; ++p)
+            apply_row_pair(stack.row(s, v0 + 2 * p), v0 + 2 * p, stack.row(s, v0 + 2 * p + 1),
+                           v0 + 2 * p + 1);
+    if (rows % 2 != 0) {
+#pragma omp parallel for schedule(static)
+        for (index_t s = 0; s < views; ++s) apply_row(stack.row(s, v0 + rows - 1), v0 + rows - 1);
+    }
+}
+
+}  // namespace xct::filter

@@ -1,0 +1,110 @@
+#include "io/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xct::io {
+namespace {
+
+Dataset make(std::string name, double dso, double dsd, index_t nu, index_t nv, double du, double dv,
+             index_t np, double sigma_u, double sigma_v, double sigma_cor, float dark, float blank,
+             PhantomKind ph, index_t default_vol)
+{
+    Dataset d;
+    d.name = std::move(name);
+    d.geometry.dso = dso;
+    d.geometry.dsd = dsd;
+    d.geometry.nu = nu;
+    d.geometry.nv = nv;
+    d.geometry.du = du;
+    d.geometry.dv = dv;
+    d.geometry.num_proj = np;
+    d.geometry.sigma_u = sigma_u;
+    d.geometry.sigma_v = sigma_v;
+    d.geometry.sigma_cor = sigma_cor;
+    d.beer = BeerLawScalar{dark, blank};
+    d.phantom = ph;
+    Dataset sized = d.with_volume(default_vol);
+    return sized;
+}
+
+std::vector<Dataset> build_all()
+{
+    std::vector<Dataset> all;
+    // Sec. 6.1 (i): Zeiss Xradia Versa 510 coffee bean.  Magnification
+    // Dsd/Dso = 9.48; stitched detector 3728 x 2000, Np = 6401.  Detector
+    // pitch is not printed in the paper; 0.05 mm is representative of the
+    // stitched flat panel and irrelevant to the algorithm (only ratios
+    // enter).  Table 4: sigma_cor = -0.0021 mm, dark 0, blank 2^16.
+    all.push_back(make("coffee_bean", 16.0, 151.7, 3728, 2000, 0.05, 0.05, 6401, 0.0, 0.0, -0.0021,
+                       0.0f, 65536.0f, PhantomKind::PorousBean, 4096));
+    // Sec. 6.1 (ii): Nikon HMX ST 225 bumblebee.  Table 4: sigma_cor =
+    // 1.03 mm.  Dark/blank frames exist in the original data; scalar
+    // stand-ins here.
+    all.push_back(make("bumblebee", 39.8, 672.5, 2000, 2000, 0.2, 0.2, 3142, 0.0, 0.0, 1.03, 0.0f,
+                       65536.0f, PhantomKind::SheppLogan, 4096));
+    // Sec. 6.1 (iii): tomobank 00027/00028/00029 share a geometry.
+    all.push_back(make("tomo_00027", 100.0, 250.0, 2004, 1335, 0.025, 0.025, 1800, 25.0, 0.25, 0.0,
+                       0.0f, 65536.0f, PhantomKind::SheppLogan, 2048));
+    all.push_back(make("tomo_00028", 100.0, 250.0, 2004, 1335, 0.025, 0.025, 1800, 26.0, 0.25, 0.0,
+                       0.0f, 65536.0f, PhantomKind::SheppLogan, 2048));
+    all.push_back(make("tomo_00029", 100.0, 250.0, 2004, 1335, 0.025, 0.025, 1800, 27.0, 0.2, 0.0,
+                       0.0f, 65536.0f, PhantomKind::SheppLogan, 2048));
+    all.push_back(make("tomo_00030", 250.0, 350.0, 668, 445, 0.075, 0.075, 720, -10.0, 0.2, 0.0,
+                       0.0f, 65536.0f, PhantomKind::SheppLogan, 512));
+    return all;
+}
+
+}  // namespace
+
+Dataset Dataset::scaled(double f) const
+{
+    require(f >= 1.0, "Dataset::scaled: factor must be >= 1");
+    Dataset d = *this;
+    auto shrink = [&](index_t n) {
+        return std::max<index_t>(8, static_cast<index_t>(std::llround(static_cast<double>(n) / f)));
+    };
+    d.name = name;  // identity preserved; resolution noted by the caller
+    d.geometry.nu = shrink(geometry.nu);
+    d.geometry.nv = shrink(geometry.nv);
+    d.geometry.num_proj = shrink(geometry.num_proj);
+    d.geometry.du = geometry.du * static_cast<double>(geometry.nu) / static_cast<double>(d.geometry.nu);
+    d.geometry.dv = geometry.dv * static_cast<double>(geometry.nv) / static_cast<double>(d.geometry.nv);
+    d.geometry.sigma_u = geometry.sigma_u * static_cast<double>(d.geometry.nu) /
+                         static_cast<double>(geometry.nu);
+    d.geometry.sigma_v = geometry.sigma_v * static_cast<double>(d.geometry.nv) /
+                         static_cast<double>(geometry.nv);
+    d.geometry.vol = Dim3{shrink(geometry.vol.x), shrink(geometry.vol.y), shrink(geometry.vol.z)};
+    d.geometry.dx = geometry.dx * static_cast<double>(geometry.vol.x) / static_cast<double>(d.geometry.vol.x);
+    d.geometry.dy = geometry.dy * static_cast<double>(geometry.vol.y) / static_cast<double>(d.geometry.vol.y);
+    d.geometry.dz = geometry.dz * static_cast<double>(geometry.vol.z) / static_cast<double>(d.geometry.vol.z);
+    d.geometry.validate();
+    return d;
+}
+
+Dataset Dataset::with_volume(index_t n) const
+{
+    require(n > 0, "Dataset::with_volume: size must be positive");
+    Dataset d = *this;
+    d.geometry.vol = Dim3{n, n, n};
+    const double pitch = CbctGeometry::natural_pitch(d.geometry.du, d.geometry.dsd, d.geometry.dso,
+                                                     d.geometry.nu, n);
+    d.geometry.dx = d.geometry.dy = d.geometry.dz = pitch;
+    d.geometry.validate();
+    return d;
+}
+
+const std::vector<Dataset>& paper_datasets()
+{
+    static const std::vector<Dataset> all = build_all();
+    return all;
+}
+
+const Dataset& dataset_by_name(const std::string& name)
+{
+    for (const Dataset& d : paper_datasets())
+        if (d.name == name) return d;
+    throw std::invalid_argument("unknown dataset: " + name);
+}
+
+}  // namespace xct::io

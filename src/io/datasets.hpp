@@ -1,0 +1,45 @@
+#pragma once
+// Descriptors for the six real-world datasets the paper evaluates
+// (Sec. 6.1, Table 4).  The geometric parameters — distances, detector
+// sizes, pitches, projection counts and the calibration offsets — are the
+// paper's; the image *content* is substituted by analytic phantoms
+// (DESIGN.md §2).  Everything is resolution-scalable so the same geometry
+// runs at laptop scale while preserving magnification and cone angle.
+
+#include <string>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/preprocess.hpp"
+
+namespace xct::io {
+
+/// Phantom standing in for the scanned object.
+enum class PhantomKind { SheppLogan, PorousBean };
+
+struct Dataset {
+    std::string name;
+    CbctGeometry geometry;  ///< full-resolution paper parameters
+    BeerLawScalar beer;     ///< Table-4 dark/blank calibration (scalar form)
+    PhantomKind phantom = PhantomKind::SheppLogan;
+
+    /// Same physical setup at 1/f resolution: detector and volume extents
+    /// divide by `f`, pitches multiply by `f`, the view count divides by
+    /// `f`, pixel-unit offsets (sigma_u/v) divide by `f`; mm-unit
+    /// quantities (distances, sigma_cor) are untouched.  Extents are kept
+    /// >= 8 pixels/voxels and >= 8 views.
+    Dataset scaled(double f) const;
+
+    /// Copy with a different (cubic) output volume size, voxel pitch set so
+    /// the volume inscribes the detector FOV at the rotation axis — the
+    /// Table-5 sweep (same input, 512^3..4096^3 outputs).
+    Dataset with_volume(index_t n) const;
+};
+
+/// All six paper datasets: coffee_bean, bumblebee, tomo_00027..tomo_00030.
+const std::vector<Dataset>& paper_datasets();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const Dataset& dataset_by_name(const std::string& name);
+
+}  // namespace xct::io

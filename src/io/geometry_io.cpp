@@ -1,0 +1,77 @@
+#include "io/geometry_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace xct::io {
+
+void write_geometry(const std::filesystem::path& path, const GeometryFile& g)
+{
+    g.geometry.validate();
+    if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+    std::ofstream f(path);
+    require(f.good(), "write_geometry: cannot open " + path.string());
+    const CbctGeometry& c = g.geometry;
+    f << std::setprecision(17);
+    f << "dso " << c.dso << "\n";
+    f << "dsd " << c.dsd << "\n";
+    f << "num_proj " << c.num_proj << "\n";
+    f << "nu " << c.nu << "\n";
+    f << "nv " << c.nv << "\n";
+    f << "du " << c.du << "\n";
+    f << "dv " << c.dv << "\n";
+    f << "nx " << c.vol.x << "\n";
+    f << "ny " << c.vol.y << "\n";
+    f << "nz " << c.vol.z << "\n";
+    f << "dx " << c.dx << "\n";
+    f << "dy " << c.dy << "\n";
+    f << "dz " << c.dz << "\n";
+    f << "sigma_u " << c.sigma_u << "\n";
+    f << "sigma_v " << c.sigma_v << "\n";
+    f << "sigma_cor " << c.sigma_cor << "\n";
+    f << "scan_range " << c.scan_range << "\n";
+    f << "beer_dark " << g.beer.dark << "\n";
+    f << "beer_blank " << g.beer.blank << "\n";
+    f << "raw_counts " << (g.raw_counts ? 1 : 0) << "\n";
+    require(f.good(), "write_geometry: write failed: " + path.string());
+}
+
+GeometryFile read_geometry(const std::filesystem::path& path)
+{
+    std::ifstream f(path);
+    require(f.good(), "read_geometry: cannot open " + path.string());
+    GeometryFile g;
+    CbctGeometry& c = g.geometry;
+    std::string key;
+    while (f >> key) {
+        double v = 0.0;
+        require(static_cast<bool>(f >> v), "read_geometry: missing value for key " + key);
+        if (key == "dso") c.dso = v;
+        else if (key == "dsd") c.dsd = v;
+        else if (key == "num_proj") c.num_proj = static_cast<index_t>(v);
+        else if (key == "nu") c.nu = static_cast<index_t>(v);
+        else if (key == "nv") c.nv = static_cast<index_t>(v);
+        else if (key == "du") c.du = v;
+        else if (key == "dv") c.dv = v;
+        else if (key == "nx") c.vol.x = static_cast<index_t>(v);
+        else if (key == "ny") c.vol.y = static_cast<index_t>(v);
+        else if (key == "nz") c.vol.z = static_cast<index_t>(v);
+        else if (key == "dx") c.dx = v;
+        else if (key == "dy") c.dy = v;
+        else if (key == "dz") c.dz = v;
+        else if (key == "sigma_u") c.sigma_u = v;
+        else if (key == "sigma_v") c.sigma_v = v;
+        else if (key == "sigma_cor") c.sigma_cor = v;
+        else if (key == "scan_range") c.scan_range = v;
+        else if (key == "beer_dark") g.beer.dark = static_cast<float>(v);
+        else if (key == "beer_blank") g.beer.blank = static_cast<float>(v);
+        else if (key == "raw_counts") g.raw_counts = v != 0.0;
+        else throw std::invalid_argument("read_geometry: unknown key '" + key + "' in " +
+                                         path.string());
+    }
+    c.validate();
+    return g;
+}
+
+}  // namespace xct::io

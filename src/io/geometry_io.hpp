@@ -1,0 +1,27 @@
+#pragma once
+// Plain-text geometry sidecar files ("key value" per line) so projection
+// stacks on disk stay self-describing: xct_project writes `<stack>.geom`
+// next to the data, xct_recon reads it back.
+
+#include <filesystem>
+
+#include "core/geometry.hpp"
+#include "core/preprocess.hpp"
+
+namespace xct::io {
+
+/// Geometry + calibration as stored next to a projection file.
+struct GeometryFile {
+    CbctGeometry geometry;
+    BeerLawScalar beer{};
+    bool raw_counts = false;  ///< stack stores photon counts, not integrals
+};
+
+/// Write the sidecar (creates parent directories).
+void write_geometry(const std::filesystem::path& path, const GeometryFile& g);
+
+/// Read a sidecar written by write_geometry; unknown keys are rejected so
+/// typos fail loudly.  The result is validate()d.
+GeometryFile read_geometry(const std::filesystem::path& path);
+
+}  // namespace xct::io

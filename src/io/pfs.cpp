@@ -1,0 +1,85 @@
+#include "io/pfs.hpp"
+
+namespace xct::io {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}
+
+Pfs::Pfs(std::filesystem::path root, double load_gbps, double store_gbps)
+    : root_(std::move(root)), load_gbps_(load_gbps), store_gbps_(store_gbps)
+{
+    require(load_gbps > 0.0 && store_gbps > 0.0, "Pfs: bandwidths must be positive");
+    std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path Pfs::resolve(const std::string& rel) const
+{
+    require(!rel.empty() && rel.front() != '/', "Pfs: path must be relative");
+    return root_ / rel;
+}
+
+void Pfs::account_load(std::uint64_t bytes)
+{
+    load_.bytes += bytes;
+    load_.operations += 1;
+    load_.seconds += static_cast<double>(bytes) / (load_gbps_ * kGiB);
+}
+
+void Pfs::account_store(std::uint64_t bytes)
+{
+    store_.bytes += bytes;
+    store_.operations += 1;
+    store_.seconds += static_cast<double>(bytes) / (store_gbps_ * kGiB);
+}
+
+void Pfs::store_volume(const std::string& rel, const Volume& v)
+{
+    write_volume(resolve(rel), v);
+    account_store(static_cast<std::uint64_t>(v.count()) * sizeof(float));
+}
+
+Volume Pfs::load_volume(const std::string& rel)
+{
+    Volume v = read_volume(resolve(rel));
+    account_load(static_cast<std::uint64_t>(v.count()) * sizeof(float));
+    return v;
+}
+
+void Pfs::store_stack(const std::string& rel, const ProjectionStack& p)
+{
+    write_stack(resolve(rel), p);
+    account_store(static_cast<std::uint64_t>(p.count()) * sizeof(float));
+}
+
+ProjectionStack Pfs::load_stack(const std::string& rel)
+{
+    ProjectionStack p = read_stack(resolve(rel));
+    account_load(static_cast<std::uint64_t>(p.count()) * sizeof(float));
+    return p;
+}
+
+ProjectionStack Pfs::load_stack_rows(const std::string& rel, Range views, Range band)
+{
+    ProjectionStack p = read_stack_rows(resolve(rel), views, band);
+    account_load(static_cast<std::uint64_t>(p.count()) * sizeof(float));
+    return p;
+}
+
+StackInfo Pfs::stack_info(const std::string& rel) const
+{
+    return io::stack_info(resolve(rel));
+}
+
+bool Pfs::exists(const std::string& rel) const
+{
+    return std::filesystem::exists(resolve(rel));
+}
+
+void Pfs::reset_stats()
+{
+    load_ = IoStats{};
+    store_ = IoStats{};
+}
+
+}  // namespace xct::io

@@ -1,0 +1,63 @@
+#pragma once
+// Bandwidth-accounted storage: stands in for the paper's node-local NVMe
+// (projection loading) and Lustre PFS (volume storing).
+//
+// Real files are written under a root directory; alongside each transfer
+// the modelled time at the configured bandwidth is accumulated, which is
+// what the performance model (Sec. 5: BW_load, BW_store) and the
+// weak-scaling store plateau (Fig. 14, ~9 s for a 4096^3 volume at
+// 28.5 GB/s) consume.
+
+#include <filesystem>
+
+#include "core/volume.hpp"
+#include "io/raw_io.hpp"
+
+namespace xct::io {
+
+/// Accumulated I/O statistics of one direction.
+struct IoStats {
+    std::uint64_t bytes = 0;
+    std::uint64_t operations = 0;
+    double seconds = 0.0;  ///< modelled time at the configured bandwidth
+};
+
+class Pfs {
+public:
+    /// `root` is created if missing.  Bandwidths in GB/s (the paper's
+    /// measured values: ~28.5 GB/s aggregate store, NVMe-class load).
+    Pfs(std::filesystem::path root, double load_gbps, double store_gbps);
+
+    const std::filesystem::path& root() const { return root_; }
+
+    void store_volume(const std::string& rel, const Volume& v);
+    Volume load_volume(const std::string& rel);
+    void store_stack(const std::string& rel, const ProjectionStack& p);
+    ProjectionStack load_stack(const std::string& rel);
+
+    /// Partial load: only the requested views x detector-row band; only
+    /// those bytes hit the (accounted) link — the O(Nu) granularity.
+    ProjectionStack load_stack_rows(const std::string& rel, Range views, Range band);
+
+    /// Stored stack metadata (no payload traffic).
+    StackInfo stack_info(const std::string& rel) const;
+
+    bool exists(const std::string& rel) const;
+
+    const IoStats& load_stats() const { return load_; }
+    const IoStats& store_stats() const { return store_; }
+    void reset_stats();
+
+private:
+    std::filesystem::path resolve(const std::string& rel) const;
+    void account_load(std::uint64_t bytes);
+    void account_store(std::uint64_t bytes);
+
+    std::filesystem::path root_;
+    double load_gbps_;
+    double store_gbps_;
+    IoStats load_{};
+    IoStats store_{};
+};
+
+}  // namespace xct::io

@@ -1,0 +1,165 @@
+#include "io/raw_io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace xct::io {
+namespace {
+
+constexpr std::array<char, 8> kVolMagic{'X', 'C', 'T', 'V', 'O', 'L', '1', '\0'};
+constexpr std::array<char, 8> kStkMagic{'X', 'C', 'T', 'S', 'T', 'K', '1', '\0'};
+
+struct Header {
+    std::array<char, 8> magic{};
+    std::int64_t d0 = 0, d1 = 0, d2 = 0;  // extents (meaning depends on magic)
+    std::int64_t band_lo = 0;             // stacks: first resident detector row
+    std::array<char, 24> reserved{};
+};
+static_assert(sizeof(Header) == 64);
+
+std::ofstream open_out(const std::filesystem::path& path)
+{
+    if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    require(f.good(), "io: cannot open for writing: " + path.string());
+    return f;
+}
+
+std::ifstream open_in(const std::filesystem::path& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    require(f.good(), "io: cannot open for reading: " + path.string());
+    return f;
+}
+
+void write_pgm(const std::filesystem::path& path, std::span<const float> img, index_t w, index_t h,
+               float lo, float hi)
+{
+    if (lo == hi) {
+        lo = *std::min_element(img.begin(), img.end());
+        hi = *std::max_element(img.begin(), img.end());
+        if (hi == lo) hi = lo + 1.0f;
+    }
+    auto f = open_out(path);
+    f << "P5\n" << w << " " << h << "\n255\n";
+    std::vector<unsigned char> bytes(img.size());
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        const float t = std::clamp((img[i] - lo) / (hi - lo), 0.0f, 1.0f);
+        bytes[i] = static_cast<unsigned char>(t * 255.0f + 0.5f);
+    }
+    f.write(reinterpret_cast<const char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+    require(f.good(), "io: PGM write failed: " + path.string());
+}
+
+}  // namespace
+
+void write_volume(const std::filesystem::path& path, const Volume& v)
+{
+    auto f = open_out(path);
+    Header h;
+    h.magic = kVolMagic;
+    h.d0 = v.size().x;
+    h.d1 = v.size().y;
+    h.d2 = v.size().z;
+    f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    f.write(reinterpret_cast<const char*>(v.span().data()),
+            static_cast<std::streamsize>(v.span().size() * sizeof(float)));
+    require(f.good(), "io: volume write failed: " + path.string());
+}
+
+Volume read_volume(const std::filesystem::path& path)
+{
+    auto f = open_in(path);
+    Header h;
+    f.read(reinterpret_cast<char*>(&h), sizeof(h));
+    require(f.good() && h.magic == kVolMagic, "io: not a volume file: " + path.string());
+    Volume v(Dim3{h.d0, h.d1, h.d2});
+    f.read(reinterpret_cast<char*>(v.span().data()),
+           static_cast<std::streamsize>(v.span().size() * sizeof(float)));
+    require(f.good(), "io: truncated volume file: " + path.string());
+    return v;
+}
+
+void write_stack(const std::filesystem::path& path, const ProjectionStack& p)
+{
+    auto f = open_out(path);
+    Header h;
+    h.magic = kStkMagic;
+    h.d0 = p.views();
+    h.d1 = p.rows();
+    h.d2 = p.cols();
+    h.band_lo = p.row_begin();
+    f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    f.write(reinterpret_cast<const char*>(p.span().data()),
+            static_cast<std::streamsize>(p.span().size() * sizeof(float)));
+    require(f.good(), "io: stack write failed: " + path.string());
+}
+
+ProjectionStack read_stack(const std::filesystem::path& path)
+{
+    auto f = open_in(path);
+    Header h;
+    f.read(reinterpret_cast<char*>(&h), sizeof(h));
+    require(f.good() && h.magic == kStkMagic, "io: not a stack file: " + path.string());
+    ProjectionStack p(h.d0, Range{h.band_lo, h.band_lo + h.d1}, h.d2);
+    f.read(reinterpret_cast<char*>(p.span().data()),
+           static_cast<std::streamsize>(p.span().size() * sizeof(float)));
+    require(f.good(), "io: truncated stack file: " + path.string());
+    return p;
+}
+
+StackInfo stack_info(const std::filesystem::path& path)
+{
+    auto f = open_in(path);
+    Header h;
+    f.read(reinterpret_cast<char*>(&h), sizeof(h));
+    require(f.good() && h.magic == kStkMagic, "io: not a stack file: " + path.string());
+    return StackInfo{h.d0, Range{h.band_lo, h.band_lo + h.d1}, h.d2};
+}
+
+ProjectionStack read_stack_rows(const std::filesystem::path& path, Range views, Range band)
+{
+    auto f = open_in(path);
+    Header h;
+    f.read(reinterpret_cast<char*>(&h), sizeof(h));
+    require(f.good() && h.magic == kStkMagic, "io: not a stack file: " + path.string());
+    require(!views.empty() && views.lo >= 0 && views.hi <= h.d0,
+            "read_stack_rows: views outside stored range");
+    const Range stored{h.band_lo, h.band_lo + h.d1};
+    require(!band.empty() && band.lo >= stored.lo && band.hi <= stored.hi,
+            "read_stack_rows: band outside stored rows");
+
+    ProjectionStack out(views.length(), band, h.d2);
+    const std::streamoff row_bytes = static_cast<std::streamoff>(h.d2) *
+                                     static_cast<std::streamoff>(sizeof(float));
+    const std::streamoff view_bytes = static_cast<std::streamoff>(h.d1) * row_bytes;
+    // Rows of one view are contiguous: one seek + one read per view.
+    for (index_t s = views.lo; s < views.hi; ++s) {
+        const std::streamoff off = static_cast<std::streamoff>(sizeof(Header)) +
+                                   static_cast<std::streamoff>(s) * view_bytes +
+                                   static_cast<std::streamoff>(band.lo - stored.lo) * row_bytes;
+        f.seekg(off);
+        f.read(reinterpret_cast<char*>(out.view(s - views.lo).data()),
+               static_cast<std::streamsize>(band.length()) * row_bytes);
+        require(f.good(), "read_stack_rows: truncated stack file: " + path.string());
+    }
+    return out;
+}
+
+void write_pgm_slice(const std::filesystem::path& path, const Volume& v, index_t k, float lo,
+                     float hi)
+{
+    require(k >= 0 && k < v.size().z, "write_pgm_slice: slice out of range");
+    write_pgm(path, v.slice(k), v.size().x, v.size().y, lo, hi);
+}
+
+void write_pgm_view(const std::filesystem::path& path, const ProjectionStack& p, index_t s,
+                    float lo, float hi)
+{
+    require(s >= 0 && s < p.views(), "write_pgm_view: view out of range");
+    write_pgm(path, p.view(s), p.cols(), p.rows(), lo, hi);
+}
+
+}  // namespace xct::io

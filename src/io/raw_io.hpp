@@ -1,0 +1,52 @@
+#pragma once
+// Raw binary I/O for volumes and projection stacks, plus 8-bit PGM slice
+// export for visual inspection (the role 3D Slicer plays in the paper's
+// Fig. 11 assessment).
+//
+// File format: a 64-byte header (magic, dtype, extents, band origin) then
+// little-endian float32 payload in the container's native layout.
+
+#include <filesystem>
+#include <string>
+
+#include "core/volume.hpp"
+
+namespace xct::io {
+
+/// Write a volume to `path`; creates parent directories.
+void write_volume(const std::filesystem::path& path, const Volume& v);
+
+/// Read a volume written by write_volume.
+Volume read_volume(const std::filesystem::path& path);
+
+/// Write a projection stack (including its band origin).
+void write_stack(const std::filesystem::path& path, const ProjectionStack& p);
+
+/// Read a stack written by write_stack.
+ProjectionStack read_stack(const std::filesystem::path& path);
+
+/// Metadata of a stack file without reading the payload.
+struct StackInfo {
+    index_t views = 0;
+    Range band{};
+    index_t cols = 0;
+};
+StackInfo stack_info(const std::filesystem::path& path);
+
+/// Partial read: only detector rows `band` of views `views` (global
+/// coordinates; both must lie inside the stored extents).  Seeks to each
+/// view's band and reads exactly the requested bytes — the O(Nu)
+/// input-granularity that Table 2 credits the decomposition with.
+ProjectionStack read_stack_rows(const std::filesystem::path& path, Range views, Range band);
+
+/// Export one z-slice of a volume as an 8-bit PGM image, windowed to
+/// [lo, hi] (values clamped).  Pass lo == hi to auto-window to the slice's
+/// min/max.
+void write_pgm_slice(const std::filesystem::path& path, const Volume& v, index_t k, float lo = 0.0f,
+                     float hi = 0.0f);
+
+/// Export one projection (view) of a stack as PGM with the same windowing.
+void write_pgm_view(const std::filesystem::path& path, const ProjectionStack& p, index_t s,
+                    float lo = 0.0f, float hi = 0.0f);
+
+}  // namespace xct::io

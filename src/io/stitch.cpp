@@ -1,0 +1,59 @@
+#include "io/stitch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "io/raw_io.hpp"
+
+namespace xct::io {
+
+std::vector<SlabFile> discover_slabs(const std::filesystem::path& dir)
+{
+    require(std::filesystem::is_directory(dir), "discover_slabs: not a directory: " + dir.string());
+    std::vector<SlabFile> slabs;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string name = entry.path().filename().string();
+        long long lo = 0, hi = 0;
+        if (std::sscanf(name.c_str(), "slab_%lld_%lld.xvol", &lo, &hi) != 2) continue;
+        require(hi > lo && lo >= 0, "discover_slabs: bad slab range in " + name);
+        slabs.push_back(SlabFile{entry.path(), Range{lo, hi}});
+    }
+    std::sort(slabs.begin(), slabs.end(),
+              [](const SlabFile& a, const SlabFile& b) { return a.slices.lo < b.slices.lo; });
+    for (std::size_t i = 1; i < slabs.size(); ++i)
+        require(slabs[i].slices.lo >= slabs[i - 1].slices.hi,
+                "discover_slabs: overlapping slabs " + slabs[i - 1].path.string() + " and " +
+                    slabs[i].path.string());
+    return slabs;
+}
+
+Volume stitch_slabs(const std::filesystem::path& dir)
+{
+    const auto slabs = discover_slabs(dir);
+    require(!slabs.empty(), "stitch_slabs: no slab files in " + dir.string());
+    require(slabs.front().slices.lo == 0, "stitch_slabs: missing slab at slice 0");
+    for (std::size_t i = 1; i < slabs.size(); ++i)
+        require(slabs[i].slices.lo == slabs[i - 1].slices.hi,
+                "stitch_slabs: gap before " + slabs[i].path.string());
+
+    const Volume first = read_volume(slabs.front().path);
+    const index_t nz = slabs.back().slices.hi;
+    Volume out(Dim3{first.size().x, first.size().y, nz});
+
+    for (const SlabFile& sf : slabs) {
+        const Volume slab = read_volume(sf.path);
+        require(slab.size().x == out.size().x && slab.size().y == out.size().y,
+                "stitch_slabs: slab XY size mismatch: " + sf.path.string());
+        require(slab.size().z == sf.slices.length(),
+                "stitch_slabs: slab depth disagrees with its file name: " + sf.path.string());
+        for (index_t k = 0; k < slab.size().z; ++k) {
+            const auto src = slab.slice(k);
+            const auto dst = out.slice(sf.slices.lo + k);
+            std::copy(src.begin(), src.end(), dst.begin());
+        }
+    }
+    return out;
+}
+
+}  // namespace xct::io

@@ -1,0 +1,27 @@
+#pragma once
+// Assemble the per-slab volume files that the distributed framework's
+// group roots store (`slab_<lo>_<hi>.xvol`, see recon/distributed.cpp)
+// into one full volume — the post-processing step a production deployment
+// runs after an out-of-core/at-scale reconstruction.
+
+#include <filesystem>
+
+#include "core/volume.hpp"
+
+namespace xct::io {
+
+/// One discovered slab file.
+struct SlabFile {
+    std::filesystem::path path;
+    Range slices{};  ///< global z range parsed from the file name
+};
+
+/// Find every `slab_<lo>_<hi>.xvol` under `dir` (non-recursive), sorted by
+/// slice range.  Throws when two slabs overlap.
+std::vector<SlabFile> discover_slabs(const std::filesystem::path& dir);
+
+/// Load and stitch all slabs of `dir` into one volume.  The slabs must
+/// tile [0, Nz) exactly (no gaps/overlaps) and agree on Nx x Ny.
+Volume stitch_slabs(const std::filesystem::path& dir);
+
+}  // namespace xct::io

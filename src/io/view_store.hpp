@@ -1,0 +1,26 @@
+#pragma once
+// Per-view projection storage — the layout real scanners produce (one
+// image file per gantry angle; the paper's datasets arrive as thousands
+// of TIFFs on node-local NVMe).  Each view is a single-view stack file
+// `view_%06d.xstk`, so the load stage can read just the detector-row band
+// it needs from just the views it owns.
+
+#include <filesystem>
+
+#include "core/volume.hpp"
+
+namespace xct::io {
+
+/// Split `stack` (full detector, any number of views) into one file per
+/// view under `dir`; view index offset by `first_view`.
+void export_views(const std::filesystem::path& dir, const ProjectionStack& stack,
+                  index_t first_view = 0);
+
+/// Number of `view_*.xstk` files present under `dir`.
+index_t count_views(const std::filesystem::path& dir);
+
+/// Load rows `band` of views `views` from a per-view directory (partial
+/// reads; only the requested bytes are touched).
+ProjectionStack load_views(const std::filesystem::path& dir, Range views, Range band);
+
+}  // namespace xct::io

@@ -1,0 +1,59 @@
+#include "iterative/mlem.hpp"
+
+#include <cmath>
+
+#include "iterative/sirt.hpp"
+#include "projector/forward.hpp"
+
+namespace xct::iterative {
+
+MlemResult reconstruct_mlem(const CbctGeometry& g, const ProjectionStack& b, const MlemConfig& cfg)
+{
+    g.validate();
+    require(cfg.iterations > 0, "reconstruct_mlem: iterations must be positive");
+    require(b.views() == g.num_proj && b.rows() == g.nv && b.cols() == g.nu,
+            "reconstruct_mlem: stack must match the geometry");
+    for (float v : b.span())
+        require(v >= 0.0f, "reconstruct_mlem: projections must be non-negative");
+    const double step = cfg.march_step_mm > 0.0 ? cfg.march_step_mm
+                                                : 0.5 * std::min({g.dx, g.dy, g.dz});
+
+    // Sensitivity image A^T 1 (fixed denominator).
+    ProjectionStack ones_proj(g.num_proj, g.nv, g.nu, 1.0f);
+    Volume sensitivity(g.vol);
+    backproject_unweighted(ones_proj, g, sensitivity);
+
+    MlemResult result{Volume(g.vol, 1.0f), {}};
+    ProjectionStack ratio(g.num_proj, g.nv, g.nu);
+    Volume update(g.vol);
+
+    for (index_t it = 0; it < cfg.iterations; ++it) {
+        // ratio = b / (A x), with empty rays contributing 1 (no update).
+        ratio = projector::forward_project(result.volume, g, Range{0, g.num_proj}, Range{0, g.nv},
+                                           step);
+        double norm2 = 0.0;
+        for (index_t i = 0; i < ratio.count(); ++i) {
+            const std::size_t ii = static_cast<std::size_t>(i);
+            const float ax = ratio.span()[ii];
+            const double resid = static_cast<double>(b.span()[ii]) - static_cast<double>(ax);
+            norm2 += resid * resid;
+            ratio.span()[ii] = ax > 1e-8f ? b.span()[ii] / ax : 1.0f;
+        }
+        // x *= A^T ratio / A^T 1
+        update.fill(0.0f);
+        backproject_unweighted(ratio, g, update);
+        for (index_t i = 0; i < update.count(); ++i) {
+            const std::size_t ii = static_cast<std::size_t>(i);
+            const float sens = sensitivity.span()[ii];
+            if (sens > 1e-6f)
+                result.volume.span()[ii] *= update.span()[ii] / sens;
+            else
+                result.volume.span()[ii] = 0.0f;  // voxel never observed
+        }
+        result.residuals.push_back(std::sqrt(norm2));
+        if (cfg.on_iteration) cfg.on_iteration(it, result.residuals.back());
+    }
+    return result;
+}
+
+}  // namespace xct::iterative

@@ -1,0 +1,34 @@
+#pragma once
+// MLEM (Maximum-Likelihood Expectation Maximisation) — the second IR
+// family of the paper's Table 2 (DMLEM runs distributed MLEM on tens of
+// GPUs).  Multiplicative update from a positive initial estimate:
+//
+//   x <- x * ( A^T (b / (A x)) ) / (A^T 1)
+//
+// Shares the projector pair with SIRT; preserves non-negativity, which is
+// its practical appeal for emission/low-count data.
+
+#include <functional>
+
+#include "core/geometry.hpp"
+#include "core/volume.hpp"
+
+namespace xct::iterative {
+
+struct MlemConfig {
+    index_t iterations = 20;
+    double march_step_mm = 0.0;  ///< 0 = half the smallest voxel pitch
+    std::function<void(index_t, double)> on_iteration;  ///< (iter, log-likelihood proxy)
+};
+
+struct MlemResult {
+    Volume volume;
+    std::vector<double> residuals;  ///< ||b - A x|| per iteration (monitoring)
+};
+
+/// Run MLEM against measured projections `b` (line integrals >= 0, full
+/// detector, all views), starting from a uniform positive volume.
+MlemResult reconstruct_mlem(const CbctGeometry& g, const ProjectionStack& b,
+                            const MlemConfig& cfg = {});
+
+}  // namespace xct::iterative

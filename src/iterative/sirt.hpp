@@ -1,0 +1,43 @@
+#pragma once
+// SIRT (Simultaneous Iterative Reconstruction Technique) — the iterative
+// class the paper's Table 2 compares against (Trace, TIGRE, ASTRA's
+// distributed SIRT all optimise this family).  Provided as the IR baseline
+// substrate: x <- x + C A^T R (b - A x), with R/C the inverse row/column
+// sums of the system matrix.
+//
+// A is the numeric ray-marching forward projector; A^T a voxel-driven,
+// unweighted back-projection (the classical unmatched transpose pair used
+// by TIGRE).  FBP needs none of this — it exists so the repository can
+// reproduce the paper's positioning against IR methods.
+
+#include <functional>
+
+#include "core/geometry.hpp"
+#include "core/volume.hpp"
+
+namespace xct::iterative {
+
+struct SirtConfig {
+    index_t iterations = 20;
+    double relaxation = 1.0;   ///< step scale (lambda); 1 is classical SIRT
+    double march_step_mm = 0.0;  ///< 0 = half the smallest voxel pitch
+    /// Called after every iteration with (iteration, residual L2 norm).
+    std::function<void(index_t, double)> on_iteration;
+};
+
+struct SirtResult {
+    Volume volume;
+    std::vector<double> residuals;  ///< ||b - A x|| after each iteration
+};
+
+/// Unweighted voxel-driven back-projection (the A^T operator): every view
+/// adds its bilinearly-sampled value to each voxel, no 1/z^2 weighting, no
+/// filtering.
+void backproject_unweighted(const ProjectionStack& p, const CbctGeometry& g, Volume& vol);
+
+/// Run SIRT from a zero initial volume against measured projections `b`
+/// (line integrals, full detector, all views).
+SirtResult reconstruct_sirt(const CbctGeometry& g, const ProjectionStack& b,
+                            const SirtConfig& cfg = {});
+
+}  // namespace xct::iterative

@@ -1,0 +1,291 @@
+#include "minimpi/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace xct::minimpi {
+namespace detail {
+
+/// State shared by every communicator derived from one run(): the abort
+/// flag and the list of live communicator states to wake on abort.
+struct Team {
+    std::atomic<bool> abort{false};
+    std::mutex m;
+    std::vector<std::weak_ptr<CommState>> states;
+};
+
+struct CommState {
+    CommState(index_t n, std::shared_ptr<Team> t) : size(n), team(std::move(t))
+    {
+        slots.resize(static_cast<std::size_t>(n), nullptr);
+        slots2.resize(static_cast<std::size_t>(n), nullptr);
+        ia.resize(static_cast<std::size_t>(n), 0);
+        ib.resize(static_cast<std::size_t>(n), 0);
+        dv.resize(static_cast<std::size_t>(n), 0.0);
+    }
+
+    index_t size;
+    std::shared_ptr<Team> team;
+
+    std::mutex m;
+    std::condition_variable cv;
+    index_t arrived = 0;
+    std::uint64_t gen = 0;
+
+    // Deposit areas for collectives (indexed by rank in this communicator).
+    std::vector<const void*> slots;
+    std::vector<const void*> slots2;
+    std::vector<long long> ia, ib;
+    std::vector<double> dv;
+    std::shared_ptr<void> result;  // split() publishes the new communicators here
+};
+
+namespace {
+
+std::shared_ptr<CommState> make_state(index_t n, const std::shared_ptr<Team>& team)
+{
+    auto st = std::make_shared<CommState>(n, team);
+    std::lock_guard lk(team->m);
+    team->states.push_back(st);
+    return st;
+}
+
+/// Generation barrier; throws if a peer rank aborted the team.
+void sync(CommState& st)
+{
+    std::unique_lock lk(st.m);
+    if (st.team->abort.load()) throw std::runtime_error("minimpi: a peer rank failed");
+    const std::uint64_t my_gen = st.gen;
+    if (++st.arrived == st.size) {
+        st.arrived = 0;
+        ++st.gen;
+        st.cv.notify_all();
+        return;
+    }
+    st.cv.wait(lk, [&] { return st.gen != my_gen || st.team->abort.load(); });
+    if (st.gen == my_gen) throw std::runtime_error("minimpi: a peer rank failed");
+}
+
+void wake_all(Team& team)
+{
+    std::lock_guard lk(team.m);
+    for (auto& w : team.states)
+        if (auto st = w.lock()) {
+            std::lock_guard slk(st->m);
+            st->cv.notify_all();
+        }
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::CommState;
+using detail::sync;
+
+Communicator::Communicator(std::shared_ptr<CommState> state, index_t rank)
+    : state_(std::move(state)), rank_(rank)
+{
+}
+
+index_t Communicator::size() const
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    return state_->size;
+}
+
+void Communicator::barrier()
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    sync(*state_);
+}
+
+Communicator Communicator::split(index_t color, index_t key)
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    CommState& st = *state_;
+    st.ia[static_cast<std::size_t>(rank_)] = color;
+    st.ib[static_cast<std::size_t>(rank_)] = key;
+    sync(st);  // all colours/keys deposited
+
+    using CommMap = std::map<index_t, std::vector<std::pair<long long, index_t>>>;
+    if (rank_ == 0) {
+        CommMap members;
+        for (index_t r = 0; r < st.size; ++r)
+            members[static_cast<index_t>(st.ia[static_cast<std::size_t>(r)])].push_back(
+                {st.ib[static_cast<std::size_t>(r)], r});
+        auto comms = std::make_shared<std::map<index_t, std::shared_ptr<CommState>>>();
+        auto ranks = std::make_shared<std::map<index_t, index_t>>();  // old rank -> new rank
+        for (auto& [col, mem] : members) {
+            std::sort(mem.begin(), mem.end());
+            (*comms)[col] = detail::make_state(static_cast<index_t>(mem.size()), st.team);
+            for (index_t nr = 0; nr < static_cast<index_t>(mem.size()); ++nr)
+                (*ranks)[mem[static_cast<std::size_t>(nr)].second] = nr;
+        }
+        st.result = std::make_shared<std::pair<std::shared_ptr<std::map<index_t, std::shared_ptr<CommState>>>,
+                                               std::shared_ptr<std::map<index_t, index_t>>>>(comms, ranks);
+    }
+    sync(st);  // result published
+
+    auto* pub = static_cast<std::pair<std::shared_ptr<std::map<index_t, std::shared_ptr<CommState>>>,
+                                      std::shared_ptr<std::map<index_t, index_t>>>*>(st.result.get());
+    Communicator out(pub->first->at(color), pub->second->at(rank_));
+    sync(st);  // everyone has read before result can be overwritten
+    return out;
+}
+
+void Communicator::reduce_sum(std::span<const float> send, std::span<float> recv, index_t root)
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    CommState& st = *state_;
+    require(root >= 0 && root < st.size, "reduce_sum: root out of range");
+    st.slots[static_cast<std::size_t>(rank_)] = send.data();
+    st.ia[static_cast<std::size_t>(rank_)] = static_cast<long long>(send.size());
+    sync(st);
+    if (rank_ == root) {
+        require(recv.size() == send.size(), "reduce_sum: recv size mismatch at root");
+        for (index_t r = 0; r < st.size; ++r)
+            require(st.ia[static_cast<std::size_t>(r)] == static_cast<long long>(send.size()),
+                    "reduce_sum: ranks disagree on buffer size");
+        std::fill(recv.begin(), recv.end(), 0.0f);
+        for (index_t r = 0; r < st.size; ++r) {
+            const auto* src = static_cast<const float*>(st.slots[static_cast<std::size_t>(r)]);
+            for (std::size_t i = 0; i < recv.size(); ++i) recv[i] += src[i];
+        }
+    }
+    sync(st);
+}
+
+void Communicator::allreduce_sum(std::span<const float> send, std::span<float> recv)
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    require(recv.size() == send.size(), "allreduce_sum: recv size mismatch");
+    CommState& st = *state_;
+    st.slots[static_cast<std::size_t>(rank_)] = send.data();
+    sync(st);
+    std::fill(recv.begin(), recv.end(), 0.0f);
+    for (index_t r = 0; r < st.size; ++r) {
+        const auto* src = static_cast<const float*>(st.slots[static_cast<std::size_t>(r)]);
+        for (std::size_t i = 0; i < recv.size(); ++i) recv[i] += src[i];
+    }
+    sync(st);
+}
+
+void Communicator::reduce_sum_hierarchical(std::span<const float> send, std::span<float> recv,
+                                           index_t root, index_t ranks_per_node)
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    CommState& st = *state_;
+    require(ranks_per_node > 0, "reduce_sum_hierarchical: ranks_per_node must be positive");
+    require(root >= 0 && root < st.size, "reduce_sum_hierarchical: root out of range");
+
+    const index_t node = rank_ / ranks_per_node;
+    const index_t leader = node * ranks_per_node;  // first rank of the node
+    const bool is_leader = rank_ == leader;
+
+    // Stage 1: everyone deposits; node leaders sum their node into local
+    // scratch and deposit that.
+    st.slots[static_cast<std::size_t>(rank_)] = send.data();
+    sync(st);
+    std::vector<float> node_sum;
+    if (is_leader) {
+        node_sum.assign(send.size(), 0.0f);
+        const index_t node_end = std::min(leader + ranks_per_node, st.size);
+        for (index_t r = leader; r < node_end; ++r) {
+            const auto* src = static_cast<const float*>(st.slots[static_cast<std::size_t>(r)]);
+            for (std::size_t i = 0; i < node_sum.size(); ++i) node_sum[i] += src[i];
+        }
+        st.slots2[static_cast<std::size_t>(rank_)] = node_sum.data();
+    }
+    sync(st);
+
+    // Stage 2: root sums the leaders' partial sums.
+    if (rank_ == root) {
+        require(recv.size() == send.size(), "reduce_sum_hierarchical: recv size mismatch at root");
+        std::fill(recv.begin(), recv.end(), 0.0f);
+        for (index_t l = 0; l < st.size; l += ranks_per_node) {
+            const auto* src = static_cast<const float*>(st.slots2[static_cast<std::size_t>(l)]);
+            for (std::size_t i = 0; i < recv.size(); ++i) recv[i] += src[i];
+        }
+    }
+    sync(st);
+}
+
+void Communicator::bcast(std::span<float> data, index_t root)
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    CommState& st = *state_;
+    require(root >= 0 && root < st.size, "bcast: root out of range");
+    st.slots[static_cast<std::size_t>(rank_)] = data.data();
+    sync(st);
+    if (rank_ != root) {
+        const auto* src = static_cast<const float*>(st.slots[static_cast<std::size_t>(root)]);
+        std::copy(src, src + data.size(), data.begin());
+    }
+    sync(st);
+}
+
+void Communicator::gather(std::span<const float> send, std::span<float> recv, index_t root)
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    CommState& st = *state_;
+    require(root >= 0 && root < st.size, "gather: root out of range");
+    st.slots[static_cast<std::size_t>(rank_)] = send.data();
+    sync(st);
+    if (rank_ == root) {
+        require(recv.size() == send.size() * static_cast<std::size_t>(st.size),
+                "gather: recv must hold size() contributions");
+        for (index_t r = 0; r < st.size; ++r) {
+            const auto* src = static_cast<const float*>(st.slots[static_cast<std::size_t>(r)]);
+            std::copy(src, src + send.size(),
+                      recv.begin() + static_cast<std::ptrdiff_t>(send.size() * static_cast<std::size_t>(r)));
+        }
+    }
+    sync(st);
+}
+
+double Communicator::allreduce_max(double v)
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    CommState& st = *state_;
+    st.dv[static_cast<std::size_t>(rank_)] = v;
+    sync(st);
+    double m = st.dv[0];
+    for (index_t r = 1; r < st.size; ++r) m = std::max(m, st.dv[static_cast<std::size_t>(r)]);
+    sync(st);
+    return m;
+}
+
+void run(index_t nranks, const RankFn& fn)
+{
+    require(nranks > 0, "minimpi::run: nranks must be positive");
+    auto team = std::make_shared<detail::Team>();
+    auto world = detail::make_state(nranks, team);
+
+    std::mutex em;
+    std::exception_ptr first;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (index_t r = 0; r < nranks; ++r) {
+        threads.emplace_back([&, r] {
+            Communicator comm(world, r);
+            try {
+                fn(comm);
+            } catch (...) {
+                {
+                    std::lock_guard lk(em);
+                    if (!first) first = std::current_exception();
+                }
+                team->abort.store(true);
+                detail::wake_all(*team);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    if (first) std::rethrow_exception(first);
+}
+
+}  // namespace xct::minimpi

@@ -1,0 +1,96 @@
+#pragma once
+// minimpi: an in-process message-passing substrate with MPI-like collective
+// semantics, running ranks as std::threads.
+//
+// The paper's framework needs exactly these MPI facilities (Sec. 4.4):
+//   * MPI_Comm_split to arrange ranks into Ng groups (same colour = same
+//     group), giving each group its own communicator;
+//   * a rooted, *segmented* MPI_Reduce — each group reduces its partial
+//     sub-volumes independently (Fig. 8); the collective is per-group, not
+//     global, which is what drops communication to O(log N);
+//   * a hierarchical reduction variant where ranks on the same "node" first
+//     reduce to a node leader (Sec. 4.4.2);
+//   * barriers and broadcast for setup.
+//
+// No real network is available in this environment, so the transport is
+// shared memory; collective *semantics* (SPMD call order, rooted results,
+// determinism of the sum order) match MPI and are what the reconstruction
+// algorithm depends on.  All ranks of a communicator must call collectives
+// in the same order — as with MPI, mismatched calls deadlock.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace xct::minimpi {
+
+namespace detail {
+struct CommState;
+}
+
+/// Handle to a communicator; cheap to copy, ranks share the underlying
+/// state.  Obtained from run() (the world communicator) or split().
+class Communicator {
+public:
+    Communicator() = default;
+
+    index_t rank() const { return rank_; }
+    index_t size() const;
+
+    /// Collective: all ranks wait until every rank of this communicator has
+    /// entered.
+    void barrier();
+
+    /// Collective (MPI_Comm_split): ranks supplying the same `color` end up
+    /// in the same new communicator, ordered by (key, old rank).
+    Communicator split(index_t color, index_t key);
+
+    /// Collective: element-wise sum of every rank's `send` into root's
+    /// `recv` (which must have the same length; ignored on non-roots —
+    /// pass an empty span there if convenient).  The sum is performed in
+    /// rank order, so results are bit-deterministic.
+    void reduce_sum(std::span<const float> send, std::span<float> recv, index_t root);
+
+    /// Collective: reduce_sum to every rank.
+    void allreduce_sum(std::span<const float> send, std::span<float> recv);
+
+    /// Collective: hierarchical two-level reduction (Sec. 4.4.2): ranks are
+    /// grouped into pseudo-nodes of `ranks_per_node` consecutive ranks;
+    /// each node reduces to its leader, then leaders reduce to `root`.
+    /// Numerically different grouping than reduce_sum but the same total.
+    void reduce_sum_hierarchical(std::span<const float> send, std::span<float> recv, index_t root,
+                                 index_t ranks_per_node);
+
+    /// Collective: copy root's `data` to every rank's `data`.
+    void bcast(std::span<float> data, index_t root);
+
+    /// Collective: root receives the concatenation of all ranks' equal-size
+    /// contributions into `recv` (size = size() * send.size()).
+    void gather(std::span<const float> send, std::span<float> recv, index_t root);
+
+    /// Collective: max over single values (used for timing aggregation).
+    double allreduce_max(double v);
+
+    // -- used by the runtime ------------------------------------------------
+    Communicator(std::shared_ptr<detail::CommState> state, index_t rank);
+
+private:
+    std::shared_ptr<detail::CommState> state_;
+    index_t rank_ = 0;
+};
+
+/// Function executed by every rank (SPMD).
+using RankFn = std::function<void(Communicator&)>;
+
+/// Launch `nranks` threads, each running `fn` with its world communicator,
+/// and join them.  The first exception thrown by any rank is rethrown
+/// after all ranks finish (a throwing rank aborts the whole team, so a
+/// rank must not throw while peers are blocked in a collective).
+void run(index_t nranks, const RankFn& fn);
+
+}  // namespace xct::minimpi

@@ -1,0 +1,253 @@
+#include "perfmodel/model.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "backproj/kernel.hpp"
+#include "filter/ramp.hpp"
+#include "sim/device.hpp"
+
+namespace xct::perfmodel {
+
+namespace {
+constexpr double kEta = sizeof(float);  // Sec. 5: eta = sizeof(float)
+constexpr double kGB = 1e9;
+
+double ceil_log2(index_t n)
+{
+    double l = 0.0;
+    index_t p = 1;
+    while (p < n) {
+        p <<= 1;
+        l += 1.0;
+    }
+    return l;
+}
+}  // namespace
+
+MachineParams MachineParams::abci_v100()
+{
+    // Calibrated against Table 5 (V100 rows) and the Sec. 5 description:
+    // NVMe-class local load, 28.5 GB/s aggregate PFS store, PCIe 3.0 x16.
+    MachineParams m;
+    m.bw_load_gbps = 2.0;
+    m.bw_store_gbps = 28.5;
+    m.th_flt_geps = 0.26;
+    m.th_bp_gups = 120.0;
+    m.th_reduce_gbps = 5.0;
+    m.bw_h2d_gbps = 5.0;
+    m.bw_d2h_gbps = 5.5;
+    return m;
+}
+
+MachineParams MachineParams::abci_a100()
+{
+    MachineParams m = abci_v100();
+    m.th_bp_gups = 155.0;  // Table 5 A100 rows
+    m.bw_h2d_gbps = 8.0;   // PCIe 4 / SMX4 host link
+    m.bw_d2h_gbps = 9.0;
+    return m;
+}
+
+std::vector<BatchTimes> batch_times(const RunConfig& cfg, const MachineParams& m)
+{
+    cfg.geometry.validate();
+    const CbctGeometry& g = cfg.geometry;
+    const GroupLayout& L = cfg.layout;
+    require(cfg.batches > 0, "batch_times: batches must be positive");
+    require(L.num_groups > 0 && L.ranks_per_group > 0, "batch_times: layout must be positive");
+
+    // Representative rank: rank 0 (group 0 root — it also stores).
+    const index_t views = L.views_of_rank(0, g.num_proj).length();
+    const Range slices = L.slices_of_group(0, g.vol.z);
+    const index_t nb = (slices.length() + cfg.batches - 1) / cfg.batches;
+    const auto plans = plan_slabs(g, slices, nb);
+
+    // The aggregate PFS bandwidth is shared by the Ng storing roots.
+    const double store_bw = m.bw_store_gbps * kGB / static_cast<double>(L.num_groups);
+    const double reduce_hops = ceil_log2(L.ranks_per_group);  // O(log Nr) tree
+
+    std::vector<BatchTimes> out;
+    out.reserve(plans.size());
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        const SlabPlan& p = plans[i];
+        const double in_elems = static_cast<double>(g.nu) * static_cast<double>(views) *
+                                static_cast<double>(i == 0 ? p.rows.length() : p.delta.length());
+        const double vol_elems = static_cast<double>(g.vol.x) * static_cast<double>(g.vol.y) *
+                                 static_cast<double>(p.slab.length());
+        BatchTimes t;
+        t.load = kEta * in_elems / (m.bw_load_gbps * kGB);             // Eq. 13
+        t.filter = in_elems / (m.th_flt_geps * kGB);
+        t.h2d = kEta * in_elems / (m.bw_h2d_gbps * kGB);
+        t.bp = vol_elems * static_cast<double>(views) / (m.th_bp_gups * kGB);  // Eq. 14
+        t.d2h = kEta * vol_elems / (m.bw_d2h_gbps * kGB);              // Eq. 15 applied
+        t.reduce = reduce_hops * kEta * vol_elems / (m.th_reduce_gbps * kGB);
+        t.store = kEta * vol_elems / store_bw;
+        out.push_back(t);
+    }
+    return out;
+}
+
+namespace {
+
+Projection aggregate(const RunConfig& cfg, std::vector<BatchTimes> batches, double runtime)
+{
+    Projection p;
+    p.batches = std::move(batches);
+    p.runtime = runtime;
+    for (const BatchTimes& t : p.batches) {
+        p.t_load += t.load;
+        p.t_filter += t.filter;
+        p.t_h2d += t.h2d;
+        p.t_bp += t.bp;
+        p.t_d2h += t.d2h;
+        p.t_reduce += t.reduce;
+        p.t_store += t.store;
+    }
+    const CbctGeometry& g = cfg.geometry;
+    p.gups = static_cast<double>(g.vol.count()) * static_cast<double>(g.num_proj) /
+             (runtime * 1e9);
+    return p;
+}
+
+}  // namespace
+
+Projection project(const RunConfig& cfg, const MachineParams& m)
+{
+    auto bt = batch_times(cfg, m);
+    // Eq. 17: batch 0 serialises; the rest overlap perfectly, so the tail
+    // costs the max over the four pipelined streams' sums.
+    const BatchTimes& b0 = bt.front();
+    double runtime = b0.cpu() + b0.gpu() + b0.reduce + b0.store;
+    double cpu = 0.0, gpu = 0.0, red = 0.0, sto = 0.0;
+    for (std::size_t i = 1; i < bt.size(); ++i) {
+        cpu += bt[i].cpu();
+        gpu += bt[i].gpu();
+        red += bt[i].reduce;
+        sto += bt[i].store;
+    }
+    runtime += std::max(std::max(cpu, gpu), std::max(red, sto));
+    return aggregate(cfg, std::move(bt), runtime);
+}
+
+namespace {
+
+/// Pipeline recurrence with bounded queues.  Returns finish[stage][item].
+std::vector<std::array<double, 5>> schedule(const std::vector<BatchTimes>& bt,
+                                            index_t queue_capacity)
+{
+    const std::size_t n = bt.size();
+    const auto service = [&](std::size_t s, std::size_t i) -> double {
+        const BatchTimes& t = bt[i];
+        switch (s) {
+            case 0: return t.load;
+            case 1: return t.filter;
+            case 2: return t.h2d + t.bp + t.d2h;  // the BP thread owns transfers
+            case 3: return t.reduce;
+            default: return t.store;
+        }
+    };
+    std::vector<std::array<double, 5>> start(n), finish(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t s = 0; s < 5; ++s) {
+            double t0 = 0.0;
+            if (i > 0) t0 = std::max(t0, finish[i - 1][s]);       // stage busy
+            if (s > 0) t0 = std::max(t0, finish[i][s - 1]);       // upstream data
+            if (s < 4 && static_cast<index_t>(i) >= queue_capacity)
+                t0 = std::max(t0, start[i - static_cast<std::size_t>(queue_capacity)][s + 1]);
+            start[i][s] = t0;
+            finish[i][s] = t0 + service(s, i);
+        }
+    return finish;
+}
+
+}  // namespace
+
+Projection simulate(const RunConfig& cfg, const MachineParams& m, index_t queue_capacity)
+{
+    require(queue_capacity > 0, "simulate: queue capacity must be positive");
+    auto bt = batch_times(cfg, m);
+    const auto finish = schedule(bt, queue_capacity);
+    const double runtime = finish.back()[4];
+    return aggregate(cfg, std::move(bt), runtime);
+}
+
+std::vector<SimSpan> simulate_spans(const RunConfig& cfg, const MachineParams& m,
+                                    index_t queue_capacity)
+{
+    require(queue_capacity > 0, "simulate_spans: queue capacity must be positive");
+    const auto bt = batch_times(cfg, m);
+    const auto finish = schedule(bt, queue_capacity);
+    static const char* names[5] = {"load", "filter", "bp", "mpi", "store"};
+    std::vector<SimSpan> spans;
+    for (std::size_t i = 0; i < bt.size(); ++i)
+        for (std::size_t s = 0; s < 5; ++s) {
+            const double dur = [&] {
+                switch (s) {
+                    case 0: return bt[i].load;
+                    case 1: return bt[i].filter;
+                    case 2: return bt[i].h2d + bt[i].bp + bt[i].d2h;
+                    case 3: return bt[i].reduce;
+                    default: return bt[i].store;
+                }
+            }();
+            spans.push_back(SimSpan{names[s], static_cast<index_t>(i), finish[i][s] - dur,
+                                    finish[i][s]});
+        }
+    return spans;
+}
+
+MachineParams measure_local(const MachineParams& base)
+{
+    MachineParams m = base;
+    using clock = std::chrono::steady_clock;
+
+    // Back-projection throughput: time the streaming kernel on a small
+    // problem (updates/s).
+    {
+        CbctGeometry g;
+        g.dso = 100.0;
+        g.dsd = 250.0;
+        g.num_proj = 32;
+        g.nu = 64;
+        g.nv = 64;
+        g.du = g.dv = 0.4;
+        g.vol = {48, 48, 16};
+        g.dx = g.dy = g.dz = CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, g.vol.x);
+        const auto mats = projection_matrices(g);
+        sim::Device dev(64u << 20);
+        sim::Texture3 tex(dev, g.nu, g.num_proj, g.nv);
+        std::vector<float> plane(static_cast<std::size_t>(g.nu * g.num_proj), 0.5f);
+        for (index_t v = 0; v < g.nv; ++v) tex.copy_planes(plane, v, 1);
+        Volume slab(g.vol);
+        const auto t0 = clock::now();
+        backproj::backproject_streaming(tex, mats, slab, backproj::StreamOffsets{0, 0}, g.nu,
+                                        g.nv);
+        const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+        const double updates = static_cast<double>(g.vol.count()) * static_cast<double>(g.num_proj);
+        m.th_bp_gups = updates / dt / 1e9;
+    }
+
+    // Filtering throughput (elements/s).
+    {
+        CbctGeometry g;
+        g.dso = 100.0;
+        g.dsd = 250.0;
+        g.num_proj = 64;
+        g.nu = 512;
+        g.nv = 64;
+        g.du = g.dv = 0.2;
+        g.vol = {64, 64, 64};
+        g.dx = g.dy = g.dz = 0.1;
+        const filter::FilterEngine eng(g);
+        ProjectionStack stack(8, g.nv, g.nu, 1.0f);
+        const auto t0 = clock::now();
+        eng.apply(stack);
+        const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+        m.th_flt_geps = static_cast<double>(stack.count()) / dt / 1e9;
+    }
+    return m;
+}
+
+}  // namespace xct::perfmodel

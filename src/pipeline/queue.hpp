@@ -1,0 +1,70 @@
+#pragma once
+// Bounded FIFO hand-over queues between pipeline stages (the Queue0..3 of
+// Fig. 9).  Blocking push/pop with close() for end-of-stream; a closed,
+// drained queue returns std::nullopt from pop().
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/types.hpp"
+
+namespace xct::pipeline {
+
+template <typename T>
+class BoundedQueue {
+public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        require(capacity > 0, "BoundedQueue: capacity must be positive");
+    }
+
+    /// Blocks while the queue is full.  Pushing to a closed queue throws.
+    void push(T item)
+    {
+        std::unique_lock lk(m_);
+        cv_space_.wait(lk, [&] { return items_.size() < capacity_ || closed_; });
+        require(!closed_, "BoundedQueue: push after close");
+        items_.push_back(std::move(item));
+        cv_items_.notify_one();
+    }
+
+    /// Blocks until an item is available or the queue is closed and empty.
+    std::optional<T> pop()
+    {
+        std::unique_lock lk(m_);
+        cv_items_.wait(lk, [&] { return !items_.empty() || closed_; });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        cv_space_.notify_one();
+        return item;
+    }
+
+    /// Signal end-of-stream: consumers drain the remaining items and then
+    /// receive std::nullopt.
+    void close()
+    {
+        std::lock_guard lk(m_);
+        closed_ = true;
+        cv_items_.notify_all();
+        cv_space_.notify_all();
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard lk(m_);
+        return items_.size();
+    }
+
+private:
+    std::size_t capacity_;
+    mutable std::mutex m_;
+    std::condition_variable cv_items_;
+    std::condition_variable cv_space_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace xct::pipeline

@@ -1,0 +1,99 @@
+#include "pipeline/timeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace xct::pipeline {
+
+double now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+Timeline::Timeline() : epoch_(now_seconds()) {}
+
+double Timeline::elapsed() const
+{
+    return now_seconds() - epoch_;
+}
+
+void Timeline::record(std::string stage, index_t item, double begin, double end)
+{
+    std::lock_guard lk(m_);
+    spans_.push_back(StageSpan{std::move(stage), item, begin, end});
+}
+
+std::vector<StageSpan> Timeline::spans() const
+{
+    std::lock_guard lk(m_);
+    return spans_;
+}
+
+double Timeline::stage_busy(const std::string& stage) const
+{
+    std::lock_guard lk(m_);
+    double total = 0.0;
+    for (const auto& s : spans_)
+        if (s.stage == stage) total += s.end - s.begin;
+    return total;
+}
+
+double Timeline::makespan() const
+{
+    std::lock_guard lk(m_);
+    double m = 0.0;
+    for (const auto& s : spans_) m = std::max(m, s.end);
+    return m;
+}
+
+std::string Timeline::render(index_t width) const
+{
+    const auto all = spans();
+    if (all.empty()) return "(empty timeline)\n";
+    double span_end = 0.0;
+    for (const auto& s : all) span_end = std::max(span_end, s.end);
+    if (span_end <= 0.0) span_end = 1e-9;
+
+    // Stable stage order: first appearance.
+    std::vector<std::string> order;
+    for (const auto& s : all)
+        if (std::find(order.begin(), order.end(), s.stage) == order.end()) order.push_back(s.stage);
+
+    std::size_t label_w = 0;
+    for (const auto& n : order) label_w = std::max(label_w, n.size());
+
+    std::ostringstream out;
+    for (const auto& name : order) {
+        std::string row(static_cast<std::size_t>(width), '.');
+        for (const auto& s : all) {
+            if (s.stage != name) continue;
+            auto col = [&](double t) {
+                return std::clamp<index_t>(
+                    static_cast<index_t>(std::floor(t / span_end * static_cast<double>(width))), 0,
+                    width - 1);
+            };
+            for (index_t c = col(s.begin); c <= col(s.end); ++c)
+                row[static_cast<std::size_t>(c)] = '#';
+        }
+        out << name << std::string(label_w - name.size(), ' ') << " |" << row << "|\n";
+    }
+    out << std::string(label_w, ' ') << " 0" << std::string(static_cast<std::size_t>(width) - 1, ' ')
+        << span_end << "s\n";
+    return out.str();
+}
+
+double Timeline::overlap_factor() const
+{
+    const double mk = makespan();
+    if (mk <= 0.0) return 0.0;
+    std::lock_guard lk(m_);
+    double busy = 0.0;
+    for (const auto& s : spans_) busy += s.end - s.begin;
+    return busy / mk;
+}
+
+}  // namespace xct::pipeline

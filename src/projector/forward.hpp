@@ -1,0 +1,26 @@
+#pragma once
+// Numeric cone-beam forward projector (ray marching with trilinear
+// sampling).  The FDK path never needs it — projections come from the
+// analytic phantom — but the iterative baseline (SIRT, Table 2's IR class)
+// and round-trip tests do.
+
+#include "core/geometry.hpp"
+#include "core/volume.hpp"
+
+namespace xct::projector {
+
+/// Forward-project `vol` (laid out on the reconstruction grid of `g`)
+/// into a stack covering the given views and detector-row band.
+/// `step_mm` is the marching step; <= half the smallest voxel pitch gives
+/// results accurate to a fraction of a percent.
+ProjectionStack forward_project(const Volume& vol, const CbctGeometry& g, Range views, Range band,
+                                double step_mm);
+
+/// Full-detector, all-views overload with step = min pitch / 2.
+ProjectionStack forward_project(const Volume& vol, const CbctGeometry& g);
+
+/// Trilinear sample of a volume at fractional voxel coordinates; zero
+/// outside the grid.
+float sample_trilinear(const Volume& vol, double i, double j, double k);
+
+}  // namespace xct::projector

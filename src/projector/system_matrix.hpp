@@ -1,0 +1,58 @@
+#pragma once
+// Explicit sparse system-matrix view of the back-projection operator.
+//
+// Sec. 4.3.1 frames forward/back-projection as SpMV with a huge sparse
+// system matrix (A x and A^T y; size O(N^5) [Balke et al.]), which is why
+// Tensor Cores are a poor fit and matrix-free kernels win.  This module
+// materialises that matrix for *small* problems:
+//
+//   I = B p,  B[(i,j,k), (s,v,u)] = (1/z^2) * bilinear weight
+//
+// i.e. exactly the Algorithm-1 operator, row per voxel, CSR storage.
+// Uses: MBIR-class algorithms that need explicit matrices, adjoint
+// (<B p, x> = <p, B^T x>) validation of the kernels, and measuring the
+// O(N^5) nonzero growth the paper cites.
+
+#include <span>
+
+#include "core/geometry.hpp"
+#include "core/volume.hpp"
+
+namespace xct::projector {
+
+/// CSR sparse operator (float values, 64-bit indices).
+class SparseOp {
+public:
+    SparseOp(index_t rows, index_t cols) : rows_(rows), cols_(cols), row_ptr_(1, 0)
+    {
+        require(rows > 0 && cols > 0, "SparseOp: extents must be positive");
+        row_ptr_.reserve(static_cast<std::size_t>(rows) + 1);
+    }
+
+    index_t rows() const { return rows_; }
+    index_t cols() const { return cols_; }
+    index_t nnz() const { return static_cast<index_t>(val_.size()); }
+
+    /// Append the next row's entries (rows must be appended in order).
+    void append_row(std::span<const index_t> cols, std::span<const float> vals);
+
+    /// y = B x  (x has cols() entries).
+    std::vector<float> apply(std::span<const float> x) const;
+
+    /// y = B^T x  (x has rows() entries).
+    std::vector<float> apply_transpose(std::span<const float> x) const;
+
+private:
+    index_t rows_, cols_;
+    std::vector<index_t> row_ptr_;
+    std::vector<index_t> col_;
+    std::vector<float> val_;
+};
+
+/// Build the explicit back-projection matrix of geometry `g`: rows indexed
+/// by voxel (k*Ny + j)*Nx + i, columns by projection sample
+/// (s*Nv + v)*Nu + u.  Memory grows as ~4 * Nx*Ny*Nz*Np nonzeros — only
+/// build for small problems (require()d below 2^28 nnz).
+SparseOp build_backprojection_matrix(const CbctGeometry& g);
+
+}  // namespace xct::projector

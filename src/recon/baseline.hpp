@@ -1,0 +1,48 @@
+#pragma once
+// Prior-work decomposition baselines (Table 2), implemented honestly so
+// their capability limits and redundant traffic can be *measured* rather
+// than asserted:
+//
+//   * iFDK-style [Chen et al. '19]: the Np dimension only is decomposed;
+//     every rank back-projects the FULL volume for its view share, so the
+//     whole volume must fit each device (output-size wall), and combining
+//     results moves Nr full volumes (O(N) communication);
+//   * Lu-style [Lu et al. '16]: single-device out-of-core by volume
+//     chunks, but every chunk re-uploads the complete projection set —
+//     host-to-device traffic grows linearly with the number of chunks.
+//
+// Both produce numerically verifiable volumes (same kernels, same
+// geometry) — the tests check them against the reference back-projection.
+
+#include <span>
+
+#include "core/geometry.hpp"
+#include "core/volume.hpp"
+#include "sim/device.hpp"
+
+namespace xct::recon {
+
+struct BaselineStats {
+    std::uint64_t h2d_bytes = 0;      ///< total host->device traffic
+    std::uint64_t comm_bytes = 0;     ///< inter-rank volume traffic (iFDK)
+    std::uint64_t device_peak = 0;    ///< peak device memory used [bytes]
+    index_t redundancy = 1;           ///< how many times a projection moved H2D
+};
+
+/// iFDK-style run with `nr` ranks (simulated sequentially, one device
+/// each of `device_capacity` bytes).  Returns the combined volume in
+/// `out`.  Throws sim::DeviceOutOfMemory when the full volume does not
+/// fit one device — the baseline's defining limit.
+BaselineStats backproject_ifdk_style(const ProjectionStack& filtered, std::span<const Mat34> mats,
+                                     const CbctGeometry& g, Volume& out, index_t nr,
+                                     std::size_t device_capacity);
+
+/// Lu-style out-of-core run on one device: the volume is processed in
+/// chunks of `chunk_slices`; each chunk re-uploads every projection, in
+/// view batches of `batch_views` full frames (the 2D-layered-texture
+/// batching of the original).
+BaselineStats backproject_lu_style(const ProjectionStack& filtered, std::span<const Mat34> mats,
+                                   const CbctGeometry& g, Volume& out, index_t chunk_slices,
+                                   std::size_t device_capacity, index_t batch_views = 0);
+
+}  // namespace xct::recon

@@ -1,0 +1,81 @@
+#include "recon/distributed.hpp"
+
+#include <mutex>
+
+#include "pipeline/timeline.hpp"
+
+namespace xct::recon {
+
+DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
+                                          const SourceFactory& make_source, io::Pfs* pfs)
+{
+    cfg.geometry.validate();
+    require(cfg.layout.num_groups > 0 && cfg.layout.ranks_per_group > 0,
+            "reconstruct_distributed: layout must be positive");
+    require(cfg.layout.num_groups <= cfg.geometry.vol.z,
+            "reconstruct_distributed: more groups than output slices");
+    require(cfg.layout.ranks_per_group <= cfg.geometry.num_proj,
+            "reconstruct_distributed: more ranks per group than views");
+
+    const index_t nranks = cfg.layout.nranks();
+    DistributedResult result{Volume(cfg.geometry.vol), std::vector<RankStats>(
+                                                           static_cast<std::size_t>(nranks)),
+                             0.0};
+    std::mutex pfs_mutex;  // Pfs accounting is not thread-safe; serialise roots
+
+    const double t0 = pipeline::now_seconds();
+    minimpi::run(nranks, [&](minimpi::Communicator& world) {
+        const index_t rank = world.rank();
+        const index_t group = cfg.layout.group_of(rank);
+        minimpi::Communicator gcomm = world.split(group, cfg.layout.rank_in_group(rank));
+
+        RankConfig rc;
+        rc.geometry = cfg.geometry;
+        rc.views = cfg.layout.views_of_rank(rank, cfg.geometry.num_proj);
+        rc.slices = cfg.layout.slices_of_group(group, cfg.geometry.vol.z);
+        rc.batches = cfg.batches;
+        rc.window = cfg.window;
+        rc.device_capacity = cfg.device_capacity;
+        rc.h2d_gbps = cfg.h2d_gbps;
+        rc.d2h_gbps = cfg.d2h_gbps;
+        rc.threaded = cfg.threaded;
+        rc.beer = cfg.beer;
+
+        const bool is_root = gcomm.rank() == 0;
+        std::vector<float> recv;
+
+        auto reduce = [&](Volume& slab, const SlabPlan&) {
+            // Segmented reduction: only this group's communicator takes
+            // part (Fig. 8).  Roots receive the sum in place.
+            if (is_root) recv.resize(static_cast<std::size_t>(slab.count()));
+            if (cfg.ranks_per_node > 0)
+                gcomm.reduce_sum_hierarchical(slab.span(), recv, 0, cfg.ranks_per_node);
+            else
+                gcomm.reduce_sum(slab.span(), recv, 0);
+            if (is_root) std::copy(recv.begin(), recv.end(), slab.span().begin());
+            return is_root;
+        };
+
+        auto store = [&](const Volume& slab, const SlabPlan& plan) {
+            for (index_t k = 0; k < plan.slab.length(); ++k) {
+                const auto src = slab.slice(k);
+                const auto dst = result.volume.slice(plan.slab.lo + k);
+                std::copy(src.begin(), src.end(), dst.begin());
+            }
+            if (pfs != nullptr) {
+                std::lock_guard lk(pfs_mutex);
+                pfs->store_volume("slab_" + std::to_string(plan.slab.lo) + "_" +
+                                      std::to_string(plan.slab.hi) + ".xvol",
+                                  slab);
+            }
+        };
+
+        auto source = make_source(rank);
+        require(source != nullptr, "reconstruct_distributed: source factory returned null");
+        result.ranks[static_cast<std::size_t>(rank)] = run_rank(rc, *source, reduce, store);
+    });
+    result.wall_seconds = pipeline::now_seconds() - t0;
+    return result;
+}
+
+}  // namespace xct::recon

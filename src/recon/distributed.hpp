@@ -1,0 +1,48 @@
+#pragma once
+// The distributed FBP framework (Sec. 4.4): Ng groups of Nr ranks, the Np
+// dimension split within each group, one segmented reduction per slab, and
+// the end-to-end per-rank pipeline of Fig. 9 on every rank.
+//
+// Ranks run as minimpi threads; each owns a simulated device (one GPU per
+// rank, Eq. 11) and its own projection source.  Group g reconstructs the
+// slice range slices_of_group(g); within the group every rank
+// back-projects its view share into the same slabs, which are then summed
+// to the group root with a *segmented* reduce — per-group communicators
+// from MPI_Comm_split, exactly the communication structure that replaces
+// the two global collectives of prior work with one O(log Nr) reduction.
+
+#include <optional>
+
+#include "io/pfs.hpp"
+#include "minimpi/comm.hpp"
+#include "recon/rank_pipeline.hpp"
+
+namespace xct::recon {
+
+struct DistributedConfig {
+    CbctGeometry geometry;
+    GroupLayout layout;  ///< Ng groups x Nr ranks
+    index_t batches = 8;
+    filter::Window window = filter::Window::RamLak;
+    std::size_t device_capacity = 512u << 20;
+    double h2d_gbps = 12.0;
+    double d2h_gbps = 12.0;
+    bool threaded = true;
+    std::optional<BeerLawScalar> beer;
+    /// Hierarchical reduction: ranks per pseudo-node (0 = flat reduce).
+    index_t ranks_per_node = 0;
+};
+
+struct DistributedResult {
+    Volume volume;                 ///< assembled full reconstruction
+    std::vector<RankStats> ranks;  ///< per-rank pipeline statistics
+    double wall_seconds = 0.0;     ///< end-to-end wall time (max over ranks)
+};
+
+/// Run the distributed reconstruction.  `make_source` builds each rank's
+/// projection source; when `pfs` is non-null every group root additionally
+/// stores its reduced slabs there (bandwidth-accounted), one file per slab.
+DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
+                                          const SourceFactory& make_source, io::Pfs* pfs = nullptr);
+
+}  // namespace xct::recon

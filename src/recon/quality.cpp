@@ -1,0 +1,70 @@
+#include "recon/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace xct::recon {
+
+double psnr(const Volume& a, const Volume& b)
+{
+    require(a.size() == b.size(), "psnr: volume size mismatch");
+    double mse = 0.0;
+    float lo = b.span()[0], hi = b.span()[0];
+    for (index_t i = 0; i < a.count(); ++i) {
+        const std::size_t ii = static_cast<std::size_t>(i);
+        const double d = static_cast<double>(a.span()[ii]) - static_cast<double>(b.span()[ii]);
+        mse += d * d;
+        lo = std::min(lo, b.span()[ii]);
+        hi = std::max(hi, b.span()[ii]);
+    }
+    mse /= static_cast<double>(a.count());
+    if (mse == 0.0) return std::numeric_limits<double>::infinity();
+    const double peak = static_cast<double>(hi - lo);
+    require(peak > 0.0, "psnr: reference volume is constant");
+    return 10.0 * std::log10(peak * peak / mse);
+}
+
+RegionStats region_stats(const Volume& v, double ci, double cj, double ck, double radius_vox)
+{
+    require(radius_vox > 0.0, "region_stats: radius must be positive");
+    const Dim3 d = v.size();
+    RegionStats r;
+    double sum = 0.0, sum2 = 0.0;
+    const double r2 = radius_vox * radius_vox;
+    for (index_t k = 0; k < d.z; ++k)
+        for (index_t j = 0; j < d.y; ++j)
+            for (index_t i = 0; i < d.x; ++i) {
+                const double dx = static_cast<double>(i) - ci;
+                const double dy = static_cast<double>(j) - cj;
+                const double dz = static_cast<double>(k) - ck;
+                if (dx * dx + dy * dy + dz * dz > r2) continue;
+                const double val = v.at(i, j, k);
+                sum += val;
+                sum2 += val * val;
+                ++r.count;
+            }
+    require(r.count > 0, "region_stats: region contains no voxels");
+    r.mean = sum / static_cast<double>(r.count);
+    const double var = std::max(0.0, sum2 / static_cast<double>(r.count) - r.mean * r.mean);
+    r.stddev = std::sqrt(var);
+    return r;
+}
+
+double cnr(const RegionStats& feature, const RegionStats& background)
+{
+    const double noise =
+        std::sqrt((feature.stddev * feature.stddev + background.stddev * background.stddev) / 2.0);
+    require(noise > 0.0, "cnr: zero noise in both regions");
+    return std::abs(feature.mean - background.mean) / noise;
+}
+
+std::vector<float> profile_x(const Volume& v, index_t j, index_t k)
+{
+    require(j >= 0 && j < v.size().y && k >= 0 && k < v.size().z, "profile_x: (j, k) out of range");
+    std::vector<float> out(static_cast<std::size_t>(v.size().x));
+    for (index_t i = 0; i < v.size().x; ++i) out[static_cast<std::size_t>(i)] = v.at(i, j, k);
+    return out;
+}
+
+}  // namespace xct::recon

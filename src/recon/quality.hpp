@@ -1,0 +1,33 @@
+#pragma once
+// Image-quality metrics for reconstructed volumes — the quantities CT
+// papers (including this one, Sec. 6.1) report when assessing
+// reconstructions: PSNR against a reference, region statistics, and
+// contrast-to-noise ratio between two regions.
+
+#include "core/volume.hpp"
+
+namespace xct::recon {
+
+/// Peak signal-to-noise ratio [dB] of `a` against reference `b`, with the
+/// peak taken as the reference's value range (max - min).  Identical
+/// volumes return +infinity.
+double psnr(const Volume& a, const Volume& b);
+
+/// Mean and standard deviation of the voxels inside a sphere of
+/// `radius_vox` voxels around centre (ci, cj, ck) (voxel coordinates).
+struct RegionStats {
+    double mean = 0.0;
+    double stddev = 0.0;
+    index_t count = 0;
+};
+RegionStats region_stats(const Volume& v, double ci, double cj, double ck, double radius_vox);
+
+/// Contrast-to-noise ratio between a feature region and a background
+/// region: |mean_f - mean_b| / sqrt((var_f + var_b)/2).
+double cnr(const RegionStats& feature, const RegionStats& background);
+
+/// The values along an axis-aligned X line at (j, k) — for edge/profile
+/// plots.
+std::vector<float> profile_x(const Volume& v, index_t j, index_t k);
+
+}  // namespace xct::recon

@@ -1,0 +1,254 @@
+#include "recon/rank_pipeline.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "backproj/kernel.hpp"
+#include "filter/parker.hpp"
+#include "pipeline/queue.hpp"
+
+namespace xct::recon {
+namespace {
+
+struct LoadItem {
+    index_t idx = 0;
+    SlabPlan plan;
+    std::optional<ProjectionStack> delta;  ///< absent when fully cached (Eq. 6 empty)
+};
+
+struct VolItem {
+    index_t idx = 0;
+    SlabPlan plan;
+    Volume slab;
+};
+
+/// The back-projection stage state: simulated device, circular texture and
+/// the Algorithm-3 upload bookkeeping.
+class BpStage {
+public:
+    BpStage(const RankConfig& cfg, index_t h, index_t origin, index_t max_slab)
+        : cfg_(cfg), origin_(origin),
+          device_(cfg.device_capacity, cfg.h2d_gbps, cfg.d2h_gbps),
+          tex_(device_, cfg.geometry.nu, cfg.views.length(), h),
+          slab_dev_(device_, cfg.geometry.vol.x * cfg.geometry.vol.y * max_slab),
+          mats_all_(projection_matrices(cfg.geometry))
+    {
+    }
+
+    /// Upload a differential row band and back-project one slab.
+    Volume process(const LoadItem& item, pipeline::Timeline& tl)
+    {
+        if (item.delta) upload_delta(*item.delta);
+
+        Volume slab(Dim3{cfg_.geometry.vol.x, cfg_.geometry.vol.y, item.plan.slab.length()});
+        {
+            pipeline::ScopedSpan span(tl, "bp", item.idx);
+            const std::span<const Mat34> mats(mats_all_.data() + cfg_.views.lo,
+                                              static_cast<std::size_t>(cfg_.views.length()));
+            backproj::backproject_streaming(
+                tex_, mats, slab, backproj::StreamOffsets{item.plan.slab.lo, origin_},
+                cfg_.geometry.nu, cfg_.geometry.nv);
+        }
+        // Model the sub-volume device->host move (the kernel conceptually
+        // filled slab_dev_; Table 5's T_D2H).
+        device_.account_d2h(static_cast<std::size_t>(slab.count()) * sizeof(float));
+        return slab;
+    }
+
+    const sim::Device& device() const { return device_; }
+
+private:
+    /// Algorithm 3: copy the band into circular depth positions, splitting
+    /// runs that would wrap (lines 10-15).
+    void upload_delta(const ProjectionStack& delta)
+    {
+        const index_t views = delta.views();
+        const index_t nu = delta.cols();
+        const index_t h = tex_.depth();
+        index_t v = delta.row_begin();
+        const index_t v_end = v + delta.rows();
+        std::vector<float> buf;
+        while (v < v_end) {
+            index_t depth = (v - origin_) % h;
+            if (depth < 0) depth += h;
+            const index_t run = std::min(v_end - v, h - depth);
+            buf.resize(static_cast<std::size_t>(run * views * nu));
+            for (index_t r = 0; r < run; ++r)
+                for (index_t s = 0; s < views; ++s) {
+                    const auto row = delta.row(s, v + r);
+                    std::copy(row.begin(), row.end(),
+                              buf.begin() + static_cast<std::ptrdiff_t>((r * views + s) * nu));
+                }
+            tex_.copy_planes(std::span<const float>(buf.data(),
+                                                    static_cast<std::size_t>(run * views * nu)),
+                             depth, run);
+            v += run;
+        }
+    }
+
+    const RankConfig& cfg_;
+    index_t origin_;
+    sim::Device device_;
+    sim::Texture3 tex_;
+    sim::DeviceBuffer slab_dev_;  ///< models the device-resident sub-volume
+    std::vector<Mat34> mats_all_;
+};
+
+void filter_item(const RankConfig& cfg, const filter::FilterEngine& engine,
+                 const filter::ParkerWeights* parker, bool counts, LoadItem& item)
+{
+    if (!item.delta) return;
+    if (counts) {
+        require(cfg.beer.has_value(),
+                "run_rank: source emits raw counts but no Beer-law calibration configured");
+        beer_law(*item.delta, *cfg.beer);
+    }
+    if (parker != nullptr) parker->apply(*item.delta);
+    engine.apply(*item.delta);
+}
+
+}  // namespace
+
+RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reducer& reduce,
+                   const Storer& store)
+{
+    cfg.geometry.validate();
+    require(!cfg.views.empty() && cfg.views.lo >= 0 && cfg.views.hi <= cfg.geometry.num_proj,
+            "run_rank: views out of range");
+    require(!cfg.slices.empty() && cfg.slices.lo >= 0 && cfg.slices.hi <= cfg.geometry.vol.z,
+            "run_rank: slices out of range");
+    require(cfg.batches > 0, "run_rank: batches must be positive");
+
+    // Eq. 12: Nb = ceil(Ns / Nc).
+    const index_t nb = (cfg.slices.length() + cfg.batches - 1) / cfg.batches;
+    const auto plans = plan_slabs(cfg.geometry, cfg.slices, nb);
+
+    index_t h = 1;
+    index_t max_slab = 1;
+    for (const auto& p : plans) {
+        h = std::max(h, p.rows.length());
+        max_slab = std::max(max_slab, p.slab.length());
+    }
+    const index_t origin = plans.front().rows.lo;
+
+    pipeline::Timeline tl;
+    BpStage bp(cfg, h, origin, max_slab);
+    const filter::FilterEngine engine(cfg.geometry, cfg.window);
+    // Short scans need Parker redundancy weighting of this rank's views.
+    std::optional<filter::ParkerWeights> parker;
+    if (cfg.geometry.short_scan()) parker.emplace(cfg.geometry, cfg.views);
+    const bool counts = source.raw_counts();
+
+    RankStats stats;
+
+    auto load_one = [&](index_t idx) {
+        pipeline::ScopedSpan span(tl, "load", idx);
+        LoadItem item{idx, plans[static_cast<std::size_t>(idx)], std::nullopt};
+        if (!item.plan.delta.empty())
+            item.delta = source.load(cfg.views, item.plan.delta);
+        return item;
+    };
+    auto reduce_one = [&](VolItem& v) {
+        pipeline::ScopedSpan span(tl, "mpi", v.idx);
+        return reduce(v.slab, v.plan);
+    };
+    auto store_one = [&](const VolItem& v) {
+        pipeline::ScopedSpan span(tl, "store", v.idx);
+        store(v.slab, v.plan);
+    };
+
+    if (!cfg.threaded) {
+        for (index_t i = 0; i < static_cast<index_t>(plans.size()); ++i) {
+            LoadItem item = load_one(i);
+            {
+                pipeline::ScopedSpan span(tl, "filter", i);
+                filter_item(cfg, engine, parker ? &*parker : nullptr, counts, item);
+            }
+            VolItem v{i, item.plan, bp.process(item, tl)};
+            if (reduce_one(v)) store_one(v);
+        }
+    } else {
+        pipeline::BoundedQueue<LoadItem> q0(2), q1(2);
+        pipeline::BoundedQueue<VolItem> q2(2), q3(2);
+
+        std::mutex em;
+        std::exception_ptr first;
+        auto guard = [&](auto&& body) {
+            try {
+                body();
+            } catch (...) {
+                std::lock_guard lk(em);
+                if (!first) first = std::current_exception();
+                q0.close();
+                q1.close();
+                q2.close();
+                q3.close();
+            }
+        };
+
+        std::thread t_load([&] {
+            guard([&] {
+                for (index_t i = 0; i < static_cast<index_t>(plans.size()); ++i) q0.push(load_one(i));
+                q0.close();
+            });
+        });
+        std::thread t_filter([&] {
+            guard([&] {
+                while (auto item = q0.pop()) {
+                    {
+                        pipeline::ScopedSpan span(tl, "filter", item->idx);
+                        filter_item(cfg, engine, parker ? &*parker : nullptr, counts, *item);
+                    }
+                    q1.push(std::move(*item));
+                }
+                q1.close();
+            });
+        });
+        std::thread t_bp([&] {
+            guard([&] {
+                while (auto item = q1.pop()) {
+                    VolItem v{item->idx, item->plan, bp.process(*item, tl)};
+                    q2.push(std::move(v));
+                }
+                q2.close();
+            });
+        });
+        // The reduce stage runs on the caller's thread — the "MPI thread"
+        // of Fig. 9 is the main thread in the paper, and minimpi
+        // collectives must be called from the rank's own thread.
+        std::thread t_store([&] {
+            guard([&] {
+                while (auto v = q3.pop()) store_one(*v);
+            });
+        });
+
+        guard([&] {
+            while (auto v = q2.pop()) {
+                if (reduce_one(*v))
+                    q3.push(std::move(*v));
+            }
+            q3.close();
+        });
+
+        t_load.join();
+        t_filter.join();
+        t_bp.join();
+        t_store.join();
+        if (first) std::rethrow_exception(first);
+    }
+
+    stats.t_load = tl.stage_busy("load");
+    stats.t_filter = tl.stage_busy("filter");
+    stats.t_bp = tl.stage_busy("bp");
+    stats.t_reduce = tl.stage_busy("mpi");
+    stats.t_store = tl.stage_busy("store");
+    stats.wall = tl.makespan();
+    stats.h2d = bp.device().h2d_stats();
+    stats.d2h = bp.device().d2h_stats();
+    stats.spans = tl.spans();
+    return stats;
+}
+
+}  // namespace xct::recon

@@ -1,0 +1,77 @@
+#pragma once
+// One rank's end-to-end reconstruction pipeline (Fig. 9):
+//
+//   load -> filter -> back-projection -> reduce -> store
+//
+// Five std::threads connected by four bounded FIFO queues; the MPI/reduce
+// and store stages are injected as callables so the same pipeline serves
+// the single-node out-of-core reconstructor (identity reducer) and the
+// distributed framework (segmented minimpi reduction, PFS store).
+//
+// The back-projection stage owns the simulated device and implements
+// Algorithm 3: a circular texture of H detector rows; each batch uploads
+// only its *differential* rows (Eq. 6), splitting copies that wrap.
+
+#include <functional>
+#include <optional>
+
+#include "core/decompose.hpp"
+#include "core/geometry.hpp"
+#include "core/preprocess.hpp"
+#include "core/volume.hpp"
+#include "filter/ramp.hpp"
+#include "pipeline/timeline.hpp"
+#include "recon/source.hpp"
+#include "sim/device.hpp"
+
+namespace xct::recon {
+
+/// Configuration of one rank's pipeline.
+struct RankConfig {
+    CbctGeometry geometry;                       ///< full problem geometry
+    Range views{};                               ///< this rank's view share (Np split)
+    Range slices{};                              ///< this rank's group slice range
+    index_t batches = 8;                         ///< Nc (the paper fixes 8, Sec. 4.4.1)
+    filter::Window window = filter::Window::RamLak;
+    std::size_t device_capacity = 512u << 20;    ///< per-rank device budget [bytes]
+    double h2d_gbps = 12.0;                      ///< PCIe model for T_H2D
+    double d2h_gbps = 12.0;                      ///< PCIe model for T_D2H
+    bool threaded = true;                        ///< 5-thread pipeline vs in-order execution
+    std::optional<BeerLawScalar> beer;           ///< Eq. 1 calibration when source emits counts
+};
+
+/// Measured per-rank statistics (stage busy times follow Table 5's
+/// columns; transfer stats come from the simulated device).
+struct RankStats {
+    double t_load = 0.0;
+    double t_filter = 0.0;
+    double t_bp = 0.0;      ///< kernel time only (T_bp)
+    double t_reduce = 0.0;  ///< reducer callable time (T_reduce)
+    double t_store = 0.0;
+    double wall = 0.0;      ///< pipeline makespan
+    sim::LinkStats h2d{};
+    sim::LinkStats d2h{};
+    std::vector<pipeline::StageSpan> spans;  ///< full Fig. 10 timeline
+};
+
+/// Reducer invoked once per slab, in slab order, on the back-projected
+/// partial sub-volume.  Returns true when this rank ends up holding the
+/// reduced result (group root) — only then is the store stage invoked.
+using Reducer = std::function<bool(Volume& slab, const SlabPlan& plan)>;
+
+/// Store callable (group roots only): persist the reduced slab.
+using Storer = std::function<void(const Volume& slab, const SlabPlan& plan)>;
+
+/// Run one rank's reconstruction.  Throws sim::DeviceOutOfMemory when the
+/// configured texture does not fit the device budget, std::invalid_argument
+/// on inconsistent configuration.
+RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reducer& reduce,
+                   const Storer& store);
+
+/// Identity reducer for single-rank use.
+inline bool identity_reducer(Volume&, const SlabPlan&)
+{
+    return true;
+}
+
+}  // namespace xct::recon

@@ -1,0 +1,75 @@
+// Tests of the tools' command-line parser (success paths; --help and
+// error paths terminate the process by design and are exercised by the
+// tools_* integration tests).
+#include <gtest/gtest.h>
+
+#include "cli.hpp"
+
+namespace xct::cli {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& args)
+{
+    std::vector<char*> out;
+    out.reserve(args.size());
+    for (auto& a : args) out.push_back(a.data());
+    return out;
+}
+
+TEST(Cli, DefaultsApplyWhenUnset)
+{
+    Args args;
+    args.option("size", "42", "a size").flag("fast", "go fast");
+    std::vector<std::string> v{"prog"};
+    auto a = argv_of(v);
+    args.parse(static_cast<int>(a.size()), a.data(), "test");
+    EXPECT_EQ(args.get("size"), "42");
+    EXPECT_EQ(args.get_int("size"), 42);
+    EXPECT_FALSE(args.get_flag("fast"));
+}
+
+TEST(Cli, ParsesOptionsAndFlags)
+{
+    Args args;
+    args.option("size", "1", "a size").option("name", "", "a name").flag("fast", "go fast");
+    std::vector<std::string> v{"prog", "--size", "7", "--fast", "--name", "zeiss"};
+    auto a = argv_of(v);
+    args.parse(static_cast<int>(a.size()), a.data(), "test");
+    EXPECT_EQ(args.get_int("size"), 7);
+    EXPECT_TRUE(args.get_flag("fast"));
+    EXPECT_EQ(args.get("name"), "zeiss");
+    EXPECT_TRUE(args.is_set("name"));
+}
+
+TEST(Cli, DoubleParsing)
+{
+    Args args;
+    args.option("scale", "1.5", "a scale");
+    std::vector<std::string> v{"prog", "--scale", "2.25"};
+    auto a = argv_of(v);
+    args.parse(static_cast<int>(a.size()), a.data(), "test");
+    EXPECT_DOUBLE_EQ(args.get_double("scale"), 2.25);
+}
+
+TEST(Cli, IsSetDistinguishesEmptyDefaults)
+{
+    Args args;
+    args.option("out", "", "optional output");
+    std::vector<std::string> v{"prog"};
+    auto a = argv_of(v);
+    args.parse(static_cast<int>(a.size()), a.data(), "test");
+    EXPECT_FALSE(args.is_set("out"));
+}
+
+TEST(Cli, LaterValueWins)
+{
+    Args args;
+    args.option("n", "1", "count");
+    std::vector<std::string> v{"prog", "--n", "2", "--n", "3"};
+    auto a = argv_of(v);
+    args.parse(static_cast<int>(a.size()), a.data(), "test");
+    EXPECT_EQ(args.get_int("n"), 3);
+}
+
+}  // namespace
+}  // namespace xct::cli

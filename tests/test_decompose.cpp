@@ -1,0 +1,277 @@
+// Decomposition tests: Algorithm 2 (compute_ab), slab planning with
+// differential updates (Eqs. 3-7), even splits and the group layout of
+// Sec. 4.4.1.  Property sweeps verify coverage and tightness invariants.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "core/decompose.hpp"
+
+namespace xct {
+namespace {
+
+CbctGeometry geo(index_t nz = 64, double mag = 2.5)
+{
+    CbctGeometry g;
+    g.dso = 100.0;
+    g.dsd = 100.0 * mag;
+    g.num_proj = 120;
+    g.nu = 96;
+    g.nv = 96;
+    g.du = 0.4;
+    g.dv = 0.4;
+    g.vol = {48, 48, nz};
+    g.dx = g.dy = g.dz = CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, g.vol.x);
+    return g;
+}
+
+TEST(ComputeAB, FullVolumeNeedsWholeUsedDetector)
+{
+    const CbctGeometry g = geo();
+    const Range band = compute_ab(g, Range{0, g.vol.z});
+    EXPECT_GE(band.length(), g.nv / 2);  // tall volume -> most of the detector
+    EXPECT_GE(band.lo, 0);
+    EXPECT_LE(band.hi, g.nv);
+}
+
+TEST(ComputeAB, CentralSlabIsNarrow)
+{
+    const CbctGeometry g = geo();
+    const index_t mid = g.vol.z / 2;
+    const Range band = compute_ab(g, Range{mid - 2, mid + 2});
+    // A 4-slice central slab needs only a thin band around the mid row.
+    EXPECT_LT(band.length(), g.nv / 3);
+    EXPECT_TRUE(band.contains(g.nv / 2));
+}
+
+TEST(ComputeAB, BandsMoveMonotonicallyWithSlabPosition)
+{
+    const CbctGeometry g = geo();
+    Range prev = compute_ab(g, Range{0, 8});
+    for (index_t k = 8; k + 8 <= g.vol.z; k += 8) {
+        const Range cur = compute_ab(g, Range{k, k + 8});
+        EXPECT_GE(cur.lo, prev.lo);
+        EXPECT_GE(cur.hi, prev.hi);
+        prev = cur;
+    }
+}
+
+TEST(ComputeAB, CoversExhaustiveOracle)
+{
+    const CbctGeometry g = geo();
+    for (index_t k = 0; k + 8 <= g.vol.z; k += 8) {
+        const Range fast = compute_ab(g, Range{k, k + 8});
+        const Range exact = compute_ab_exhaustive(g, Range{k, k + 8}, 720);
+        // Algorithm 2 must never under-estimate the needed band...
+        EXPECT_LE(fast.lo, exact.lo) << "slab at " << k;
+        EXPECT_GE(fast.hi, exact.hi) << "slab at " << k;
+        // ...and for a centred volume it is tight to within a couple of
+        // rows (the corner-radius bound is attained).
+        EXPECT_LE(exact.lo - fast.lo, 2) << "slab at " << k;
+        EXPECT_LE(fast.hi - exact.hi, 2) << "slab at " << k;
+    }
+}
+
+TEST(ComputeAB, RejectsBadSlab)
+{
+    const CbctGeometry g = geo();
+    EXPECT_THROW(compute_ab(g, Range{5, 5}), std::invalid_argument);
+    EXPECT_THROW(compute_ab(g, Range{0, g.vol.z + 1}), std::invalid_argument);
+}
+
+/// Property sweep over magnification and slab size: Algorithm 2 is a
+/// conservative, near-tight cover of the brute-force requirement.
+class ComputeAbSweep : public ::testing::TestWithParam<std::tuple<double, index_t>> {};
+
+TEST_P(ComputeAbSweep, ConservativeAndTight)
+{
+    const auto [mag, nb] = GetParam();
+    const CbctGeometry g = geo(60, mag);
+    for (index_t k = 0; k + nb <= g.vol.z; k += nb) {
+        const Range fast = compute_ab(g, Range{k, k + nb});
+        const Range exact = compute_ab_exhaustive(g, Range{k, k + nb}, 360);
+        ASSERT_LE(fast.lo, exact.lo);
+        ASSERT_GE(fast.hi, exact.hi);
+        ASSERT_LE(exact.lo - fast.lo, 3);
+        ASSERT_LE(fast.hi - exact.hi, 3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(MagnificationAndBatch, ComputeAbSweep,
+                         ::testing::Combine(::testing::Values(1.5, 2.5, 5.0, 9.48, 16.9),
+                                            ::testing::Values<index_t>(4, 10, 15, 30)));
+
+TEST(PlanSlabs, SlabsPartitionTheSliceRange)
+{
+    const CbctGeometry g = geo();
+    const auto plans = plan_slabs(g, Range{0, g.vol.z}, 10);
+    ASSERT_EQ(plans.size(), 7u);  // ceil(64/10)
+    index_t next = 0;
+    for (const auto& p : plans) {
+        EXPECT_EQ(p.slab.lo, next);
+        next = p.slab.hi;
+    }
+    EXPECT_EQ(next, g.vol.z);
+    EXPECT_EQ(plans.back().slab.length(), 4);  // remainder slab
+}
+
+TEST(PlanSlabs, FirstDeltaEqualsFullBand)
+{
+    const CbctGeometry g = geo();
+    const auto plans = plan_slabs(g, Range{0, g.vol.z}, 16);
+    EXPECT_EQ(plans.front().delta, plans.front().rows);
+}
+
+TEST(PlanSlabs, DeltasAreDisjointAndCoverTheHull)
+{
+    const CbctGeometry g = geo();
+    const auto plans = plan_slabs(g, Range{0, g.vol.z}, 8);
+    // Eq. 6: each delta is exactly the new rows; the total delta length
+    // equals the number of distinct rows any slab needs (every required row
+    // moves exactly once).
+    std::vector<int> needed(static_cast<std::size_t>(g.nv), 0);
+    index_t delta_total = 0;
+    for (const auto& p : plans) {
+        for (index_t v = p.rows.lo; v < p.rows.hi; ++v) needed[static_cast<std::size_t>(v)] = 1;
+        delta_total += p.delta.length();
+    }
+    EXPECT_EQ(delta_total, std::accumulate(needed.begin(), needed.end(), index_t{0}));
+    // Pairwise disjoint.
+    for (std::size_t a = 0; a < plans.size(); ++a)
+        for (std::size_t b = a + 1; b < plans.size(); ++b)
+            EXPECT_TRUE(intersect(plans[a].delta, plans[b].delta).empty());
+}
+
+TEST(PlanSlabs, DeltaUnionEqualsBandUnion)
+{
+    const CbctGeometry g = geo(48, 6.0);
+    const auto plans = plan_slabs(g, Range{0, g.vol.z}, 6);
+    std::vector<int> covered_by_delta(static_cast<std::size_t>(g.nv), 0);
+    std::vector<int> needed(static_cast<std::size_t>(g.nv), 0);
+    for (const auto& p : plans) {
+        for (index_t v = p.delta.lo; v < p.delta.hi; ++v) covered_by_delta[static_cast<std::size_t>(v)]++;
+        for (index_t v = p.rows.lo; v < p.rows.hi; ++v) needed[static_cast<std::size_t>(v)] = 1;
+    }
+    for (index_t v = 0; v < g.nv; ++v) {
+        EXPECT_EQ(covered_by_delta[static_cast<std::size_t>(v)], needed[static_cast<std::size_t>(v)])
+            << "row " << v;
+    }
+}
+
+TEST(PlanSlabs, SubRangePlansRespectGroupOwnership)
+{
+    const CbctGeometry g = geo();
+    const auto plans = plan_slabs(g, Range{16, 48}, 8);
+    ASSERT_EQ(plans.size(), 4u);
+    EXPECT_EQ(plans.front().slab.lo, 16);
+    EXPECT_EQ(plans.back().slab.hi, 48);
+}
+
+TEST(SplitEven, DivisibleCase)
+{
+    EXPECT_EQ(split_even(12, 4, 0), (Range{0, 3}));
+    EXPECT_EQ(split_even(12, 4, 3), (Range{9, 12}));
+}
+
+TEST(SplitEven, RemainderGoesToFirstChunks)
+{
+    // 10 into 4: 3,3,2,2
+    EXPECT_EQ(split_even(10, 4, 0).length(), 3);
+    EXPECT_EQ(split_even(10, 4, 1).length(), 3);
+    EXPECT_EQ(split_even(10, 4, 2).length(), 2);
+    EXPECT_EQ(split_even(10, 4, 3).length(), 2);
+}
+
+TEST(SplitEven, ChunksPartition)
+{
+    for (index_t n : {1, 7, 16, 99, 1000}) {
+        for (index_t parts : {1, 2, 3, 8, 16}) {
+            index_t next = 0;
+            for (index_t p = 0; p < parts; ++p) {
+                const Range r = split_even(n, parts, p);
+                ASSERT_EQ(r.lo, next);
+                next = r.hi;
+            }
+            ASSERT_EQ(next, n);
+        }
+    }
+}
+
+TEST(SplitEven, RejectsBadPart)
+{
+    EXPECT_THROW(split_even(10, 4, 4), std::invalid_argument);
+    EXPECT_THROW(split_even(10, 0, 0), std::invalid_argument);
+}
+
+TEST(GroupLayout, RanksMapToGroupsRowMajor)
+{
+    const GroupLayout gl{.num_groups = 4, .ranks_per_group = 3};
+    EXPECT_EQ(gl.nranks(), 12);
+    EXPECT_EQ(gl.group_of(0), 0);
+    EXPECT_EQ(gl.group_of(5), 1);
+    EXPECT_EQ(gl.rank_in_group(5), 2);
+    EXPECT_EQ(gl.group_root(2), 6);
+}
+
+TEST(GroupLayout, GroupsPartitionSlices)
+{
+    const GroupLayout gl{.num_groups = 3, .ranks_per_group = 2};
+    index_t next = 0;
+    for (index_t g = 0; g < gl.num_groups; ++g) {
+        const Range r = gl.slices_of_group(g, 64);
+        EXPECT_EQ(r.lo, next);
+        next = r.hi;
+    }
+    EXPECT_EQ(next, 64);
+}
+
+TEST(GroupLayout, RanksInGroupPartitionViews)
+{
+    const GroupLayout gl{.num_groups = 2, .ranks_per_group = 4};
+    // Ranks 4..7 are group 1; their view ranges partition [0, Np).
+    index_t next = 0;
+    for (index_t r = 4; r < 8; ++r) {
+        const Range v = gl.views_of_rank(r, 123);
+        EXPECT_EQ(v.lo, next);
+        next = v.hi;
+    }
+    EXPECT_EQ(next, 123);
+}
+
+TEST(Sizes, SizeAbMatchesEquation5)
+{
+    const CbctGeometry g = geo();
+    const auto plans = plan_slabs(g, Range{0, g.vol.z}, 16);
+    const SlabPlan& p = plans[1];
+    EXPECT_EQ(size_ab(g, p, 4), g.nu * (g.num_proj / 4) * p.rows.length());
+}
+
+TEST(Sizes, SizeBbMatchesEquation7)
+{
+    const CbctGeometry g = geo();
+    const auto plans = plan_slabs(g, Range{0, g.vol.z}, 16);
+    const SlabPlan& p = plans[2];
+    EXPECT_EQ(size_bb(g, p, 2), g.nu * (g.num_proj / 2) * p.delta.length());
+    EXPECT_LE(size_bb(g, p, 2), size_ab(g, p, 2));  // differential never larger
+}
+
+TEST(ComputeAB, WiderConeAngleWidensBands)
+{
+    // The cone-induced band overlap is the crux of why CBCT decomposition
+    // is harder than parallel-beam (Sec. 3.1.2).  For a fixed object and
+    // fixed magnification, moving the source closer (larger cone angle,
+    // larger r/Dso) must widen the required band relative to the slab's
+    // central projection.
+    CbctGeometry wide = geo(64, 2.5);
+    CbctGeometry narrow = wide;
+    narrow.dso = wide.dso * 10.0;  // almost-parallel beam
+    narrow.dsd = wide.dsd * 10.0;  // same magnification, same pixel mapping
+    const Range slab{8, 24};       // off-centre slab (cone effect is off-axis)
+    const index_t wide_len = compute_ab(wide, slab).length();
+    const index_t narrow_len = compute_ab(narrow, slab).length();
+    EXPECT_GT(wide_len, narrow_len);
+}
+
+}  // namespace
+}  // namespace xct

@@ -1,0 +1,202 @@
+// FFT substrate tests: transform correctness against a naive DFT,
+// round-trip identities, and convolution against direct summation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <random>
+#include <vector>
+
+#include "fft/fft.hpp"
+
+namespace xct::fft {
+namespace {
+
+std::vector<std::complex<double>> naive_dft(std::span<const std::complex<double>> x, bool inverse)
+{
+    const std::size_t n = x.size();
+    std::vector<std::complex<double>> out(n);
+    const double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> s{0.0, 0.0};
+        for (std::size_t t = 0; t < n; ++t) {
+            const double ang = sign * 2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                               static_cast<double>(n);
+            s += x[t] * std::complex<double>(std::cos(ang), std::sin(ang));
+        }
+        out[k] = inverse ? s / static_cast<double>(n) : s;
+    }
+    return out;
+}
+
+TEST(NextPow2, Values)
+{
+    EXPECT_EQ(next_pow2(1), 1);
+    EXPECT_EQ(next_pow2(2), 2);
+    EXPECT_EQ(next_pow2(3), 4);
+    EXPECT_EQ(next_pow2(1023), 1024);
+    EXPECT_EQ(next_pow2(1024), 1024);
+    EXPECT_THROW(next_pow2(0), std::invalid_argument);
+}
+
+TEST(IsPow2, Values)
+{
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(64));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(12));
+}
+
+TEST(Transform, RejectsNonPowerOfTwo)
+{
+    std::vector<std::complex<double>> x(6);
+    EXPECT_THROW(transform(x, false), std::invalid_argument);
+}
+
+TEST(Transform, SizeOneIsIdentity)
+{
+    std::vector<std::complex<double>> x{{3.0, -1.0}};
+    transform(x, false);
+    EXPECT_DOUBLE_EQ(x[0].real(), 3.0);
+    EXPECT_DOUBLE_EQ(x[0].imag(), -1.0);
+}
+
+TEST(Transform, ImpulseHasFlatSpectrum)
+{
+    std::vector<std::complex<double>> x(8, {0.0, 0.0});
+    x[0] = {1.0, 0.0};
+    transform(x, false);
+    for (const auto& v : x) {
+        EXPECT_NEAR(v.real(), 1.0, 1e-12);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Transform, DcSignalConcentratesInBinZero)
+{
+    std::vector<std::complex<double>> x(16, {2.0, 0.0});
+    transform(x, false);
+    EXPECT_NEAR(x[0].real(), 32.0, 1e-12);
+    for (std::size_t k = 1; k < 16; ++k) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-12);
+}
+
+class FftDftMatch : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftDftMatch, ForwardMatchesNaiveDft)
+{
+    const std::size_t n = GetParam();
+    std::mt19937 rng(n);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    std::vector<std::complex<double>> x(n);
+    for (auto& v : x) v = {u(rng), u(rng)};
+    const auto expect = naive_dft(x, false);
+    transform(x, false);
+    for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_NEAR(x[k].real(), expect[k].real(), 1e-9 * static_cast<double>(n));
+        ASSERT_NEAR(x[k].imag(), expect[k].imag(), 1e-9 * static_cast<double>(n));
+    }
+}
+
+TEST_P(FftDftMatch, RoundTripIsIdentity)
+{
+    const std::size_t n = GetParam();
+    std::mt19937 rng(n + 1);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    std::vector<std::complex<double>> x(n);
+    for (auto& v : x) v = {u(rng), u(rng)};
+    const auto orig = x;
+    transform(x, false);
+    transform(x, true);
+    for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_NEAR(x[k].real(), orig[k].real(), 1e-10);
+        ASSERT_NEAR(x[k].imag(), orig[k].imag(), 1e-10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes, FftDftMatch, ::testing::Values(2u, 4u, 8u, 32u, 128u, 512u));
+
+TEST(RealForward, PadsWithZeros)
+{
+    std::vector<float> sig{1.0f, 2.0f, 3.0f};
+    const auto spec = real_forward(sig, 8);
+    ASSERT_EQ(spec.size(), 8u);
+    // DC bin = sum of samples.
+    EXPECT_NEAR(spec[0].real(), 6.0, 1e-12);
+    // Conjugate symmetry of a real signal.
+    for (std::size_t k = 1; k < 4; ++k) {
+        EXPECT_NEAR(spec[k].real(), spec[8 - k].real(), 1e-12);
+        EXPECT_NEAR(spec[k].imag(), -spec[8 - k].imag(), 1e-12);
+    }
+}
+
+std::vector<float> naive_convolve_same(std::span<const float> sig, std::span<const float> ker,
+                                       index_t offset)
+{
+    std::vector<float> out(sig.size(), 0.0f);
+    for (std::size_t i = 0; i < sig.size(); ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < ker.size(); ++j) {
+            const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(i) +
+                                       static_cast<std::ptrdiff_t>(offset) -
+                                       static_cast<std::ptrdiff_t>(j);
+            if (src >= 0 && src < static_cast<std::ptrdiff_t>(sig.size()))
+                acc += static_cast<double>(sig[static_cast<std::size_t>(src)]) * ker[j];
+        }
+        out[i] = static_cast<float>(acc);
+    }
+    return out;
+}
+
+class ConvolveSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConvolveSweep, MatchesDirectSummation)
+{
+    const auto [siglen, kerlen] = GetParam();
+    std::mt19937 rng(static_cast<unsigned>(siglen * 131 + kerlen));
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    std::vector<float> sig(static_cast<std::size_t>(siglen));
+    std::vector<float> ker(static_cast<std::size_t>(kerlen));
+    for (auto& v : sig) v = u(rng);
+    for (auto& v : ker) v = u(rng);
+    const index_t offset = (kerlen - 1) / 2;
+
+    const auto fftres = convolve_same(sig, ker, offset);
+    const auto direct = naive_convolve_same(sig, ker, offset);
+    ASSERT_EQ(fftres.size(), direct.size());
+    for (std::size_t i = 0; i < fftres.size(); ++i) ASSERT_NEAR(fftres[i], direct[i], 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvolveSweep,
+                         ::testing::Combine(::testing::Values(8, 33, 100, 257),
+                                            ::testing::Values(1, 3, 15, 65)));
+
+TEST(RowConvolver, ReusableAcrossRows)
+{
+    std::vector<float> ker{0.25f, 0.5f, 0.25f};
+    RowConvolver conv(16, ker, 1);
+    std::vector<float> a(16, 1.0f);
+    conv.apply(a);
+    // Interior of a constant signal convolved with a unit-sum kernel stays 1.
+    for (std::size_t i = 1; i < 15; ++i) EXPECT_NEAR(a[i], 1.0f, 1e-5f);
+    // Edges lose the out-of-range tap.
+    EXPECT_NEAR(a[0], 0.75f, 1e-5f);
+    EXPECT_NEAR(a[15], 0.75f, 1e-5f);
+}
+
+TEST(RowConvolver, RejectsWrongRowLength)
+{
+    std::vector<float> ker{1.0f};
+    RowConvolver conv(8, ker, 0);
+    std::vector<float> row(9, 0.0f);
+    EXPECT_THROW(conv.apply(row), std::invalid_argument);
+}
+
+TEST(MultiplySpectra, RejectsSizeMismatch)
+{
+    std::vector<std::complex<double>> a(4), b(8);
+    EXPECT_THROW(multiply_spectra(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xct::fft

@@ -1,0 +1,238 @@
+// Filtering-computation tests (Eq. 2): ramp kernel taps, apodisation
+// windows, cosine weighting and the row-parallel engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "filter/ramp.hpp"
+
+namespace xct::filter {
+namespace {
+
+CbctGeometry geo()
+{
+    CbctGeometry g;
+    g.dso = 100.0;
+    g.dsd = 250.0;
+    g.num_proj = 64;
+    g.nu = 64;
+    g.nv = 32;
+    g.du = 0.5;
+    g.dv = 0.5;
+    g.vol = {32, 32, 32};
+    g.dx = g.dy = g.dz = CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, g.vol.x);
+    return g;
+}
+
+TEST(RampKernel, CentreTap)
+{
+    const auto taps = ramp_kernel(8, 0.5);
+    ASSERT_EQ(taps.size(), 17u);
+    EXPECT_NEAR(taps[8], 1.0 / (4.0 * 0.5), 1e-7);
+}
+
+TEST(RampKernel, OddTapsFollowInverseSquare)
+{
+    const double du = 0.25;
+    const auto taps = ramp_kernel(8, du);
+    const double pi2 = std::numbers::pi * std::numbers::pi;
+    for (int n = 1; n <= 8; n += 2) {
+        EXPECT_NEAR(taps[static_cast<std::size_t>(8 + n)], -1.0 / (pi2 * n * n * du), 1e-7);
+        EXPECT_NEAR(taps[static_cast<std::size_t>(8 - n)], -1.0 / (pi2 * n * n * du), 1e-7);
+    }
+}
+
+TEST(RampKernel, EvenTapsAreZero)
+{
+    const auto taps = ramp_kernel(9, 1.0);
+    for (int n = 2; n <= 9; n += 2) {
+        EXPECT_FLOAT_EQ(taps[static_cast<std::size_t>(9 + n)], 0.0f);
+        EXPECT_FLOAT_EQ(taps[static_cast<std::size_t>(9 - n)], 0.0f);
+    }
+}
+
+TEST(RampKernel, SumApproachesZero)
+{
+    // The ideal ramp kernel integrates to zero (no DC response); the
+    // truncated sum decays like 1/half_width.
+    const auto taps = ramp_kernel(512, 1.0);
+    double sum = 0.0;
+    for (float t : taps) sum += t;
+    EXPECT_NEAR(sum, 0.0, 1e-3);
+}
+
+TEST(WindowGain, ValuesAtDcAndNyquist)
+{
+    EXPECT_DOUBLE_EQ(window_gain(Window::RamLak, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(window_gain(Window::RamLak, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(window_gain(Window::Hann, 0.0), 1.0);
+    EXPECT_NEAR(window_gain(Window::Hann, 1.0), 0.0, 1e-12);
+    EXPECT_NEAR(window_gain(Window::Cosine, 1.0), 0.0, 1e-12);
+    EXPECT_NEAR(window_gain(Window::Hamming, 1.0), 0.08, 1e-12);
+    EXPECT_NEAR(window_gain(Window::SheppLogan, 1.0), 2.0 / std::numbers::pi, 1e-12);
+    EXPECT_DOUBLE_EQ(window_gain(Window::SheppLogan, 0.0), 1.0);
+}
+
+TEST(WindowGain, MonotoneDecreasing)
+{
+    for (Window w : {Window::SheppLogan, Window::Cosine, Window::Hamming, Window::Hann}) {
+        double prev = window_gain(w, 0.0);
+        for (double x = 0.1; x <= 1.0; x += 0.1) {
+            const double g = window_gain(w, x);
+            EXPECT_LE(g, prev + 1e-12);
+            prev = g;
+        }
+    }
+}
+
+TEST(WindowFromName, ParsesAllNames)
+{
+    EXPECT_EQ(window_from_name("ram-lak"), Window::RamLak);
+    EXPECT_EQ(window_from_name("ramp"), Window::RamLak);
+    EXPECT_EQ(window_from_name("shepp-logan"), Window::SheppLogan);
+    EXPECT_EQ(window_from_name("cosine"), Window::Cosine);
+    EXPECT_EQ(window_from_name("hamming"), Window::Hamming);
+    EXPECT_EQ(window_from_name("hann"), Window::Hann);
+    EXPECT_THROW(window_from_name("boxcar"), std::invalid_argument);
+}
+
+TEST(FilterEngine, ConstantRowFiltersToNearZero)
+{
+    const CbctGeometry g = geo();
+    FilterEngine eng(g);
+    std::vector<float> row(static_cast<std::size_t>(g.nu), 1.0f);
+    eng.apply_row(row, g.nv / 2);
+    // Ramp removes DC; interior values must be small relative to the input
+    // scale times the FDK normalisation.
+    const double scale = std::numbers::pi / static_cast<double>(g.num_proj) * g.magnification();
+    for (index_t u = g.nu / 4; u < 3 * g.nu / 4; ++u)
+        EXPECT_LT(std::abs(row[static_cast<std::size_t>(u)]), 0.05 * scale) << "u=" << u;
+}
+
+TEST(FilterEngine, DeltaResponseHasRampShape)
+{
+    const CbctGeometry g = geo();
+    FilterEngine eng(g);
+    const index_t c = g.nu / 2;
+    std::vector<float> row(static_cast<std::size_t>(g.nu), 0.0f);
+    row[static_cast<std::size_t>(c)] = 1.0f;
+    eng.apply_row(row, g.nv / 2);
+    // Centre / first-neighbour ratio of the band-limited ramp: -pi^2/4.
+    const double ratio = row[static_cast<std::size_t>(c)] / row[static_cast<std::size_t>(c + 1)];
+    EXPECT_NEAR(ratio, -std::numbers::pi * std::numbers::pi / 4.0, 0.05);
+    // Symmetry around the impulse (centre pixel weight applies equally).
+    EXPECT_NEAR(row[static_cast<std::size_t>(c - 1)], row[static_cast<std::size_t>(c + 1)], 1e-6f);
+}
+
+TEST(FilterEngine, CosineWeightReducesObliqueRays)
+{
+    const CbctGeometry g = geo();
+    FilterEngine eng(g);
+    // Same impulse at the detector centre vs at a corner-adjacent row: the
+    // oblique one is attenuated by the Eq. 2 weight.
+    std::vector<float> centre(static_cast<std::size_t>(g.nu), 0.0f);
+    std::vector<float> edge(static_cast<std::size_t>(g.nu), 0.0f);
+    centre[static_cast<std::size_t>(g.nu / 2)] = 1.0f;
+    edge[static_cast<std::size_t>(g.nu / 2)] = 1.0f;
+    eng.apply_row(centre, g.nv / 2);
+    eng.apply_row(edge, 0);
+    EXPECT_LT(std::abs(edge[static_cast<std::size_t>(g.nu / 2)]),
+              std::abs(centre[static_cast<std::size_t>(g.nu / 2)]));
+}
+
+TEST(FilterEngine, StackApplyMatchesRowApply)
+{
+    const CbctGeometry g = geo();
+    FilterEngine eng(g, Window::Hann);
+    ProjectionStack a(3, Range{4, 12}, g.nu);
+    for (index_t s = 0; s < 3; ++s)
+        for (index_t v = 4; v < 12; ++v)
+            for (index_t u = 0; u < g.nu; ++u)
+                a.at(s, v, u) = static_cast<float>((s + 1) * 100 + v * 10) * 0.01f +
+                                static_cast<float>(u % 7) * 0.1f;
+    ProjectionStack b = a;
+    eng.apply(a);
+    for (index_t s = 0; s < 3; ++s)
+        for (index_t v = 4; v < 12; ++v) eng.apply_row(b.row(s, v), v);
+    // apply() uses the packed-pair FFT, so agreement is to float rounding,
+    // not bitwise.
+    for (index_t s = 0; s < 3; ++s)
+        for (index_t v = 4; v < 12; ++v)
+            for (index_t u = 0; u < g.nu; ++u)
+                ASSERT_NEAR(a.at(s, v, u), b.at(s, v, u), 1e-5f) << s << "," << v << "," << u;
+}
+
+TEST(FilterEngine, PairPackedFftMatchesSeparateRows)
+{
+    const CbctGeometry g = geo();
+    FilterEngine eng(g);
+    std::vector<float> a(static_cast<std::size_t>(g.nu)), b(static_cast<std::size_t>(g.nu));
+    for (index_t u = 0; u < g.nu; ++u) {
+        a[static_cast<std::size_t>(u)] = std::sin(0.3 * static_cast<double>(u)) + 1.0f;
+        b[static_cast<std::size_t>(u)] = std::cos(0.7 * static_cast<double>(u)) - 0.5f;
+    }
+    std::vector<float> a2 = a, b2 = b;
+    eng.apply_row_pair(a, 5, b, 9);
+    eng.apply_row(a2, 5);
+    eng.apply_row(b2, 9);
+    for (index_t u = 0; u < g.nu; ++u) {
+        ASSERT_NEAR(a[static_cast<std::size_t>(u)], a2[static_cast<std::size_t>(u)], 1e-6f);
+        ASSERT_NEAR(b[static_cast<std::size_t>(u)], b2[static_cast<std::size_t>(u)], 1e-6f);
+    }
+}
+
+TEST(FilterEngine, OddRowCountFiltersEveryRow)
+{
+    const CbctGeometry g = geo();
+    FilterEngine eng(g);
+    ProjectionStack stack(2, Range{0, 5}, g.nu, 1.0f);  // odd row count
+    eng.apply(stack);
+    // DC removed everywhere, including the unpaired last row.
+    for (index_t s = 0; s < 2; ++s)
+        for (index_t v = 0; v < 5; ++v)
+            EXPECT_LT(std::abs(stack.at(s, v, g.nu / 2)), 0.05f) << s << "," << v;
+}
+
+TEST(FilterEngine, HannSuppressesNyquistMoreThanRamLak)
+{
+    const CbctGeometry g = geo();
+    FilterEngine ramlak(g, Window::RamLak);
+    FilterEngine hann(g, Window::Hann);
+    std::vector<float> a(static_cast<std::size_t>(g.nu));
+    for (index_t u = 0; u < g.nu; ++u) a[static_cast<std::size_t>(u)] = (u % 2 == 0) ? 1.0f : -1.0f;
+    std::vector<float> b = a;
+    ramlak.apply_row(a, g.nv / 2);
+    hann.apply_row(b, g.nv / 2);
+    double ea = 0.0, eb = 0.0;
+    for (index_t u = g.nu / 4; u < 3 * g.nu / 4; ++u) {
+        ea += a[static_cast<std::size_t>(u)] * a[static_cast<std::size_t>(u)];
+        eb += b[static_cast<std::size_t>(u)] * b[static_cast<std::size_t>(u)];
+    }
+    EXPECT_LT(eb, 0.05 * ea);
+}
+
+TEST(FilterEngine, ExtraScaleIsLinear)
+{
+    const CbctGeometry g = geo();
+    FilterEngine one(g, Window::RamLak, 1.0);
+    FilterEngine two(g, Window::RamLak, 2.0);
+    std::vector<float> a(static_cast<std::size_t>(g.nu), 0.0f);
+    a[10] = 1.0f;
+    std::vector<float> b = a;
+    one.apply_row(a, 3);
+    two.apply_row(b, 3);
+    for (index_t u = 0; u < g.nu; ++u)
+        ASSERT_NEAR(b[static_cast<std::size_t>(u)], 2.0f * a[static_cast<std::size_t>(u)], 1e-6f);
+}
+
+TEST(FilterEngine, RejectsWrongRowWidth)
+{
+    const CbctGeometry g = geo();
+    FilterEngine eng(g);
+    std::vector<float> row(static_cast<std::size_t>(g.nu + 1), 0.0f);
+    EXPECT_THROW(eng.apply_row(row, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xct::filter

@@ -1,0 +1,209 @@
+// Geometry and projection-matrix tests: the matrix formulation of Sec. 4.1
+// must agree with direct trigonometric projection for arbitrary geometries
+// including the Table-4 calibration offsets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "core/geometry.hpp"
+
+namespace xct {
+namespace {
+
+CbctGeometry small_geometry()
+{
+    CbctGeometry g;
+    g.dso = 100.0;
+    g.dsd = 250.0;
+    g.num_proj = 90;
+    g.nu = 64;
+    g.nv = 48;
+    g.du = 0.5;
+    g.dv = 0.5;
+    g.vol = {32, 32, 24};
+    g.dx = g.dy = g.dz = CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, g.vol.x);
+    return g;
+}
+
+TEST(Geometry, ValidateAcceptsSaneParameters)
+{
+    EXPECT_NO_THROW(small_geometry().validate());
+}
+
+TEST(Geometry, ValidateRejectsDetectorBehindObject)
+{
+    CbctGeometry g = small_geometry();
+    g.dsd = g.dso / 2;
+    EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Geometry, ValidateRejectsNonPositivePitch)
+{
+    CbctGeometry g = small_geometry();
+    g.du = 0.0;
+    EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Geometry, MagnificationMatchesPaperCoffeeBean)
+{
+    CbctGeometry g = small_geometry();
+    g.dsd = 151.7;
+    g.dso = 16.0;
+    EXPECT_NEAR(g.magnification(), 9.48, 0.01);  // Sec. 6.1
+}
+
+TEST(Geometry, AnglesSpanFullScan)
+{
+    const CbctGeometry g = small_geometry();
+    EXPECT_DOUBLE_EQ(g.angle_of(0), 0.0);
+    EXPECT_NEAR(g.angle_of(g.num_proj / 2), std::numbers::pi, 1e-12);
+}
+
+TEST(Geometry, CentreVoxelProjectsToPrincipalPoint)
+{
+    const CbctGeometry g = small_geometry();
+    const Mat34 m = projection_matrix(g, 0.7);
+    // The volume centre sits on the rotation axis: its projection is the
+    // principal point at depth Dso regardless of angle.
+    const Projected p = project(m, (static_cast<double>(g.vol.x) - 1.0) / 2.0,
+                                (static_cast<double>(g.vol.y) - 1.0) / 2.0,
+                                (static_cast<double>(g.vol.z) - 1.0) / 2.0);
+    EXPECT_NEAR(p.x, (static_cast<double>(g.nu) - 1.0) / 2.0, 1e-9);
+    EXPECT_NEAR(p.y, (static_cast<double>(g.nv) - 1.0) / 2.0, 1e-9);
+    EXPECT_NEAR(p.z, 1.0, 1e-12);  // depth d/Dso = 1 at the axis
+}
+
+TEST(Geometry, DepthWeightIsInverseSquareDistanceRatio)
+{
+    CbctGeometry g = small_geometry();
+    const Mat34 m = projection_matrix(g, 0.0);
+    // Voxel on the +Y axis, one voxel pitch towards the detector.
+    const double j = (static_cast<double>(g.vol.y) - 1.0) / 2.0 + 1.0;
+    const Projected p = project(m, (static_cast<double>(g.vol.x) - 1.0) / 2.0, j,
+                                (static_cast<double>(g.vol.z) - 1.0) / 2.0);
+    EXPECT_NEAR(p.z, (g.dso + g.dy) / g.dso, 1e-12);
+}
+
+TEST(Geometry, MatrixMatchesDirectProjectionOnGrid)
+{
+    const CbctGeometry g = small_geometry();
+    for (index_t s = 0; s < g.num_proj; s += 7) {
+        const double phi = g.angle_of(s);
+        const Mat34 m = projection_matrix(g, phi);
+        for (index_t k = 0; k < g.vol.z; k += 5)
+            for (index_t j = 0; j < g.vol.y; j += 5)
+                for (index_t i = 0; i < g.vol.x; i += 5) {
+                    const Projected a = project(m, static_cast<double>(i), static_cast<double>(j),
+                                                static_cast<double>(k));
+                    const Projected b = project_direct(g, phi, static_cast<double>(i),
+                                                       static_cast<double>(j),
+                                                       static_cast<double>(k));
+                    ASSERT_NEAR(a.x, b.x, 1e-8);
+                    ASSERT_NEAR(a.y, b.y, 1e-8);
+                    ASSERT_NEAR(a.z, b.z, 1e-12);
+                }
+    }
+}
+
+/// Property sweep: matrix == direct projection under random geometries
+/// including calibration offsets (Table 4 exercises sigma_u up to 27 px,
+/// sigma_cor up to ~1 mm).
+class RandomGeometryMatch : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomGeometryMatch, MatrixAgreesWithDirect)
+{
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<double> udso(20.0, 400.0);
+    std::uniform_real_distribution<double> umag(1.2, 12.0);
+    std::uniform_real_distribution<double> upitch(0.02, 0.5);
+    std::uniform_real_distribution<double> uoff(-30.0, 30.0);
+    std::uniform_real_distribution<double> ucor(-2.0, 2.0);
+    std::uniform_real_distribution<double> uang(0.0, 2.0 * std::numbers::pi);
+
+    CbctGeometry g;
+    g.dso = udso(rng);
+    g.dsd = g.dso * umag(rng);
+    g.num_proj = 180;
+    g.nu = 100;
+    g.nv = 80;
+    g.du = upitch(rng);
+    g.dv = upitch(rng);
+    g.vol = {40, 36, 30};
+    g.dx = upitch(rng) * 0.2;
+    g.dy = upitch(rng) * 0.2;
+    g.dz = upitch(rng) * 0.2;
+    g.sigma_u = uoff(rng);
+    g.sigma_v = uoff(rng);
+    g.sigma_cor = ucor(rng);
+    g.validate();
+
+    std::uniform_real_distribution<double> uvox(0.0, 39.0);
+    for (int n = 0; n < 50; ++n) {
+        const double phi = uang(rng);
+        const Mat34 m = projection_matrix(g, phi);
+        const double i = uvox(rng), j = uvox(rng) * 0.9, k = uvox(rng) * 0.75;
+        const Projected a = project(m, i, j, k);
+        const Projected b = project_direct(g, phi, i, j, k);
+        ASSERT_NEAR(a.x, b.x, 1e-6);
+        ASSERT_NEAR(a.y, b.y, 1e-6);
+        ASSERT_NEAR(a.z, b.z, 1e-10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGeometryMatch, ::testing::Range(1u, 13u));
+
+TEST(Geometry, SigmaCorShiftsLateralProjectionOnly)
+{
+    CbctGeometry g = small_geometry();
+    const Projected base = project(projection_matrix(g, 0.3), 5, 6, 7);
+    g.sigma_cor = 1.5;
+    const Projected off = project(projection_matrix(g, 0.3), 5, 6, 7);
+    EXPECT_GT(std::abs(off.x - base.x), 1e-3);   // U moves
+    EXPECT_NEAR(off.y, base.y, 1e-12);           // V unchanged
+    EXPECT_NEAR(off.z, base.z, 1e-12);           // depth unchanged
+}
+
+TEST(Geometry, SigmaUShiftsUByExactlySigma)
+{
+    CbctGeometry g = small_geometry();
+    const Projected base = project(projection_matrix(g, 1.1), 4, 9, 2);
+    g.sigma_u = 3.25;
+    const Projected off = project(projection_matrix(g, 1.1), 4, 9, 2);
+    EXPECT_NEAR(off.x - base.x, 3.25, 1e-9);
+    EXPECT_NEAR(off.y, base.y, 1e-9);
+}
+
+TEST(Geometry, SigmaVShiftsVByExactlySigma)
+{
+    CbctGeometry g = small_geometry();
+    const Projected base = project(projection_matrix(g, 2.2), 4, 9, 2);
+    g.sigma_v = -1.75;
+    const Projected off = project(projection_matrix(g, 2.2), 4, 9, 2);
+    EXPECT_NEAR(off.y - base.y, -1.75, 1e-9);
+    EXPECT_NEAR(off.x, base.x, 1e-9);
+}
+
+TEST(Geometry, ProjectionMatricesProducesOnePerView)
+{
+    const CbctGeometry g = small_geometry();
+    const auto mats = projection_matrices(g);
+    ASSERT_EQ(mats.size(), static_cast<std::size_t>(g.num_proj));
+    // Matrix s equals projection_matrix at angle 2*pi*s/Np.
+    const Projected a = project(mats[13], 1, 2, 3);
+    const Projected b = project(projection_matrix(g, g.angle_of(13)), 1, 2, 3);
+    EXPECT_DOUBLE_EQ(a.x, b.x);
+    EXPECT_DOUBLE_EQ(a.y, b.y);
+}
+
+TEST(Geometry, NaturalPitchInscribesFov)
+{
+    // With the natural pitch, the volume's X extent maps to the detector
+    // width at the rotation axis.
+    const double pitch = CbctGeometry::natural_pitch(0.5, 250.0, 100.0, 64, 32);
+    EXPECT_DOUBLE_EQ(pitch * 32, 0.5 * (100.0 / 250.0) * 64);
+}
+
+}  // namespace
+}  // namespace xct

@@ -1,0 +1,309 @@
+// I/O tests: raw round-trips, PGM export, the bandwidth-accounted Pfs and
+// the paper dataset descriptors (Sec. 6.1 / Table 4).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/datasets.hpp"
+#include "io/geometry_io.hpp"
+#include "io/pfs.hpp"
+#include "io/raw_io.hpp"
+
+namespace xct::io {
+namespace {
+
+std::filesystem::path tmp_dir()
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("xct_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+TEST(RawIo, VolumeRoundTrip)
+{
+    const auto dir = tmp_dir();
+    Volume v(Dim3{5, 4, 3});
+    for (index_t i = 0; i < v.count(); ++i)
+        v.span()[static_cast<std::size_t>(i)] = static_cast<float>(i) * 0.25f;
+    write_volume(dir / "v.xvol", v);
+    const Volume r = read_volume(dir / "v.xvol");
+    ASSERT_EQ(r.size(), v.size());
+    for (index_t i = 0; i < v.count(); ++i)
+        ASSERT_FLOAT_EQ(r.span()[static_cast<std::size_t>(i)], v.span()[static_cast<std::size_t>(i)]);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RawIo, StackRoundTripPreservesBand)
+{
+    const auto dir = tmp_dir();
+    ProjectionStack p(3, Range{7, 12}, 6);
+    for (index_t i = 0; i < p.count(); ++i)
+        p.span()[static_cast<std::size_t>(i)] = static_cast<float>(i % 13);
+    write_stack(dir / "p.xstk", p);
+    const ProjectionStack r = read_stack(dir / "p.xstk");
+    EXPECT_EQ(r.views(), 3);
+    EXPECT_EQ(r.row_begin(), 7);
+    EXPECT_EQ(r.rows(), 5);
+    EXPECT_FLOAT_EQ(r.at(2, 11, 5), p.at(2, 11, 5));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RawIo, ReadRejectsWrongMagic)
+{
+    const auto dir = tmp_dir();
+    Volume v(Dim3{2, 2, 2});
+    write_volume(dir / "v.xvol", v);
+    EXPECT_THROW(read_stack(dir / "v.xvol"), std::invalid_argument);
+    EXPECT_THROW(read_volume(dir / "missing.xvol"), std::invalid_argument);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RawIo, PgmSliceHasHeaderAndPayload)
+{
+    const auto dir = tmp_dir();
+    Volume v(Dim3{4, 3, 2});
+    v.at(1, 1, 0) = 5.0f;
+    write_pgm_slice(dir / "s.pgm", v, 0);
+    std::ifstream f(dir / "s.pgm", std::ios::binary);
+    std::string magic;
+    f >> magic;
+    int w = 0, h = 0, maxval = 0;
+    f >> w >> h >> maxval;
+    EXPECT_EQ(magic, "P5");
+    EXPECT_EQ(w, 4);
+    EXPECT_EQ(h, 3);
+    EXPECT_EQ(maxval, 255);
+    f.get();  // single whitespace
+    std::vector<char> payload(12);
+    f.read(payload.data(), 12);
+    EXPECT_TRUE(f.good());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RawIo, PgmWindowClamps)
+{
+    const auto dir = tmp_dir();
+    Volume v(Dim3{2, 1, 1});
+    v.at(0, 0, 0) = -10.0f;
+    v.at(1, 0, 0) = 10.0f;
+    write_pgm_slice(dir / "w.pgm", v, 0, 0.0f, 1.0f);
+    std::ifstream f(dir / "w.pgm", std::ios::binary);
+    std::string line;
+    std::getline(f, line);  // P5
+    std::getline(f, line);  // dims
+    std::getline(f, line);  // maxval
+    unsigned char a = 0, b = 0;
+    f.read(reinterpret_cast<char*>(&a), 1);
+    f.read(reinterpret_cast<char*>(&b), 1);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 255);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Pfs, AccountsBytesAndModelledTime)
+{
+    const auto dir = tmp_dir();
+    Pfs pfs(dir, /*load_gbps=*/1.0, /*store_gbps=*/2.0);
+    Volume v(Dim3{8, 8, 8});
+    pfs.store_volume("out/v.xvol", v);
+    EXPECT_TRUE(pfs.exists("out/v.xvol"));
+    const auto loaded = pfs.load_volume("out/v.xvol");
+    EXPECT_EQ(loaded.size(), v.size());
+
+    const std::uint64_t bytes = 8ull * 8 * 8 * sizeof(float);
+    EXPECT_EQ(pfs.store_stats().bytes, bytes);
+    EXPECT_EQ(pfs.load_stats().bytes, bytes);
+    // store link is 2x faster -> half the modelled seconds.
+    EXPECT_NEAR(pfs.load_stats().seconds, 2.0 * pfs.store_stats().seconds, 1e-15);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Pfs, RejectsAbsolutePaths)
+{
+    const auto dir = tmp_dir();
+    Pfs pfs(dir, 1.0, 1.0);
+    Volume v(Dim3{2, 2, 2});
+    EXPECT_THROW(pfs.store_volume("/etc/havoc", v), std::invalid_argument);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Datasets, AllSixPaperDatasetsPresent)
+{
+    const auto& all = paper_datasets();
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_NO_THROW(dataset_by_name("coffee_bean"));
+    EXPECT_NO_THROW(dataset_by_name("bumblebee"));
+    EXPECT_NO_THROW(dataset_by_name("tomo_00027"));
+    EXPECT_NO_THROW(dataset_by_name("tomo_00030"));
+    EXPECT_THROW(dataset_by_name("nope"), std::invalid_argument);
+}
+
+TEST(Datasets, PaperGeometryParameters)
+{
+    const auto& cb = dataset_by_name("coffee_bean");
+    EXPECT_NEAR(cb.geometry.magnification(), 9.48, 0.01);  // Sec. 6.1
+    EXPECT_EQ(cb.geometry.nu, 3728);
+    EXPECT_EQ(cb.geometry.num_proj, 6401);
+    EXPECT_NEAR(cb.geometry.sigma_cor, -0.0021, 1e-9);  // Table 4
+
+    const auto& bb = dataset_by_name("bumblebee");
+    EXPECT_NEAR(bb.geometry.magnification(), 16.9, 0.01);
+    EXPECT_NEAR(bb.geometry.sigma_cor, 1.03, 1e-9);
+
+    const auto& t29 = dataset_by_name("tomo_00029");
+    EXPECT_EQ(t29.geometry.nu, 2004);
+    EXPECT_EQ(t29.geometry.nv, 1335);
+    EXPECT_NEAR(t29.geometry.sigma_u, 27.0, 1e-9);
+    EXPECT_NEAR(t29.geometry.sigma_v, 0.2, 1e-9);
+
+    const auto& t30 = dataset_by_name("tomo_00030");
+    EXPECT_EQ(t30.geometry.nu, 668);
+    EXPECT_EQ(t30.geometry.num_proj, 720);
+    EXPECT_NEAR(t30.geometry.sigma_u, -10.0, 1e-9);
+}
+
+TEST(Datasets, ScaledPreservesMagnificationAndPhysicalExtent)
+{
+    const auto& cb = dataset_by_name("coffee_bean");
+    const auto s = cb.scaled(16.0);
+    EXPECT_NEAR(s.geometry.magnification(), cb.geometry.magnification(), 1e-12);
+    // Physical detector width is preserved: nu * du constant.
+    EXPECT_NEAR(static_cast<double>(s.geometry.nu) * s.geometry.du,
+                static_cast<double>(cb.geometry.nu) * cb.geometry.du, 1e-6);
+    EXPECT_LT(s.geometry.nu, cb.geometry.nu);
+    EXPECT_NO_THROW(s.geometry.validate());
+}
+
+TEST(Datasets, ScaledKeepsMinimumExtents)
+{
+    const auto& t30 = dataset_by_name("tomo_00030");
+    const auto s = t30.scaled(1000.0);
+    EXPECT_GE(s.geometry.nu, 8);
+    EXPECT_GE(s.geometry.num_proj, 8);
+}
+
+TEST(RawIo, StackInfoWithoutPayload)
+{
+    const auto dir = tmp_dir();
+    ProjectionStack p(5, Range{3, 11}, 7);
+    write_stack(dir / "p.xstk", p);
+    const StackInfo info = stack_info(dir / "p.xstk");
+    EXPECT_EQ(info.views, 5);
+    EXPECT_EQ(info.band, (Range{3, 11}));
+    EXPECT_EQ(info.cols, 7);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RawIo, PartialRowReadMatchesFullRead)
+{
+    const auto dir = tmp_dir();
+    ProjectionStack p(6, 10, 8);
+    for (index_t i = 0; i < p.count(); ++i)
+        p.span()[static_cast<std::size_t>(i)] = static_cast<float>(i % 97) * 0.5f;
+    write_stack(dir / "p.xstk", p);
+
+    const ProjectionStack part = read_stack_rows(dir / "p.xstk", Range{2, 5}, Range{3, 7});
+    EXPECT_EQ(part.views(), 3);
+    EXPECT_EQ(part.row_begin(), 3);
+    EXPECT_EQ(part.rows(), 4);
+    for (index_t s = 2; s < 5; ++s)
+        for (index_t v = 3; v < 7; ++v)
+            for (index_t u = 0; u < 8; ++u)
+                ASSERT_FLOAT_EQ(part.at(s - 2, v, u), p.at(s, v, u));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RawIo, PartialReadFromBandRestrictedFile)
+{
+    // A file that itself stores only a band: global coordinates compose.
+    const auto dir = tmp_dir();
+    ProjectionStack p(3, Range{20, 32}, 4, 0.0f);
+    p.at(1, 25, 2) = 9.0f;
+    write_stack(dir / "p.xstk", p);
+    const ProjectionStack part = read_stack_rows(dir / "p.xstk", Range{1, 2}, Range{24, 27});
+    EXPECT_FLOAT_EQ(part.at(0, 25, 2), 9.0f);
+    EXPECT_THROW(read_stack_rows(dir / "p.xstk", Range{0, 1}, Range{10, 25}),
+                 std::invalid_argument);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Pfs, PartialLoadAccountsOnlyReadBytes)
+{
+    const auto dir = tmp_dir();
+    Pfs pfs(dir, 1.0, 1.0);
+    ProjectionStack p(10, 20, 16);
+    pfs.store_stack("proj.xstk", p);
+    pfs.reset_stats();
+    const ProjectionStack part = pfs.load_stack_rows("proj.xstk", Range{0, 5}, Range{4, 8});
+    EXPECT_EQ(pfs.load_stats().bytes, static_cast<std::uint64_t>(5 * 4 * 16) * sizeof(float));
+    EXPECT_EQ(part.count(), 5 * 4 * 16);
+    const StackInfo info = pfs.stack_info("proj.xstk");
+    EXPECT_EQ(info.views, 10);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Datasets, WithVolumeKeepsFovInscribed)
+{
+    const auto& t30 = dataset_by_name("tomo_00030");
+    const auto d = t30.with_volume(64);
+    EXPECT_EQ(d.geometry.vol, (Dim3{64, 64, 64}));
+    // The volume's physical X extent equals the FOV at the axis.
+    EXPECT_NEAR(d.geometry.dx * 64.0,
+                d.geometry.du * (t30.geometry.dso / t30.geometry.dsd) * 668.0, 1e-9);
+}
+
+TEST(GeometryIo, RoundTripPreservesEveryField)
+{
+    const auto dir = tmp_dir();
+    GeometryFile gf;
+    gf.geometry = dataset_by_name("bumblebee").scaled(20.0).with_volume(40).geometry;
+    gf.geometry.scan_range = 4.2;
+    gf.beer = BeerLawScalar{123.0f, 45678.0f};
+    gf.raw_counts = true;
+    write_geometry(dir / "g.geom", gf);
+    const GeometryFile r = read_geometry(dir / "g.geom");
+    EXPECT_DOUBLE_EQ(r.geometry.dso, gf.geometry.dso);
+    EXPECT_DOUBLE_EQ(r.geometry.dsd, gf.geometry.dsd);
+    EXPECT_EQ(r.geometry.num_proj, gf.geometry.num_proj);
+    EXPECT_EQ(r.geometry.nu, gf.geometry.nu);
+    EXPECT_EQ(r.geometry.vol, gf.geometry.vol);
+    EXPECT_DOUBLE_EQ(r.geometry.dx, gf.geometry.dx);
+    EXPECT_DOUBLE_EQ(r.geometry.sigma_cor, gf.geometry.sigma_cor);
+    EXPECT_DOUBLE_EQ(r.geometry.scan_range, 4.2);
+    EXPECT_FLOAT_EQ(r.beer.dark, 123.0f);
+    EXPECT_FLOAT_EQ(r.beer.blank, 45678.0f);
+    EXPECT_TRUE(r.raw_counts);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(GeometryIo, RejectsUnknownKeys)
+{
+    const auto dir = tmp_dir();
+    {
+        std::ofstream f(dir / "bad.geom");
+        f << "dso 100\nwat 7\n";
+    }
+    EXPECT_THROW(read_geometry(dir / "bad.geom"), std::invalid_argument);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(GeometryIo, RejectsInvalidGeometry)
+{
+    const auto dir = tmp_dir();
+    {
+        std::ofstream f(dir / "bad.geom");
+        f << "dso 100\ndsd 50\n";  // detector inside the object
+    }
+    EXPECT_THROW(read_geometry(dir / "bad.geom"), std::invalid_argument);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(GeometryIo, MissingFileThrows)
+{
+    EXPECT_THROW(read_geometry("/nonexistent/x.geom"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xct::io

@@ -1,0 +1,225 @@
+// Phantom substrate tests: analytic densities, exact line integrals,
+// voxelisation and the cone-beam forward projector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phantom/shepp_logan.hpp"
+
+namespace xct::phantom {
+namespace {
+
+CbctGeometry geo()
+{
+    CbctGeometry g;
+    g.dso = 100.0;
+    g.dsd = 250.0;
+    g.num_proj = 8;
+    g.nu = 64;
+    g.nv = 48;
+    g.du = 0.5;
+    g.dv = 0.5;
+    g.vol = {32, 32, 24};
+    g.dx = g.dy = g.dz = CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, g.vol.x);
+    return g;
+}
+
+TEST(SheppLogan, HasTenEllipsoids)
+{
+    EXPECT_EQ(shepp_logan_3d(10.0).size(), 10u);
+}
+
+TEST(SheppLogan, CentreDensityIsSkullMinusBrain)
+{
+    const auto e = shepp_logan_3d(10.0);
+    EXPECT_NEAR(density_at(e, 0.0, 0.0, 0.0), 0.2, 1e-12);
+}
+
+TEST(SheppLogan, OutsideSkullIsZero)
+{
+    const auto e = shepp_logan_3d(10.0);
+    EXPECT_DOUBLE_EQ(density_at(e, 11.0, 0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(density_at(e, 0.0, 0.0, 15.0), 0.0);
+}
+
+TEST(SheppLogan, ScalesWithRadius)
+{
+    const auto small = shepp_logan_3d(5.0);
+    const auto big = shepp_logan_3d(20.0);
+    // Same normalised position must give the same density.
+    EXPECT_DOUBLE_EQ(density_at(small, 1.0, 2.0, 0.5), density_at(big, 4.0, 8.0, 2.0));
+}
+
+TEST(LineIntegral, ChordThroughSphereCentre)
+{
+    const std::vector<Ellipsoid> e{{2.0, 3.0, 3.0, 3.0, 0.0, 0.0, 0.0, 0.0}};
+    // Segment passing straight through: integral = density * diameter.
+    const double li = line_integral(e, {-10.0, 0.0, 0.0}, {10.0, 0.0, 0.0});
+    EXPECT_NEAR(li, 2.0 * 6.0, 1e-12);
+}
+
+TEST(LineIntegral, OffCentreChordLength)
+{
+    const std::vector<Ellipsoid> e{{1.0, 5.0, 5.0, 5.0, 0.0, 0.0, 0.0, 0.0}};
+    // Chord at impact parameter 3 of a radius-5 sphere: 2*sqrt(25-9) = 8.
+    const double li = line_integral(e, {-20.0, 3.0, 0.0}, {20.0, 3.0, 0.0});
+    EXPECT_NEAR(li, 8.0, 1e-12);
+}
+
+TEST(LineIntegral, MissingRayIsZero)
+{
+    const std::vector<Ellipsoid> e{{1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0}};
+    EXPECT_DOUBLE_EQ(line_integral(e, {-10.0, 5.0, 0.0}, {10.0, 5.0, 0.0}), 0.0);
+}
+
+TEST(LineIntegral, SegmentClipping)
+{
+    const std::vector<Ellipsoid> e{{1.0, 4.0, 4.0, 4.0, 0.0, 0.0, 0.0, 0.0}};
+    // Segment ends at the centre: only half the diameter is traversed.
+    EXPECT_NEAR(line_integral(e, {-10.0, 0.0, 0.0}, {0.0, 0.0, 0.0}), 4.0, 1e-12);
+    // Segment fully inside.
+    EXPECT_NEAR(line_integral(e, {-1.0, 0.0, 0.0}, {1.0, 0.0, 0.0}), 2.0, 1e-12);
+}
+
+TEST(LineIntegral, RotatedEllipsoidMatchesAxisAligned)
+{
+    // A sphere is rotation invariant: phi must not change the integral.
+    std::vector<Ellipsoid> a{{1.0, 2.0, 2.0, 2.0, 1.0, -1.0, 0.5, 0.0}};
+    std::vector<Ellipsoid> b = a;
+    b[0].phi = 1.234;
+    const Vec3 s{-9.0, 2.0, 1.0};
+    const Vec3 d{8.0, -3.0, 0.0};
+    EXPECT_NEAR(line_integral(a, s, d), line_integral(b, s, d), 1e-12);
+}
+
+TEST(LineIntegral, AdditiveOverEllipsoids)
+{
+    std::vector<Ellipsoid> both{{1.0, 2.0, 2.0, 2.0, 0.0, 0.0, 0.0, 0.0},
+                                {0.5, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0}};
+    std::vector<Ellipsoid> first{both[0]};
+    std::vector<Ellipsoid> second{both[1]};
+    const Vec3 s{-10.0, 0.3, 0.1};
+    const Vec3 d{10.0, -0.2, 0.0};
+    EXPECT_NEAR(line_integral(both, s, d),
+                line_integral(first, s, d) + line_integral(second, s, d), 1e-12);
+}
+
+TEST(Voxelize, MatchesPointDensities)
+{
+    const CbctGeometry g = geo();
+    const auto e = shepp_logan_3d(g.dx * static_cast<double>(g.vol.x) / 2.2);
+    const Volume v = voxelize(e, g);
+    const double ox = (static_cast<double>(g.vol.x) - 1.0) / 2.0;
+    const double oy = (static_cast<double>(g.vol.y) - 1.0) / 2.0;
+    const double oz = (static_cast<double>(g.vol.z) - 1.0) / 2.0;
+    for (index_t k = 0; k < g.vol.z; k += 5)
+        for (index_t j = 0; j < g.vol.y; j += 7)
+            for (index_t i = 0; i < g.vol.x; i += 3) {
+                const double want = density_at(e, (static_cast<double>(i) - ox) * g.dx,
+                                               (static_cast<double>(j) - oy) * g.dy,
+                                               (static_cast<double>(k) - oz) * g.dz);
+                ASSERT_FLOAT_EQ(v.at(i, j, k), static_cast<float>(want));
+            }
+}
+
+TEST(ForwardProject, CentralPixelSeesDiameterOfCentredSphere)
+{
+    CbctGeometry g = geo();
+    const double r = 3.0;
+    const std::vector<Ellipsoid> e{{1.0, r, r, r, 0.0, 0.0, 0.0, 0.0}};
+    const ProjectionStack p = forward_project(e, g);
+    // The central detector pixel's ray passes through the sphere centre.
+    const float got = p.at(0, g.nv / 2, g.nu / 2);
+    // Centre is between pixels; allow tolerance of a half-pixel ray offset.
+    EXPECT_NEAR(got, 2.0 * r, 0.15);
+}
+
+TEST(ForwardProject, RotationInvariantForCentredSphere)
+{
+    const CbctGeometry g = geo();
+    const std::vector<Ellipsoid> e{{1.0, 2.0, 2.0, 2.0, 0.0, 0.0, 0.0, 0.0}};
+    const ProjectionStack p = forward_project(e, g);
+    for (index_t s = 1; s < g.num_proj; ++s)
+        for (index_t v = 0; v < g.nv; v += 7)
+            for (index_t u = 0; u < g.nu; u += 5)
+                ASSERT_NEAR(p.at(s, v, u), p.at(0, v, u), 1e-4f) << "s=" << s;
+}
+
+TEST(ForwardProject, OffCentreObjectRotatesThroughViews)
+{
+    const CbctGeometry g = geo();
+    const std::vector<Ellipsoid> e{{1.0, 1.5, 1.5, 1.5, 4.0, 0.0, 0.0, 0.0}};
+    const ProjectionStack p = forward_project(e, g);
+    // Half a rotation later the blob appears mirrored in U.
+    const index_t half = g.num_proj / 2;
+    double m0 = 0.0, mh = 0.0;  // first moments in U of view 0 and half
+    double w0 = 0.0, wh = 0.0;
+    for (index_t u = 0; u < g.nu; ++u) {
+        m0 += static_cast<double>(u) * p.at(0, g.nv / 2, u);
+        w0 += p.at(0, g.nv / 2, u);
+        mh += static_cast<double>(u) * p.at(half, g.nv / 2, u);
+        wh += p.at(half, g.nv / 2, u);
+    }
+    const double cu = (static_cast<double>(g.nu) - 1.0) / 2.0;
+    EXPECT_NEAR((m0 / w0 - cu), -(mh / wh - cu), 0.1);
+}
+
+TEST(ForwardProject, BandRestrictedMatchesFull)
+{
+    const CbctGeometry g = geo();
+    const auto e = shepp_logan_3d(4.0);
+    const ProjectionStack full = forward_project(e, g);
+    const Range band{10, 30};
+    const ProjectionStack part = forward_project(e, g, Range{2, 5}, band);
+    ASSERT_EQ(part.views(), 3);
+    for (index_t s = 0; s < 3; ++s)
+        for (index_t v = band.lo; v < band.hi; ++v)
+            for (index_t u = 0; u < g.nu; ++u)
+                ASSERT_FLOAT_EQ(part.at(s, v, u), full.at(s + 2, v, u));
+}
+
+TEST(ForwardProject, MagnificationEnlargesShadow)
+{
+    // The cone magnifies: the same sphere covers ~mag times more detector
+    // pixels than its physical size.
+    CbctGeometry g = geo();
+    const double r = 2.0;
+    const std::vector<Ellipsoid> e{{1.0, r, r, r, 0.0, 0.0, 0.0, 0.0}};
+    const ProjectionStack p = forward_project(e, g);
+    index_t hit = 0;
+    for (index_t u = 0; u < g.nu; ++u)
+        if (p.at(0, g.nv / 2, u) > 0.0f) ++hit;
+    const double expected_px = 2.0 * r * g.magnification() / g.du;
+    EXPECT_NEAR(static_cast<double>(hit), expected_px, 3.0);
+}
+
+TEST(PorousBean, DeterministicForSeed)
+{
+    const auto a = porous_bean(5.0, 12, 42);
+    const auto b = porous_bean(5.0, 12, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].cx, b[i].cx);
+        EXPECT_DOUBLE_EQ(a[i].a, b[i].a);
+    }
+    const auto c = porous_bean(5.0, 12, 43);
+    EXPECT_NE(a[2].cx, c[2].cx);
+}
+
+TEST(PorousBean, BodyPlusPores)
+{
+    const auto e = porous_bean(5.0, 8, 1);
+    EXPECT_EQ(e.size(), 10u);  // body + crease + 8 pores
+    EXPECT_GT(density_at(e, 0.0, 3.5, 0.0), 0.0);  // body off the crease
+}
+
+TEST(ForwardProject, RejectsBadRanges)
+{
+    const CbctGeometry g = geo();
+    const auto e = shepp_logan_3d(4.0);
+    EXPECT_THROW(forward_project(e, g, Range{0, 0}, Range{0, g.nv}), std::invalid_argument);
+    EXPECT_THROW(forward_project(e, g, Range{0, 1}, Range{0, g.nv + 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xct::phantom

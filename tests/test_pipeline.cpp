@@ -1,0 +1,149 @@
+// Pipeline plumbing tests: bounded queues and the Fig. 10 timeline
+// recorder.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pipeline/queue.hpp"
+#include "pipeline/timeline.hpp"
+
+namespace xct::pipeline {
+namespace {
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd)
+{
+    BoundedQueue<int> q(4);
+    q.push(7);
+    q.close();
+    EXPECT_EQ(q.pop().value(), 7);
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_FALSE(q.pop().has_value());  // stays closed
+}
+
+TEST(BoundedQueue, PushAfterCloseThrows)
+{
+    BoundedQueue<int> q(2);
+    q.close();
+    EXPECT_THROW(q.push(1), std::invalid_argument);
+}
+
+TEST(BoundedQueue, BlocksProducerWhenFull)
+{
+    BoundedQueue<int> q(1);
+    q.push(1);
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        q.push(2);
+        pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());  // producer blocked by capacity
+    EXPECT_EQ(q.pop().value(), 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, ProducerConsumerStress)
+{
+    BoundedQueue<int> q(3);
+    constexpr int kN = 500;
+    long long sum = 0;
+    std::thread consumer([&] {
+        while (auto v = q.pop()) sum += *v;
+    });
+    for (int i = 1; i <= kN; ++i) q.push(i);
+    q.close();
+    consumer.join();
+    EXPECT_EQ(sum, static_cast<long long>(kN) * (kN + 1) / 2);
+}
+
+TEST(BoundedQueue, MoveOnlyItems)
+{
+    BoundedQueue<std::unique_ptr<int>> q(2);
+    q.push(std::make_unique<int>(42));
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(**v, 42);
+}
+
+TEST(Timeline, RecordsAndAggregates)
+{
+    Timeline tl;
+    tl.record("load", 0, 0.0, 1.0);
+    tl.record("load", 1, 2.0, 2.5);
+    tl.record("bp", 0, 1.0, 3.0);
+    EXPECT_DOUBLE_EQ(tl.stage_busy("load"), 1.5);
+    EXPECT_DOUBLE_EQ(tl.stage_busy("bp"), 2.0);
+    EXPECT_DOUBLE_EQ(tl.stage_busy("absent"), 0.0);
+    EXPECT_DOUBLE_EQ(tl.makespan(), 3.0);
+}
+
+TEST(Timeline, OverlapFactorMeasuresConcurrency)
+{
+    Timeline tl;
+    // Two stages fully overlapped: busy 2.0 over makespan 1.0.
+    tl.record("a", 0, 0.0, 1.0);
+    tl.record("b", 0, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(tl.overlap_factor(), 2.0);
+}
+
+TEST(Timeline, RenderShowsEveryStageRow)
+{
+    Timeline tl;
+    tl.record("load", 0, 0.0, 0.5);
+    tl.record("store", 0, 0.5, 1.0);
+    const std::string chart = tl.render(40);
+    EXPECT_NE(chart.find("load"), std::string::npos);
+    EXPECT_NE(chart.find("store"), std::string::npos);
+    EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(Timeline, EmptyRenders)
+{
+    Timeline tl;
+    EXPECT_EQ(tl.render(), "(empty timeline)\n");
+    EXPECT_DOUBLE_EQ(tl.overlap_factor(), 0.0);
+}
+
+TEST(ScopedSpan, RecordsEnclosedInterval)
+{
+    Timeline tl;
+    {
+        ScopedSpan s(tl, "work", 3);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const auto spans = tl.spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].stage, "work");
+    EXPECT_EQ(spans[0].item, 3);
+    EXPECT_GE(spans[0].end - spans[0].begin, 0.004);
+}
+
+TEST(Timeline, ThreadSafeRecording)
+{
+    Timeline tl;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 100; ++i)
+                tl.record("s" + std::to_string(t), i, static_cast<double>(i),
+                          static_cast<double>(i) + 0.5);
+        });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(tl.spans().size(), 400u);
+}
+
+}  // namespace
+}  // namespace xct::pipeline

@@ -1,0 +1,88 @@
+// Beer-law preprocessing tests (Eq. 1) and its synthetic inverse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/preprocess.hpp"
+
+namespace xct {
+namespace {
+
+TEST(BeerLaw, FullTransmissionGivesZeroAttenuation)
+{
+    std::vector<float> c{65536.0f};
+    beer_law(c, BeerLawScalar{0.0f, 65536.0f});
+    EXPECT_NEAR(c[0], 0.0f, 1e-6f);
+}
+
+TEST(BeerLaw, HalfTransmissionGivesLogTwo)
+{
+    std::vector<float> c{32768.0f};
+    beer_law(c, BeerLawScalar{0.0f, 65536.0f});
+    EXPECT_NEAR(c[0], std::log(2.0f), 1e-5f);
+}
+
+TEST(BeerLaw, DarkOffsetIsSubtracted)
+{
+    // (lambda - dark) / (blank - dark) = (300-100)/(500-100) = 0.5
+    std::vector<float> c{300.0f};
+    beer_law(c, BeerLawScalar{100.0f, 500.0f});
+    EXPECT_NEAR(c[0], std::log(2.0f), 1e-5f);
+}
+
+TEST(BeerLaw, DeadPixelStaysFinite)
+{
+    std::vector<float> c{0.0f, -5.0f};
+    beer_law(c, BeerLawScalar{100.0f, 500.0f});
+    EXPECT_TRUE(std::isfinite(c[0]));
+    EXPECT_TRUE(std::isfinite(c[1]));
+    EXPECT_GT(c[0], 10.0f);  // large attenuation, not inf
+}
+
+TEST(BeerLaw, RejectsDegenerateCalibration)
+{
+    std::vector<float> c{1.0f};
+    EXPECT_THROW(beer_law(c, BeerLawScalar{5.0f, 5.0f}), std::invalid_argument);
+}
+
+TEST(BeerLaw, PerPixelCalibration)
+{
+    std::vector<float> counts{50.0f, 200.0f, 50.0f, 200.0f};  // two 2-pixel projections
+    std::vector<float> dark{0.0f, 100.0f};
+    std::vector<float> blank{100.0f, 300.0f};
+    beer_law(counts, dark, blank);
+    EXPECT_NEAR(counts[0], std::log(2.0f), 1e-5f);
+    EXPECT_NEAR(counts[1], std::log(2.0f), 1e-5f);
+    EXPECT_NEAR(counts[2], counts[0], 1e-6f);  // same calibration per pixel position
+}
+
+TEST(BeerLaw, PerPixelRejectsMismatchedSizes)
+{
+    std::vector<float> counts{1.0f, 2.0f, 3.0f};
+    std::vector<float> dark{0.0f, 0.0f};
+    std::vector<float> blank{10.0f, 10.0f};
+    EXPECT_THROW(beer_law(counts, dark, blank), std::invalid_argument);
+}
+
+TEST(BeerLaw, RoundTripWithInverse)
+{
+    const BeerLawScalar cal{200.0f, 60000.0f};
+    std::vector<float> p{0.0f, 0.3f, 1.7f, 4.2f};
+    std::vector<float> counts = p;
+    inverse_beer_law(counts, cal);
+    beer_law(counts, cal);
+    for (std::size_t i = 0; i < p.size(); ++i) EXPECT_NEAR(counts[i], p[i], 1e-3f);
+}
+
+TEST(BeerLaw, StackOverloadProcessesEveryPixel)
+{
+    ProjectionStack st(2, 3, 4, 32768.0f);
+    beer_law(st, BeerLawScalar{0.0f, 65536.0f});
+    for (index_t s = 0; s < 2; ++s)
+        for (index_t v = 0; v < 3; ++v)
+            for (index_t u = 0; u < 4; ++u) EXPECT_NEAR(st.at(s, v, u), std::log(2.0f), 1e-5f);
+}
+
+}  // namespace
+}  // namespace xct

@@ -1,0 +1,110 @@
+// Quality-metric tests: PSNR, region statistics, CNR, profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "recon/quality.hpp"
+
+namespace xct::recon {
+namespace {
+
+TEST(Psnr, IdenticalVolumesAreInfinite)
+{
+    Volume a(Dim3{4, 4, 4});
+    a.at(0, 0, 0) = 1.0f;  // non-constant reference
+    EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Psnr, KnownValue)
+{
+    // Reference in [0, 1]; uniform error 0.1 -> MSE 0.01 -> PSNR 20 dB.
+    Volume ref(Dim3{2, 2, 2});
+    ref.at(0, 0, 0) = 1.0f;  // range [0, 1]
+    Volume noisy = ref;
+    for (float& v : noisy.span()) v += 0.1f;
+    EXPECT_NEAR(psnr(noisy, ref), 20.0, 1e-4);
+}
+
+TEST(Psnr, LowerErrorMeansHigherPsnr)
+{
+    Volume ref(Dim3{4, 4, 4});
+    ref.at(1, 1, 1) = 2.0f;
+    Volume small_err = ref, big_err = ref;
+    for (float& v : small_err.span()) v += 0.01f;
+    for (float& v : big_err.span()) v += 0.2f;
+    EXPECT_GT(psnr(small_err, ref), psnr(big_err, ref));
+}
+
+TEST(Psnr, RejectsConstantReference)
+{
+    const Volume a(Dim3{2, 2, 2}, 1.0f);
+    Volume b(Dim3{2, 2, 2}, 1.0f);
+    b.at(0, 0, 0) = 2.0f;
+    EXPECT_THROW(psnr(b, a), std::invalid_argument);
+}
+
+TEST(RegionStats, UniformSphere)
+{
+    Volume v(Dim3{9, 9, 9}, 3.0f);
+    const RegionStats r = region_stats(v, 4, 4, 4, 2.5);
+    EXPECT_DOUBLE_EQ(r.mean, 3.0);
+    EXPECT_DOUBLE_EQ(r.stddev, 0.0);
+    EXPECT_GT(r.count, 30);  // ~4/3 pi 2.5^3 ≈ 65 voxel centres
+    EXPECT_LT(r.count, 100);
+}
+
+TEST(RegionStats, CountsOnlyInsideSphere)
+{
+    Volume v(Dim3{5, 5, 5});
+    const RegionStats tiny = region_stats(v, 2, 2, 2, 0.5);
+    EXPECT_EQ(tiny.count, 1);  // only the centre voxel
+}
+
+TEST(RegionStats, MixedValues)
+{
+    Volume v(Dim3{3, 1, 1});
+    v.at(0, 0, 0) = 1.0f;
+    v.at(1, 0, 0) = 3.0f;
+    v.at(2, 0, 0) = 5.0f;
+    const RegionStats r = region_stats(v, 1, 0, 0, 1.1);
+    EXPECT_EQ(r.count, 3);
+    EXPECT_DOUBLE_EQ(r.mean, 3.0);
+    EXPECT_NEAR(r.stddev, std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(RegionStats, ThrowsOnEmptyRegion)
+{
+    Volume v(Dim3{4, 4, 4});
+    EXPECT_THROW(region_stats(v, 100, 100, 100, 1.0), std::invalid_argument);
+}
+
+TEST(Cnr, HigherContrastOrLowerNoiseRaisesCnr)
+{
+    const RegionStats f1{1.0, 0.1, 10};
+    const RegionStats f2{2.0, 0.1, 10};
+    const RegionStats bg{0.0, 0.1, 10};
+    EXPECT_GT(cnr(f2, bg), cnr(f1, bg));
+    const RegionStats noisy_bg{0.0, 0.5, 10};
+    EXPECT_GT(cnr(f1, bg), cnr(f1, noisy_bg));
+    EXPECT_NEAR(cnr(f1, bg), 10.0, 1e-12);  // 1.0 / 0.1
+}
+
+TEST(Cnr, RejectsZeroNoise)
+{
+    const RegionStats a{1.0, 0.0, 5};
+    const RegionStats b{0.0, 0.0, 5};
+    EXPECT_THROW(cnr(a, b), std::invalid_argument);
+}
+
+TEST(ProfileX, ExtractsLine)
+{
+    Volume v(Dim3{4, 3, 2});
+    for (index_t i = 0; i < 4; ++i) v.at(i, 1, 1) = static_cast<float>(i * i);
+    const auto p = profile_x(v, 1, 1);
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_FLOAT_EQ(p[3], 9.0f);
+    EXPECT_THROW(profile_x(v, 3, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xct::recon

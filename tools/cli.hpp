@@ -1,0 +1,91 @@
+#pragma once
+// Minimal self-contained command-line option parser shared by the xct
+// tools: `--key value` options, `--flag` booleans, automatic --help.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace xct::cli {
+
+class Args {
+public:
+    /// Declare an option with a default (shown in --help).
+    Args& option(const std::string& name, const std::string& default_value,
+                 const std::string& help)
+    {
+        order_.push_back(name);
+        help_[name] = help;
+        values_[name] = default_value;
+        return *this;
+    }
+
+    /// Declare a boolean flag (off by default).
+    Args& flag(const std::string& name, const std::string& help)
+    {
+        order_.push_back(name);
+        help_[name] = help;
+        flags_[name] = false;
+        return *this;
+    }
+
+    /// Parse argv; prints usage and exits 0 on --help, exits 2 on errors.
+    void parse(int argc, char** argv, const std::string& description)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--help" || a == "-h") {
+                usage(argv[0], description);
+                std::exit(0);
+            }
+            if (a.rfind("--", 0) != 0) fail(argv[0], description, "unexpected argument: " + a);
+            const std::string name = a.substr(2);
+            if (flags_.count(name) != 0) {
+                flags_[name] = true;
+                continue;
+            }
+            if (values_.count(name) == 0) fail(argv[0], description, "unknown option: " + a);
+            if (i + 1 >= argc) fail(argv[0], description, "missing value for " + a);
+            values_[name] = argv[++i];
+        }
+    }
+
+    const std::string& get(const std::string& name) const { return values_.at(name); }
+    double get_double(const std::string& name) const { return std::atof(get(name).c_str()); }
+    index_t get_int(const std::string& name) const { return std::atoll(get(name).c_str()); }
+    bool get_flag(const std::string& name) const { return flags_.at(name); }
+    bool is_set(const std::string& name) const { return !values_.at(name).empty(); }
+
+private:
+    void usage(const char* prog, const std::string& description) const
+    {
+        std::printf("%s — %s\n\noptions:\n", prog, description.c_str());
+        for (const auto& name : order_) {
+            if (flags_.count(name) != 0)
+                std::printf("  --%-18s %s\n", name.c_str(), help_.at(name).c_str());
+            else
+                std::printf("  --%-18s %s (default: %s)\n", name.c_str(), help_.at(name).c_str(),
+                            values_.at(name).empty() ? "<none>" : values_.at(name).c_str());
+        }
+    }
+
+    [[noreturn]] void fail(const char* prog, const std::string& description,
+                           const std::string& msg) const
+    {
+        std::fprintf(stderr, "error: %s\n\n", msg.c_str());
+        usage(prog, description);
+        std::exit(2);
+    }
+
+    std::vector<std::string> order_;
+    std::map<std::string, std::string> help_;
+    std::map<std::string, std::string> values_;
+    std::map<std::string, bool> flags_;
+};
+
+}  // namespace xct::cli

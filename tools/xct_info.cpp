@@ -1,0 +1,98 @@
+// xct_info — inspect xct files: volume/stack extents, value statistics,
+// and the decomposition plan a geometry implies (slab row bands, deltas,
+// device footprint) — handy for sizing device budgets before a run.
+//
+//   xct_info --file vol.xvol
+//   xct_info --geom proj.xstk.geom --batches 8
+
+#include <algorithm>
+#include <cstdio>
+
+#include "cli.hpp"
+#include "core/decompose.hpp"
+#include "io/geometry_io.hpp"
+#include "io/raw_io.hpp"
+
+namespace {
+
+void print_stats(std::span<const float> data)
+{
+    double sum = 0.0;
+    float lo = data.empty() ? 0.0f : data[0];
+    float hi = lo;
+    for (float v : data) {
+        sum += v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::printf("  values: min %.6g  max %.6g  mean %.6g\n", static_cast<double>(lo),
+                static_cast<double>(hi), sum / static_cast<double>(data.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace xct;
+    cli::Args args;
+    args.option("file", "", "volume (.xvol) or stack (.xstk) to describe")
+        .option("geom", "", "geometry sidecar to analyse")
+        .option("batches", "8", "batch count Nc for the decomposition analysis");
+    args.parse(argc, argv, "inspect xct files and decomposition plans");
+
+    if (args.is_set("file")) {
+        const std::filesystem::path p = args.get("file");
+        if (p.extension() == ".xvol") {
+            const Volume v = io::read_volume(p);
+            std::printf("%s: volume %lld x %lld x %lld (%.1f MiB)\n", p.string().c_str(),
+                        static_cast<long long>(v.size().x), static_cast<long long>(v.size().y),
+                        static_cast<long long>(v.size().z),
+                        static_cast<double>(v.count()) * 4.0 / (1024 * 1024));
+            print_stats(v.span());
+        } else {
+            const ProjectionStack s = io::read_stack(p);
+            std::printf("%s: stack %lld views x rows [%lld,%lld) x %lld cols (%.1f MiB)\n",
+                        p.string().c_str(), static_cast<long long>(s.views()),
+                        static_cast<long long>(s.row_begin()),
+                        static_cast<long long>(s.row_begin() + s.rows()),
+                        static_cast<long long>(s.cols()),
+                        static_cast<double>(s.count()) * 4.0 / (1024 * 1024));
+            print_stats(s.span());
+        }
+    }
+
+    if (args.is_set("geom")) {
+        const io::GeometryFile gf = io::read_geometry(args.get("geom"));
+        const CbctGeometry& g = gf.geometry;
+        std::printf("geometry: Dso %.3g  Dsd %.3g  mag %.2fx  detector %lldx%lld @ %g mm  "
+                    "%lld views over %.0f deg\n",
+                    g.dso, g.dsd, g.magnification(), static_cast<long long>(g.nu),
+                    static_cast<long long>(g.nv), g.du, static_cast<long long>(g.num_proj),
+                    g.scan_range * 180.0 / 3.14159265358979323846);
+        std::printf("volume  : %lld^3 @ %g mm/voxel%s\n", static_cast<long long>(g.vol.x), g.dx,
+                    gf.raw_counts ? "  (stack stores raw counts)" : "");
+
+        const index_t nc = args.get_int("batches");
+        const index_t nb = (g.vol.z + nc - 1) / nc;
+        const auto plans = plan_slabs(g, Range{0, g.vol.z}, nb);
+        index_t h = 0, moved = 0;
+        for (const auto& pl : plans) {
+            h = std::max(h, pl.rows.length());
+            moved += pl.delta.length();
+        }
+        std::printf("decomposition (Nc=%lld, Nb=%lld):\n", static_cast<long long>(nc),
+                    static_cast<long long>(nb));
+        for (const auto& pl : plans)
+            std::printf("  slab [%4lld,%4lld)  rows [%4lld,%4lld)  delta %4lld rows\n",
+                        static_cast<long long>(pl.slab.lo), static_cast<long long>(pl.slab.hi),
+                        static_cast<long long>(pl.rows.lo), static_cast<long long>(pl.rows.hi),
+                        static_cast<long long>(pl.delta.length()));
+        const double tex_mib = static_cast<double>(g.nu * g.num_proj * h) * 4.0 / (1024 * 1024);
+        const double slab_mib = static_cast<double>(g.vol.x * g.vol.y * nb) * 4.0 / (1024 * 1024);
+        std::printf("device footprint: texture %.1f MiB (H=%lld rows) + slab %.1f MiB\n", tex_mib,
+                    static_cast<long long>(h), slab_mib);
+        std::printf("total rows moved H2D once: %lld of %lld detector rows\n",
+                    static_cast<long long>(moved), static_cast<long long>(g.nv));
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+// xct_project — generate synthetic cone-beam projections.
+//
+// Takes a paper dataset descriptor (optionally scaled) or a custom
+// geometry, forward-projects an analytic phantom, and writes the stack
+// plus its `.geom` sidecar.  Optionally emits raw photon counts (inverse
+// Beer law) so downstream reconstruction exercises the Eq.-1 path.
+//
+//   xct_project --dataset tomo_00030 --scale 8 --volume 64 --output proj.xstk
+//   xct_project --phantom bean --counts --output bean.xstk ...
+
+#include <cstdio>
+
+#include "cli.hpp"
+#include "io/datasets.hpp"
+#include "io/geometry_io.hpp"
+#include "io/raw_io.hpp"
+#include "recon/source.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace xct;
+    cli::Args args;
+    args.option("dataset", "tomo_00030", "paper dataset name (coffee_bean, bumblebee, tomo_0002x)")
+        .option("scale", "8", "resolution divisor applied to the dataset")
+        .option("volume", "64", "cubic output volume size the geometry targets")
+        .option("phantom", "shepp-logan", "phantom: shepp-logan | bean")
+        .option("voids", "16", "pore count for the bean phantom")
+        .option("seed", "2021", "seed for the bean phantom")
+        .option("scan-degrees", "360", "angular range of the scan")
+        .option("output", "projections.xstk", "output stack path (.geom sidecar added)")
+        .flag("counts", "emit raw photon counts instead of line integrals");
+    args.parse(argc, argv, "generate synthetic cone-beam projections");
+
+    io::Dataset ds = io::dataset_by_name(args.get("dataset"));
+    if (args.get_double("scale") > 1.0) ds = ds.scaled(args.get_double("scale"));
+    ds = ds.with_volume(args.get_int("volume"));
+    ds.geometry.scan_range = args.get_double("scan-degrees") * 3.14159265358979323846 / 180.0;
+    const CbctGeometry& g = ds.geometry;
+    g.validate();
+
+    const double radius = g.dx * static_cast<double>(g.vol.x) / 2.4;
+    std::vector<phantom::Ellipsoid> ph;
+    if (args.get("phantom") == "shepp-logan")
+        ph = phantom::shepp_logan_3d(radius);
+    else if (args.get("phantom") == "bean")
+        ph = phantom::porous_bean(radius, args.get_int("voids"),
+                                  static_cast<std::uint64_t>(args.get_int("seed")));
+    else {
+        std::fprintf(stderr, "error: unknown phantom '%s'\n", args.get("phantom").c_str());
+        return 2;
+    }
+
+    std::printf("projecting %s (%s): %lldx%lld detector, %lld views, scan %.0f deg\n",
+                args.get("dataset").c_str(), args.get("phantom").c_str(),
+                static_cast<long long>(g.nu), static_cast<long long>(g.nv),
+                static_cast<long long>(g.num_proj), args.get_double("scan-degrees"));
+
+    const bool counts = args.get_flag("counts");
+    recon::PhantomSource src(ph, g, counts ? std::optional<BeerLawScalar>(ds.beer) : std::nullopt);
+    const ProjectionStack stack = src.load(Range{0, g.num_proj}, Range{0, g.nv});
+
+    const std::filesystem::path out = args.get("output");
+    io::write_stack(out, stack);
+    io::write_geometry(out.string() + ".geom", io::GeometryFile{g, ds.beer, counts});
+    std::printf("wrote %s (%.1f MiB) + %s.geom\n", out.string().c_str(),
+                static_cast<double>(stack.count()) * 4.0 / (1024.0 * 1024.0),
+                out.string().c_str());
+    return 0;
+}

@@ -1,0 +1,32 @@
+// xct_stitch — assemble the slab files a distributed run stored into one
+// volume file.
+//
+//   xct_stitch --dir /pfs/run42 --output full.xvol
+
+#include <cstdio>
+
+#include "cli.hpp"
+#include "io/raw_io.hpp"
+#include "io/stitch.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace xct;
+    cli::Args args;
+    args.option("dir", ".", "directory containing slab_<lo>_<hi>.xvol files")
+        .option("output", "volume.xvol", "stitched output volume");
+    args.parse(argc, argv, "stitch distributed slab outputs into one volume");
+
+    const auto slabs = io::discover_slabs(args.get("dir"));
+    std::printf("found %zu slabs in %s\n", slabs.size(), args.get("dir").c_str());
+    for (const auto& s : slabs)
+        std::printf("  %s  slices [%lld, %lld)\n", s.path.filename().string().c_str(),
+                    static_cast<long long>(s.slices.lo), static_cast<long long>(s.slices.hi));
+
+    const Volume v = io::stitch_slabs(args.get("dir"));
+    io::write_volume(args.get("output"), v);
+    std::printf("wrote %s (%lld x %lld x %lld)\n", args.get("output").c_str(),
+                static_cast<long long>(v.size().x), static_cast<long long>(v.size().y),
+                static_cast<long long>(v.size().z));
+    return 0;
+}
