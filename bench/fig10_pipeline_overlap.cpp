@@ -17,13 +17,15 @@
 #include "perfmodel/model.hpp"
 #include "pipeline/timeline.hpp"
 #include "recon/fdk.hpp"
+#include "telemetry/export.hpp"
 
 int main()
 {
     using namespace xct;
     bench::heading("End-to-end pipeline overlap", "Figure 10");
 
-    // (a) real single-device run.
+    // (a) real single-device run, captured as a Perfetto-loadable trace
+    // on top of the ASCII chart.
     {
         const io::Dataset ds = io::dataset_by_name("tomo_00029").scaled(16.0).with_volume(96);
         const CbctGeometry& g = ds.geometry;
@@ -32,7 +34,13 @@ int main()
         recon::RankConfig cfg;
         cfg.geometry = g;
         cfg.batches = 8;
+        telemetry::tracer().enable();
         const recon::FdkResult r = recon::reconstruct_fdk(cfg, src);
+        telemetry::tracer().disable();  // keep the replay below out of the trace
+        const auto events = telemetry::tracer().events();
+        telemetry::write_chrome_trace("fig10_trace.json", events);
+        std::printf("wrote fig10_trace.json (%zu spans; open in ui.perfetto.dev)\n",
+                    events.size());
 
         pipeline::Timeline tl;
         for (const auto& s : r.stats.spans) tl.record(s.stage, s.item, s.begin, s.end);

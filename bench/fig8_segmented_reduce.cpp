@@ -86,6 +86,16 @@ int main()
             std::printf("  measured (shared memory, advisory only — the paper's win is the\n"
                         "  O(log N) network tree): reduce %.4f s, gather+sum %.4f s\n",
                         t_red, t_gat);
+            // The telemetry byte model over all reps: ceil(log2 Nr) levels
+            // for the tree vs Nr-1 full slabs for the gather.
+            const minimpi::CollectiveStats cs = c.collective_stats();
+            const double mib = 1024.0 * 1024.0;
+            std::printf("  accounted root-link volume (%llu reduce / %llu gather calls): "
+                        "reduce %.1f MiB vs gather %.1f MiB\n",
+                        static_cast<unsigned long long>(cs.reduce_calls),
+                        static_cast<unsigned long long>(cs.gather_calls),
+                        static_cast<double>(cs.reduce_root_bytes) / mib,
+                        static_cast<double>(cs.gather_root_bytes) / mib);
         }
     });
     return 0;

@@ -17,6 +17,7 @@
 #include "backproj/rtk_style.hpp"
 #include "perfmodel/model.hpp"
 #include "recon/fdk.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -123,8 +124,19 @@ int main()
     bench::note("infeasible (✗) for the RTK-style baseline, as in the paper.");
 
     // Budgets: the 64^3 output fits the device whole; 96^3 and 128^3 do not.
+    telemetry::registry().reset();
     run_dataset("tomo_00030", 8.0, {32, 64, 96, 128}, 3u << 20);
     run_dataset("tomo_00029", 16.0, {32, 64, 96, 128}, 4u << 20);
+
+    // Aggregate telemetry over both measured sweeps (always-on counters).
+    auto& reg = telemetry::registry();
+    std::printf("\nmeasured-sweep telemetry: H2D %.1f MiB in %llu transfers, D2H %.1f MiB, "
+                "%llu FFTs, %llu detector rows filtered\n",
+                bench::mib(reg.counter("sim.h2d.bytes").value()),
+                static_cast<unsigned long long>(reg.counter("sim.h2d.transfers").value()),
+                bench::mib(reg.counter("sim.d2h.bytes").value()),
+                static_cast<unsigned long long>(reg.counter("fft.transforms").value()),
+                static_cast<unsigned long long>(reg.counter("filter.rows_filtered").value()));
 
     bench::note("modelled full-scale rows (Sec. 5 parameters) vs the printed paper values:");
     bench::note("paper tomo_00029/V100: 2048^3 T_bp=124.2 T_runtime=137.7; 4096^3 971.1/1028.8");

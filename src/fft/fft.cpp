@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "telemetry/metrics.hpp"
+
 namespace xct::fft {
 
 index_t next_pow2(index_t n)
@@ -23,6 +25,11 @@ void transform(std::span<std::complex<double>> data, bool inverse)
     const std::size_t n = data.size();
     require(is_pow2(static_cast<index_t>(n)), "fft::transform: size must be a power of two");
     if (n == 1) return;
+
+    // One relaxed atomic add per transform — negligible against the
+    // O(n log n) butterflies, so this counts unconditionally.
+    static telemetry::Counter& transforms = telemetry::registry().counter("fft.transforms");
+    transforms.add(1);
 
     // Bit-reversal permutation.
     for (std::size_t i = 1, j = 0; i < n; ++i) {

@@ -5,6 +5,8 @@
 #include <numbers>
 
 #include "fft/fft.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace xct::filter {
 
@@ -149,6 +151,15 @@ void FilterEngine::apply_row_pair(std::span<float> a, index_t va, std::span<floa
 void FilterEngine::apply(ProjectionStack& stack) const
 {
     require(stack.cols() == nu_, "FilterEngine: stack width != Nu");
+    telemetry::ScopedTrace trace("filter", "apply", -1,
+                                 static_cast<std::uint64_t>(stack.count()) * sizeof(float));
+    {
+        static telemetry::Counter& calls = telemetry::registry().counter("filter.apply.calls");
+        static telemetry::Counter& rows_filtered =
+            telemetry::registry().counter("filter.rows_filtered");
+        calls.add(1);
+        rows_filtered.add(static_cast<std::uint64_t>(stack.views() * stack.rows()));
+    }
     const index_t views = stack.views();
     const index_t v0 = stack.row_begin();
     const index_t rows = stack.rows();

@@ -1,9 +1,26 @@
 #include "io/pfs.hpp"
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace xct::io {
 
 namespace {
 constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Mirror a PFS transfer into the telemetry layer (counters always on; a
+/// modelled-duration "io" span when tracing is enabled, like sim::Device).
+void telemetry_io(const char* op, std::uint64_t bytes, double seconds)
+{
+    auto& reg = telemetry::registry();
+    reg.counter(std::string("io.pfs.") + op + ".bytes").add(bytes);
+    reg.counter(std::string("io.pfs.") + op + ".operations").add(1);
+    auto& tr = telemetry::tracer();
+    if (tr.enabled()) {
+        const double now = tr.now();
+        tr.record(std::string("pfs.") + op, "io", now, now + seconds, -1, bytes);
+    }
+}
 }
 
 Pfs::Pfs(std::filesystem::path root, double load_gbps, double store_gbps)
@@ -21,16 +38,20 @@ std::filesystem::path Pfs::resolve(const std::string& rel) const
 
 void Pfs::account_load(std::uint64_t bytes)
 {
+    const double seconds = static_cast<double>(bytes) / (load_gbps_ * kGiB);
     load_.bytes += bytes;
     load_.operations += 1;
-    load_.seconds += static_cast<double>(bytes) / (load_gbps_ * kGiB);
+    load_.seconds += seconds;
+    telemetry_io("load", bytes, seconds);
 }
 
 void Pfs::account_store(std::uint64_t bytes)
 {
+    const double seconds = static_cast<double>(bytes) / (store_gbps_ * kGiB);
     store_.bytes += bytes;
     store_.operations += 1;
-    store_.seconds += static_cast<double>(bytes) / (store_gbps_ * kGiB);
+    store_.seconds += seconds;
+    telemetry_io("store", bytes, seconds);
 }
 
 void Pfs::store_volume(const std::string& rel, const Volume& v)

@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace xct::minimpi {
 namespace detail {
 
@@ -42,6 +45,8 @@ struct CommState {
     std::vector<long long> ia, ib;
     std::vector<double> dv;
     std::shared_ptr<void> result;  // split() publishes the new communicators here
+
+    CollectiveStats stats;  // guarded by m; written by one rank per collective
 };
 
 namespace {
@@ -68,6 +73,30 @@ void sync(CommState& st)
     }
     st.cv.wait(lk, [&] { return st.gen != my_gen || st.team->abort.load(); });
     if (st.gen == my_gen) throw std::runtime_error("minimpi: a peer rank failed");
+}
+
+/// Levels of a binomial tree over n ranks (0 for a single rank).
+std::uint64_t ceil_log2(index_t n)
+{
+    std::uint64_t levels = 0;
+    for (index_t span = 1; span < n; span <<= 1) ++levels;
+    return levels;
+}
+
+/// One rank (the accountant) records a collective's modelled traffic into
+/// the communicator state and mirrors it into the telemetry registry.
+void account_collective(CommState& st, std::uint64_t CollectiveStats::* calls,
+                        std::uint64_t CollectiveStats::* bytes, std::uint64_t amount,
+                        const char* op, const char* bytes_metric = "root_bytes")
+{
+    {
+        std::lock_guard lk(st.m);
+        st.stats.*calls += 1;
+        st.stats.*bytes += amount;
+    }
+    auto& reg = telemetry::registry();
+    reg.counter(std::string("minimpi.") + op + ".calls").add(1);
+    reg.counter(std::string("minimpi.") + op + "." + bytes_metric).add(amount);
 }
 
 void wake_all(Team& team)
@@ -142,6 +171,12 @@ void Communicator::reduce_sum(std::span<const float> send, std::span<float> recv
     require(state_ != nullptr, "Communicator: default-constructed handle");
     CommState& st = *state_;
     require(root >= 0 && root < st.size, "reduce_sum: root out of range");
+    const std::uint64_t payload = send.size() * sizeof(float);
+    telemetry::ScopedTrace trace("minimpi", "reduce_sum", -1, payload);
+    if (rank_ == root)
+        detail::account_collective(st, &CollectiveStats::reduce_calls,
+                                   &CollectiveStats::reduce_root_bytes,
+                                   detail::ceil_log2(st.size) * payload, "reduce_sum");
     st.slots[static_cast<std::size_t>(rank_)] = send.data();
     st.ia[static_cast<std::size_t>(rank_)] = static_cast<long long>(send.size());
     sync(st);
@@ -164,6 +199,13 @@ void Communicator::allreduce_sum(std::span<const float> send, std::span<float> r
     require(state_ != nullptr, "Communicator: default-constructed handle");
     require(recv.size() == send.size(), "allreduce_sum: recv size mismatch");
     CommState& st = *state_;
+    const std::uint64_t payload = send.size() * sizeof(float);
+    telemetry::ScopedTrace trace("minimpi", "allreduce_sum", -1, payload);
+    if (rank_ == 0)
+        detail::account_collective(st, &CollectiveStats::allreduce_calls,
+                                   &CollectiveStats::allreduce_bytes,
+                                   detail::ceil_log2(st.size) * payload, "allreduce_sum",
+                                   "bytes");
     st.slots[static_cast<std::size_t>(rank_)] = send.data();
     sync(st);
     std::fill(recv.begin(), recv.end(), 0.0f);
@@ -181,6 +223,15 @@ void Communicator::reduce_sum_hierarchical(std::span<const float> send, std::spa
     CommState& st = *state_;
     require(ranks_per_node > 0, "reduce_sum_hierarchical: ranks_per_node must be positive");
     require(root >= 0 && root < st.size, "reduce_sum_hierarchical: root out of range");
+    const std::uint64_t payload = send.size() * sizeof(float);
+    telemetry::ScopedTrace trace("minimpi", "reduce_sum_hierarchical", -1, payload);
+    if (rank_ == root) {
+        const index_t leaders = (st.size + ranks_per_node - 1) / ranks_per_node;
+        detail::account_collective(st, &CollectiveStats::hierarchical_calls,
+                                   &CollectiveStats::hierarchical_root_bytes,
+                                   detail::ceil_log2(leaders) * payload,
+                                   "reduce_sum_hierarchical");
+    }
 
     const index_t node = rank_ / ranks_per_node;
     const index_t leader = node * ranks_per_node;  // first rank of the node
@@ -219,6 +270,13 @@ void Communicator::bcast(std::span<float> data, index_t root)
     require(state_ != nullptr, "Communicator: default-constructed handle");
     CommState& st = *state_;
     require(root >= 0 && root < st.size, "bcast: root out of range");
+    const std::uint64_t payload = data.size() * sizeof(float);
+    telemetry::ScopedTrace trace("minimpi", "bcast", -1, payload);
+    if (rank_ == root)
+        detail::account_collective(st, &CollectiveStats::bcast_calls,
+                                   &CollectiveStats::bcast_bytes,
+                                   static_cast<std::uint64_t>(st.size - 1) * payload, "bcast",
+                                   "bytes");
     st.slots[static_cast<std::size_t>(rank_)] = data.data();
     sync(st);
     if (rank_ != root) {
@@ -233,6 +291,12 @@ void Communicator::gather(std::span<const float> send, std::span<float> recv, in
     require(state_ != nullptr, "Communicator: default-constructed handle");
     CommState& st = *state_;
     require(root >= 0 && root < st.size, "gather: root out of range");
+    const std::uint64_t payload = send.size() * sizeof(float);
+    telemetry::ScopedTrace trace("minimpi", "gather", -1, payload);
+    if (rank_ == root)
+        detail::account_collective(st, &CollectiveStats::gather_calls,
+                                   &CollectiveStats::gather_root_bytes,
+                                   static_cast<std::uint64_t>(st.size - 1) * payload, "gather");
     st.slots[static_cast<std::size_t>(rank_)] = send.data();
     sync(st);
     if (rank_ == root) {
@@ -245,6 +309,13 @@ void Communicator::gather(std::span<const float> send, std::span<float> recv, in
         }
     }
     sync(st);
+}
+
+CollectiveStats Communicator::collective_stats() const
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    std::lock_guard lk(state_->m);
+    return state_->stats;
 }
 
 double Communicator::allreduce_max(double v)
@@ -271,6 +342,7 @@ void run(index_t nranks, const RankFn& fn)
     threads.reserve(static_cast<std::size_t>(nranks));
     for (index_t r = 0; r < nranks; ++r) {
         threads.emplace_back([&, r] {
+            telemetry::set_current_rank(r);  // trace/metric attribution
             Communicator comm(world, r);
             try {
                 fn(comm);

@@ -33,6 +33,36 @@ namespace detail {
 struct CommState;
 }
 
+/// Byte/operation accounting of one communicator's collectives, analogous
+/// to sim::LinkStats for the PCIe links.  `*_root_bytes` model the traffic
+/// through the busiest rank's network link under the standard algorithms:
+///
+///   * reduce_sum:       binomial tree — the root link carries
+///                       ceil(log2(size)) * payload bytes (0 for size 1);
+///   * hierarchical:     the root link carries ceil(log2(#leaders)) *
+///                       payload (the intra-node stage is node-local);
+///   * gather:           the root ingests every other rank's payload —
+///                       (size - 1) * payload bytes (prior work's cost);
+///   * bcast:            total egress (size - 1) * payload bytes;
+///   * allreduce_sum:    recursive doubling — ceil(log2(size)) * payload
+///                       per rank link.
+///
+/// This is what Fig. 8's O(log N)-vs-O(N) comparison measures.  The same
+/// numbers are mirrored into the telemetry registry under
+/// `minimpi.<op>.calls` / `minimpi.<op>.root_bytes`.
+struct CollectiveStats {
+    std::uint64_t reduce_calls = 0;
+    std::uint64_t reduce_root_bytes = 0;
+    std::uint64_t hierarchical_calls = 0;
+    std::uint64_t hierarchical_root_bytes = 0;
+    std::uint64_t gather_calls = 0;
+    std::uint64_t gather_root_bytes = 0;
+    std::uint64_t bcast_calls = 0;
+    std::uint64_t bcast_bytes = 0;
+    std::uint64_t allreduce_calls = 0;
+    std::uint64_t allreduce_bytes = 0;
+};
+
 /// Handle to a communicator; cheap to copy, ranks share the underlying
 /// state.  Obtained from run() (the world communicator) or split().
 class Communicator {
@@ -75,6 +105,10 @@ public:
 
     /// Collective: max over single values (used for timing aggregation).
     double allreduce_max(double v);
+
+    /// Accumulated collective accounting of THIS communicator (shared by
+    /// all its ranks; any rank may read it after the collective returns).
+    CollectiveStats collective_stats() const;
 
     // -- used by the runtime ------------------------------------------------
     Communicator(std::shared_ptr<detail::CommState> state, index_t rank);

@@ -31,6 +31,13 @@ public:
     }
 
     /// Blocks until an item is available or the queue is closed and empty.
+    // GCC's -Wmaybe-uninitialized misfires on the moved-from optional
+    // payload of T when this is inlined at -O2 (false positive; the
+    // value always comes from a fully-constructed deque element).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
     std::optional<T> pop()
     {
         std::unique_lock lk(m_);
@@ -41,6 +48,9 @@ public:
         cv_space_.notify_one();
         return item;
     }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
     /// Signal end-of-stream: consumers drain the remaining items and then
     /// receive std::nullopt.

@@ -6,6 +6,9 @@
 #include <map>
 #include <sstream>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace xct::pipeline {
 
 double now_seconds()
@@ -23,6 +26,16 @@ double Timeline::elapsed() const
 
 void Timeline::record(std::string stage, index_t item, double begin, double end)
 {
+    // Feed the process-wide telemetry when enabled: the span lands on the
+    // tracer's single timebase (epoch_ is absolute, same clock), and the
+    // per-stage busy time accumulates in the metrics registry.  Disabled
+    // path: one relaxed atomic load.
+    auto& tr = telemetry::tracer();
+    if (tr.enabled()) {
+        tr.record_interval_abs(stage, "pipeline", epoch_ + begin, epoch_ + end, item);
+        telemetry::registry().gauge("pipeline.stage." + stage + ".seconds").add(end - begin);
+        telemetry::registry().counter("pipeline.stage." + stage + ".spans").add(1);
+    }
     std::lock_guard lk(m_);
     spans_.push_back(StageSpan{std::move(stage), item, begin, end});
 }
@@ -71,13 +84,18 @@ std::string Timeline::render(index_t width) const
         std::string row(static_cast<std::size_t>(width), '.');
         for (const auto& s : all) {
             if (s.stage != name) continue;
-            auto col = [&](double t) {
-                return std::clamp<index_t>(
-                    static_cast<index_t>(std::floor(t / span_end * static_cast<double>(width))), 0,
-                    width - 1);
+            // Half-open pixel mapping: a span covers the columns its
+            // interval intersects, never bleeding into the column that
+            // starts exactly at its end; a degenerate/sub-column span
+            // still marks the column it falls in (Fig. 10 regression:
+            // very short spans must not vanish from the chart).
+            auto clamp_col = [&](double c) {
+                return std::clamp<index_t>(static_cast<index_t>(c), 0, width - 1);
             };
-            for (index_t c = col(s.begin); c <= col(s.end); ++c)
-                row[static_cast<std::size_t>(c)] = '#';
+            const index_t c0 = clamp_col(std::floor(s.begin / span_end * static_cast<double>(width)));
+            index_t c1 = clamp_col(std::ceil(s.end / span_end * static_cast<double>(width)) - 1.0);
+            if (c1 < c0) c1 = c0;
+            for (index_t c = c0; c <= c1; ++c) row[static_cast<std::size_t>(c)] = '#';
         }
         out << name << std::string(label_w - name.size(), ' ') << " |" << row << "|\n";
     }

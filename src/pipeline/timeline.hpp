@@ -22,7 +22,11 @@ struct StageSpan {
     double end = 0.0;
 };
 
-/// Thread-safe recorder shared by all stage threads of one rank.
+/// Thread-safe recorder shared by all stage threads of one rank.  When
+/// the process-wide telemetry tracer is enabled (telemetry/trace.hpp),
+/// every record() is additionally forwarded there as a "pipeline" span on
+/// the tracer's timebase, and per-stage busy seconds accumulate in the
+/// metrics registry under `pipeline.stage.<stage>.seconds`.
 class Timeline {
 public:
     Timeline();

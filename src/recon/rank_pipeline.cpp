@@ -8,6 +8,7 @@
 #include "backproj/kernel.hpp"
 #include "filter/parker.hpp"
 #include "pipeline/queue.hpp"
+#include "telemetry/trace.hpp"
 
 namespace xct::recon {
 namespace {
@@ -173,6 +174,10 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         pipeline::BoundedQueue<LoadItem> q0(2), q1(2);
         pipeline::BoundedQueue<VolItem> q2(2), q3(2);
 
+        // Stage threads inherit the rank tag of the calling (minimpi rank)
+        // thread so telemetry attributes their spans to the right rank.
+        const index_t telemetry_rank = telemetry::current_rank();
+
         std::mutex em;
         std::exception_ptr first;
         auto guard = [&](auto&& body) {
@@ -189,12 +194,14 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         };
 
         std::thread t_load([&] {
+            telemetry::set_current_rank(telemetry_rank);
             guard([&] {
                 for (index_t i = 0; i < static_cast<index_t>(plans.size()); ++i) q0.push(load_one(i));
                 q0.close();
             });
         });
         std::thread t_filter([&] {
+            telemetry::set_current_rank(telemetry_rank);
             guard([&] {
                 while (auto item = q0.pop()) {
                     {
@@ -207,6 +214,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
             });
         });
         std::thread t_bp([&] {
+            telemetry::set_current_rank(telemetry_rank);
             guard([&] {
                 while (auto item = q1.pop()) {
                     VolItem v{item->idx, item->plan, bp.process(*item, tl)};
@@ -219,6 +227,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         // of Fig. 9 is the main thread in the paper, and minimpi
         // collectives must be called from the rank's own thread.
         std::thread t_store([&] {
+            telemetry::set_current_rank(telemetry_rank);
             guard([&] {
                 while (auto v = q3.pop()) store_one(*v);
             });

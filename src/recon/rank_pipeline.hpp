@@ -52,6 +52,12 @@ struct RankStats {
     sim::LinkStats h2d{};
     sim::LinkStats d2h{};
     std::vector<pipeline::StageSpan> spans;  ///< full Fig. 10 timeline
+
+    /// Total stage busy time (the numerator of the overlap factor).
+    double busy() const { return t_load + t_filter + t_bp + t_reduce + t_store; }
+    /// Overlap efficiency: busy() / wall; > 1 means stages genuinely
+    /// overlapped (same definition as pipeline::Timeline::overlap_factor).
+    double overlap_factor() const { return wall > 0.0 ? busy() / wall : 0.0; }
 };
 
 /// Reducer invoked once per slab, in slab order, on the back-projected

@@ -3,10 +3,29 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace xct::sim {
 
 namespace {
 constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Mirror a transfer into the process telemetry: always-on byte/transfer
+/// counters, plus (when tracing) a span whose duration is the *modelled*
+/// link time, placed at the wall-clock instant of the call — the trace
+/// shows T_H2D/T_D2H where they occur in the pipeline.
+void telemetry_transfer(const char* dir, std::size_t bytes, double seconds)
+{
+    auto& reg = telemetry::registry();
+    reg.counter(std::string("sim.") + dir + ".bytes").add(bytes);
+    reg.counter(std::string("sim.") + dir + ".transfers").add(1);
+    auto& tr = telemetry::tracer();
+    if (tr.enabled()) {
+        const double now = tr.now();
+        tr.record(dir, "sim", now, now + seconds, -1, bytes);
+    }
+}
 }
 
 Device::Device(std::size_t capacity_bytes, double h2d_gbps, double d2h_gbps)
@@ -36,16 +55,20 @@ void Device::release(std::size_t bytes) noexcept
 
 void Device::account_h2d(std::size_t bytes)
 {
+    const double seconds = static_cast<double>(bytes) / (h2d_gbps_ * kGiB);
     h2d_.bytes += bytes;
     h2d_.transfers += 1;
-    h2d_.seconds += static_cast<double>(bytes) / (h2d_gbps_ * kGiB);
+    h2d_.seconds += seconds;
+    telemetry_transfer("h2d", bytes, seconds);
 }
 
 void Device::account_d2h(std::size_t bytes)
 {
+    const double seconds = static_cast<double>(bytes) / (d2h_gbps_ * kGiB);
     d2h_.bytes += bytes;
     d2h_.transfers += 1;
-    d2h_.seconds += static_cast<double>(bytes) / (d2h_gbps_ * kGiB);
+    d2h_.seconds += seconds;
+    telemetry_transfer("d2h", bytes, seconds);
 }
 
 DeviceBuffer::DeviceBuffer(Device& dev, index_t count) : dev_(&dev)

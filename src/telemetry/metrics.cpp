@@ -1,0 +1,127 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace xct::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds))
+{
+    require(std::is_sorted(bounds_.begin(), bounds_.end()),
+            "Histogram: bucket bounds must be ascending");
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const
+{
+    std::vector<std::uint64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void Histogram::reset()
+{
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+void merge(MetricsSnapshot& into, const MetricsSnapshot& other)
+{
+    auto find_or_insert = [](auto& vec, const std::string& name) {
+        auto it = std::lower_bound(vec.begin(), vec.end(), name,
+                                   [](const auto& s, const std::string& n) { return s.name < n; });
+        if (it == vec.end() || it->name != name) {
+            // NB: insert(it, {}) would pick the initializer_list overload
+            // and insert nothing — spell out the value type.
+            typename std::remove_reference_t<decltype(vec)>::value_type sample{};
+            sample.name = name;
+            it = vec.insert(it, std::move(sample));
+        }
+        return it;
+    };
+    for (const auto& c : other.counters) find_or_insert(into.counters, c.name)->value += c.value;
+    for (const auto& g : other.gauges) find_or_insert(into.gauges, g.name)->value += g.value;
+    for (const auto& h : other.histograms) {
+        auto it = find_or_insert(into.histograms, h.name);
+        if (it->counts.empty()) {
+            it->bounds = h.bounds;
+            it->counts.assign(h.counts.size(), 0);
+        }
+        require(it->bounds == h.bounds, "merge: histogram bounds mismatch for " + h.name);
+        for (std::size_t i = 0; i < h.counts.size(); ++i) it->counts[i] += h.counts[i];
+        it->count += h.count;
+        it->sum += h.sum;
+    }
+}
+
+Counter& Registry::counter(const std::string& name)
+{
+    std::lock_guard lk(m_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name)
+{
+    std::lock_guard lk(m_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds)
+{
+    std::lock_guard lk(m_);
+    auto& slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    else
+        require(slot->bounds() == bounds,
+                "Registry::histogram: re-registration with different bounds for " + name);
+    return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const
+{
+    std::lock_guard lk(m_);
+    MetricsSnapshot s;
+    s.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) s.counters.push_back({name, c->value()});
+    s.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) s.gauges.push_back({name, g->value()});
+    s.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_)
+        s.histograms.push_back({name, h->bounds(), h->counts(), h->count(), h->sum()});
+    return s;
+}
+
+void Registry::reset()
+{
+    std::lock_guard lk(m_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& registry()
+{
+    static Registry r;
+    return r;
+}
+
+}  // namespace xct::telemetry

@@ -1,0 +1,112 @@
+#pragma once
+// Trace-span capture across every subsystem of one process.
+//
+// The tracer generalises pipeline::Timeline: named spans carry a
+// *category* (the subsystem: "pipeline", "minimpi", "sim", "io",
+// "filter"), a *rank* (the minimpi world rank, see set_current_rank) and
+// a *lane* (a small per-thread id), all against ONE process-wide epoch —
+// so a distributed run's trace shows all ranks of all groups on a single
+// timebase.  Spans are exported as Chrome trace-event JSON
+// (telemetry/export.hpp) and open directly in Perfetto / chrome://tracing
+// with pid = rank and tid = lane.
+//
+// Cost model: tracing is disabled by default; the disabled path is one
+// relaxed atomic load per potential span (no clock reads, no allocation),
+// so instrumented kernels do not regress.  When enabled, recording takes
+// a mutex — acceptable at span granularity (batches, collectives,
+// transfers), which is why the instrumentation sits at those boundaries
+// and not inside per-voxel loops.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace xct::telemetry {
+
+/// One recorded span.  Times are seconds since the tracer's epoch.
+struct TraceEvent {
+    std::string name;          ///< e.g. "bp", "reduce_sum", "h2d"
+    std::string cat;           ///< subsystem: "pipeline", "minimpi", ...
+    index_t rank = 0;          ///< minimpi world rank (Chrome trace pid)
+    index_t lane = 0;          ///< per-thread id (Chrome trace tid)
+    index_t item = -1;         ///< batch index, -1 = not applicable
+    std::uint64_t bytes = 0;   ///< payload size, 0 = not applicable
+    double begin = 0.0;
+    double end = 0.0;
+};
+
+/// The per-thread rank attribution: minimpi::run() tags each rank thread
+/// with its world rank, and recon::run_rank() propagates the tag to its
+/// stage threads, so low-level modules (sim::Device, io::Pfs, fft) can
+/// attribute work without threading a rank id through every call.
+index_t current_rank();
+void set_current_rank(index_t rank);
+
+/// Span recorder.  enable() (re)sets the epoch and clears prior events.
+class Tracer {
+public:
+    void enable();
+    void disable() { enabled_.store(false, std::memory_order_relaxed); }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Seconds since the epoch (meaningless while disabled).
+    double now() const;
+
+    /// Record a span given epoch-relative times.  rank defaults to
+    /// current_rank(); the lane is derived from the calling thread.
+    void record(std::string name, std::string cat, double begin, double end, index_t item = -1,
+                std::uint64_t bytes = 0);
+
+    /// Record a span given *absolute* pipeline::now_seconds() times —
+    /// used by recorders with their own epoch (pipeline::Timeline).
+    void record_interval_abs(std::string name, std::string cat, double abs_begin, double abs_end,
+                             index_t item = -1, std::uint64_t bytes = 0);
+
+    std::vector<TraceEvent> events() const;
+    std::size_t event_count() const;
+    void clear();
+
+private:
+    std::atomic<bool> enabled_{false};
+    double epoch_ = 0.0;  ///< absolute seconds (pipeline::now_seconds base)
+    mutable std::mutex m_;
+    std::vector<TraceEvent> events_;
+    std::unordered_map<std::thread::id, index_t> lanes_;
+
+    index_t lane_locked();
+};
+
+/// The process-wide tracer every subsystem feeds.
+Tracer& tracer();
+
+/// RAII span against the global tracer; free when tracing is disabled
+/// (one relaxed load in the constructor, one in the destructor).
+class ScopedTrace {
+public:
+    ScopedTrace(const char* cat, const char* name, index_t item = -1, std::uint64_t bytes = 0)
+        : cat_(cat), name_(name), item_(item), bytes_(bytes),
+          begin_(tracer().enabled() ? tracer().now() : -1.0)
+    {
+    }
+    ~ScopedTrace()
+    {
+        if (begin_ >= 0.0 && tracer().enabled())
+            tracer().record(name_, cat_, begin_, tracer().now(), item_, bytes_);
+    }
+    ScopedTrace(const ScopedTrace&) = delete;
+    ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+private:
+    const char* cat_;
+    const char* name_;
+    index_t item_;
+    std::uint64_t bytes_;
+    double begin_;
+};
+
+}  // namespace xct::telemetry

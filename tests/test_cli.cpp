@@ -61,6 +61,33 @@ TEST(Cli, IsSetDistinguishesEmptyDefaults)
     EXPECT_FALSE(args.is_set("out"));
 }
 
+TEST(Cli, ReconToolObservabilityFlagsParse)
+{
+    // Smoke test of the xct_recon-style --trace / --metrics options: both
+    // default off (empty), both capture a path when given.
+    Args args;
+    args.option("input", "projections.xstk", "input stack")
+        .option("trace", "", "Chrome trace output")
+        .option("metrics", "", "metrics CSV output");
+    std::vector<std::string> v{"prog",    "--input",   "p.xstk",
+                               "--trace", "out.json",  "--metrics",
+                               "m.csv"};
+    auto a = argv_of(v);
+    args.parse(static_cast<int>(a.size()), a.data(), "test");
+    EXPECT_TRUE(args.is_set("trace"));
+    EXPECT_EQ(args.get("trace"), "out.json");
+    EXPECT_TRUE(args.is_set("metrics"));
+    EXPECT_EQ(args.get("metrics"), "m.csv");
+
+    Args off;
+    off.option("trace", "", "t").option("metrics", "", "m");
+    std::vector<std::string> w{"prog"};
+    auto b = argv_of(w);
+    off.parse(static_cast<int>(b.size()), b.data(), "test");
+    EXPECT_FALSE(off.is_set("trace"));
+    EXPECT_FALSE(off.is_set("metrics"));
+}
+
 TEST(Cli, LaterValueWins)
 {
     Args args;

@@ -210,6 +210,64 @@ TEST(Gather, RootCollectsInRankOrder)
     });
 }
 
+TEST(CollectiveStats, SegmentedReduceMovesLogNotLinearVolume)
+{
+    // The Fig. 8 claim in bytes: the binomial-tree reduction moves
+    // ceil(log2 N) x payload over the root link, while the prior work's
+    // gather moves (N - 1) x payload.
+    constexpr index_t kRanks = 8;
+    constexpr std::size_t kElems = 64;
+    CollectiveStats stats;
+    run(kRanks, [&](Communicator& c) {
+        std::vector<float> send(kElems, 1.0f);
+        std::vector<float> recv(c.rank() == 0 ? kElems : 0);
+        c.reduce_sum(send, recv, 0);
+        std::vector<float> gathered(c.rank() == 0 ? kElems * kRanks : 0);
+        c.gather(send, gathered, 0);
+        if (c.rank() == 0) stats = c.collective_stats();
+    });
+    const std::uint64_t payload = kElems * sizeof(float);
+    EXPECT_EQ(stats.reduce_calls, 1u);
+    EXPECT_EQ(stats.reduce_root_bytes, 3u * payload);  // ceil(log2 8) = 3 levels
+    EXPECT_EQ(stats.gather_calls, 1u);
+    EXPECT_EQ(stats.gather_root_bytes, (kRanks - 1) * payload);
+    EXPECT_LT(stats.reduce_root_bytes, stats.gather_root_bytes);
+}
+
+TEST(CollectiveStats, HierarchicalReduceCountsLeaderLevelsOnly)
+{
+    // With 8 ranks at 4 per node there are 2 node leaders, so the
+    // inter-node phase is ceil(log2 2) = 1 level of payload.
+    constexpr std::size_t kElems = 32;
+    CollectiveStats stats;
+    run(8, [&](Communicator& c) {
+        std::vector<float> send(kElems, 1.0f);
+        std::vector<float> recv(c.rank() == 0 ? kElems : 0);
+        c.reduce_sum_hierarchical(send, recv, 0, /*ranks_per_node=*/4);
+        if (c.rank() == 0) stats = c.collective_stats();
+    });
+    EXPECT_EQ(stats.hierarchical_calls, 1u);
+    EXPECT_EQ(stats.hierarchical_root_bytes, kElems * sizeof(float));
+}
+
+TEST(CollectiveStats, SplitCommunicatorsAccountIndependently)
+{
+    run(4, [&](Communicator& world) {
+        Communicator g = world.split(world.rank() / 2, world.rank());
+        std::vector<float> send(16, 1.0f);
+        std::vector<float> recv(g.rank() == 0 ? 16 : 0);
+        g.reduce_sum(send, recv, 0);
+        if (g.rank() == 0) {
+            const CollectiveStats gs = g.collective_stats();
+            EXPECT_EQ(gs.reduce_calls, 1u);
+            // 2-rank group: ceil(log2 2) = 1 level.
+            EXPECT_EQ(gs.reduce_root_bytes, 16u * sizeof(float));
+        }
+        // No collective ever ran on the world communicator itself.
+        EXPECT_EQ(world.collective_stats().reduce_calls, 0u);
+    });
+}
+
 TEST(ReduceSum, SingleRankIsIdentity)
 {
     run(1, [&](Communicator& c) {

@@ -2,6 +2,7 @@
 // recorder.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <thread>
 
 #include "pipeline/queue.hpp"
@@ -108,6 +109,50 @@ TEST(Timeline, RenderShowsEveryStageRow)
     EXPECT_NE(chart.find("load"), std::string::npos);
     EXPECT_NE(chart.find("store"), std::string::npos);
     EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+/// The busy row between the two '|' bars for a named stage, or "" when
+/// the stage row is missing.
+std::string render_row(const std::string& chart, const std::string& stage)
+{
+    std::istringstream in(chart);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind(stage, 0) != 0) continue;
+        const auto l = line.find('|');
+        const auto r = line.rfind('|');
+        if (l == std::string::npos || r <= l) return "";
+        return line.substr(l + 1, r - l - 1);
+    }
+    return "";
+}
+
+TEST(Timeline, RenderNeverDropsShortSpans)
+{
+    // Quantisation regression: spans far narrower than one column — or
+    // fully degenerate — must still mark at least one '#'.
+    Timeline tl;
+    tl.record("bp", 0, 0.0, 10.0);
+    tl.record("store", 0, 5.0, 5.0000001);  // ~1/4000000 of a column
+    tl.record("load", 0, 10.0, 10.0);       // zero-length at the right edge
+    const std::string chart = tl.render(40);
+    for (const char* stage : {"bp", "store", "load"}) {
+        const std::string row = render_row(chart, stage);
+        ASSERT_EQ(row.size(), 40u) << stage;
+        EXPECT_NE(row.find('#'), std::string::npos) << stage;
+    }
+}
+
+TEST(Timeline, RenderDoesNotBleedPastSpanEnd)
+{
+    // Half-open mapping: back-to-back spans split the chart exactly, the
+    // first one not spilling into the column where the second begins.
+    Timeline tl;
+    tl.record("a", 0, 0.0, 0.5);
+    tl.record("b", 0, 0.5, 1.0);
+    const std::string chart = tl.render(40);
+    EXPECT_EQ(render_row(chart, "a"), std::string(20, '#') + std::string(20, '.'));
+    EXPECT_EQ(render_row(chart, "b"), std::string(20, '.') + std::string(20, '#'));
 }
 
 TEST(Timeline, EmptyRenders)

@@ -1,0 +1,36 @@
+# Validates the --trace / --metrics outputs of the tools_recon_trace run
+# (cmake -DTRACE=... -DMETRICS=... -P check_trace.cmake): the Chrome trace
+# must contain spans from several subsystems attributed to more than one
+# rank, and the metrics CSV must carry the expected counters.
+foreach(var TRACE METRICS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_trace.cmake: -D${var}=<path> is required")
+  endif()
+endforeach()
+
+file(READ ${TRACE} trace)
+if(NOT trace MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "${TRACE}: not a Chrome trace-event file")
+endif()
+foreach(cat pipeline minimpi sim filter)
+  if(NOT trace MATCHES "\"cat\":\"${cat}\"")
+    message(FATAL_ERROR "${TRACE}: missing ${cat} spans")
+  endif()
+endforeach()
+# The Ng=2 x Nr=2 run must attribute spans to all four ranks.
+foreach(pid 0 1 2 3)
+  if(NOT trace MATCHES "\"pid\":${pid}[,}]")
+    message(FATAL_ERROR "${TRACE}: no spans attributed to rank ${pid}")
+  endif()
+endforeach()
+
+file(READ ${METRICS} metrics)
+if(NOT metrics MATCHES "^name,kind,value\n")
+  message(FATAL_ERROR "${METRICS}: missing CSV header")
+endif()
+foreach(metric minimpi.reduce_sum.calls sim.h2d.bytes fft.transforms filter.rows_filtered)
+  if(NOT metrics MATCHES "${metric},")
+    message(FATAL_ERROR "${METRICS}: missing ${metric}")
+  endif()
+endforeach()
+message(STATUS "trace and metrics outputs look well-formed")

@@ -5,9 +5,15 @@
 // and writes the volume plus an optional preview slice.
 //
 //   xct_recon --input proj.xstk --output vol.xvol
-//   xct_recon --input proj.xstk --groups 2 --ranks 4 --window hann \
+//   xct_recon --input proj.xstk --groups 2 --ranks 4 --window hann
 //             --device-mib 64 --slice-pgm axial.pgm
+//
+// Observability: `--trace out.json` records every subsystem's spans
+// (pipeline stages, device transfers, minimpi collectives, PFS I/O) into
+// one Chrome trace-event file — open it at ui.perfetto.dev — and
+// `--metrics out.csv` dumps the telemetry metrics registry.
 
+#include <algorithm>
 #include <cstdio>
 #include <mutex>
 
@@ -16,6 +22,7 @@
 #include "io/raw_io.hpp"
 #include "recon/distributed.hpp"
 #include "recon/fdk.hpp"
+#include "telemetry/export.hpp"
 
 int main(int argc, char** argv)
 {
@@ -30,8 +37,26 @@ int main(int argc, char** argv)
         .option("ranks", "1", "Nr: ranks per group (view split)")
         .option("slices", "", "ROI: only reconstruct slices a:b (single rank only)")
         .option("slice-pgm", "", "optional PGM preview of the central slice")
+        .option("trace", "", "write a Chrome/Perfetto trace-event JSON of the run")
+        .option("metrics", "", "write a CSV dump of the telemetry metrics registry")
         .flag("sequential", "disable the 5-thread pipeline (debugging)");
     args.parse(argc, argv, "FDK cone-beam reconstruction");
+
+    // Enable span capture before any work so every subsystem's telemetry
+    // lands on one timebase; dump_telemetry() runs at every exit path.
+    if (args.is_set("trace") || args.is_set("metrics")) telemetry::tracer().enable();
+    const auto dump_telemetry = [&args] {
+        if (args.is_set("trace")) {
+            telemetry::write_chrome_trace(args.get("trace"), telemetry::tracer().events());
+            std::printf("wrote %s (%zu spans; open in ui.perfetto.dev)\n",
+                        args.get("trace").c_str(), telemetry::tracer().event_count());
+        }
+        if (args.is_set("metrics")) {
+            telemetry::write_metrics_csv(args.get("metrics"),
+                                         telemetry::registry().snapshot());
+            std::printf("wrote %s\n", args.get("metrics").c_str());
+        }
+    };
 
     const std::filesystem::path in = args.get("input");
     const io::GeometryFile gf = io::read_geometry(in.string() + ".geom");
@@ -68,6 +93,7 @@ int main(int argc, char** argv)
             io::write_pgm_slice(args.get("slice-pgm"), r.volume, r.volume.size().z / 2);
             std::printf("wrote %s\n", args.get("slice-pgm").c_str());
         }
+        dump_telemetry();
         return 0;
     }
     if (ng == 1 && nr == 1) {
@@ -98,8 +124,22 @@ int main(int argc, char** argv)
         };
         const recon::DistributedResult r = recon::reconstruct_distributed(cfg, factory);
         volume = r.volume;
-        std::printf("distributed wall %.3f s across %lld ranks\n", r.wall_seconds,
-                    static_cast<long long>(ng * nr));
+        for (index_t rank = 0; rank < ng * nr; ++rank) {
+            const recon::RankStats& st = r.ranks[static_cast<std::size_t>(rank)];
+            std::printf("rank %lld (group %lld): load %.3f filter %.3f bp %.3f reduce %.3f "
+                        "store %.3f | wall %.3f s overlap %.2f\n",
+                        static_cast<long long>(rank),
+                        static_cast<long long>(cfg.layout.group_of(rank)), st.t_load, st.t_filter,
+                        st.t_bp, st.t_reduce, st.t_store, st.wall, st.overlap_factor());
+        }
+        double busy = 0.0, worst_wall = 0.0;
+        for (const auto& st : r.ranks) {
+            busy += st.busy();
+            worst_wall = std::max(worst_wall, st.wall);
+        }
+        std::printf("distributed wall %.3f s across %lld ranks | aggregate overlap %.2f\n",
+                    r.wall_seconds, static_cast<long long>(ng * nr),
+                    worst_wall > 0.0 ? busy / (static_cast<double>(ng * nr) * worst_wall) : 0.0);
     }
 
     io::write_volume(args.get("output"), volume);
@@ -108,5 +148,6 @@ int main(int argc, char** argv)
         io::write_pgm_slice(args.get("slice-pgm"), volume, g.vol.z / 2);
         std::printf("wrote %s\n", args.get("slice-pgm").c_str());
     }
+    dump_telemetry();
     return 0;
 }
