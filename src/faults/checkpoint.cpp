@@ -1,0 +1,66 @@
+#include "faults/checkpoint.hpp"
+
+#include <fstream>
+
+#include "io/raw_io.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace xct::faults {
+
+CheckpointStore::CheckpointStore(std::filesystem::path dir) : dir_(std::move(dir))
+{
+    require(!dir_.empty(), "CheckpointStore: empty directory");
+    std::filesystem::create_directories(dir_);
+}
+
+index_t CheckpointStore::cursor() const
+{
+    std::ifstream in(dir_ / "cursor");
+    long long c = 0;
+    if (!(in >> c) || c < 0) return 0;
+    return static_cast<index_t>(c);
+}
+
+void CheckpointStore::advance(index_t next_incomplete)
+{
+    require(next_incomplete >= 0, "CheckpointStore::advance: negative cursor");
+    const auto tmp = dir_ / "cursor.tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        require(out.good(), "CheckpointStore: cannot write " + tmp.string());
+        out << next_incomplete << '\n';
+    }
+    std::filesystem::rename(tmp, dir_ / "cursor");
+}
+
+std::filesystem::path CheckpointStore::slab_path(index_t idx) const
+{
+    return dir_ / ("slab_" + std::to_string(idx) + ".xvol");
+}
+
+bool CheckpointStore::has_slab(index_t idx) const
+{
+    return std::filesystem::exists(slab_path(idx));
+}
+
+void CheckpointStore::save_slab(index_t idx, const Volume& v)
+{
+    telemetry::ScopedTrace trace("faults", "ckpt.save", idx,
+                                 static_cast<std::uint64_t>(v.count()) * sizeof(float));
+    const auto path = slab_path(idx);
+    const auto tmp = path.string() + ".tmp";
+    io::write_volume(tmp, v);
+    std::filesystem::rename(tmp, path);
+    telemetry::registry().counter("faults.checkpoint.saved").add(1);
+}
+
+Volume CheckpointStore::load_slab(index_t idx) const
+{
+    telemetry::ScopedTrace trace("faults", "ckpt.restore", idx);
+    Volume v = io::read_volume(slab_path(idx));
+    telemetry::registry().counter("faults.checkpoint.restored").add(1);
+    return v;
+}
+
+}  // namespace xct::faults

@@ -1,0 +1,54 @@
+#pragma once
+// Slab-granular checkpoint/restart state for one pipeline rank.
+//
+// The paper's decomposition makes the restart cursor trivial: slabs are
+// processed in order, the differential-update state [a_i, b_i) is a pure
+// function of the slab index, and each reduced slab is written exactly
+// once.  So a checkpoint is just (a) the index of the first slab not yet
+// completed (the *cursor*) and (b) the reduced slab payloads this rank
+// ended up holding (group roots only).  On restart, run_rank replays
+// stored slabs through its store stage and resumes the live pipeline at
+// the cursor, re-loading the full [a_i, b_i) band of the first live slab
+// to rebuild the circular texture (every later slab streams differentials
+// again) — the result is bitwise identical to an unfaulted run because
+// every arithmetic operation sees the same inputs in the same order.
+//
+// Files under the store's directory:
+//   cursor          — ASCII decimal: first incomplete slab index;
+//   slab_<i>.xvol   — the reduced slab volume (io::write_volume format).
+// Both are written to a temporary name and renamed, so a crash mid-write
+// never corrupts the restart state (the slab is simply recomputed).
+//
+// Telemetry: `faults.checkpoint.saved` / `.restored` counters and
+// "faults/ckpt.save" / "faults/ckpt.restore" trace spans.
+
+#include <filesystem>
+
+#include "core/volume.hpp"
+
+namespace xct::faults {
+
+class CheckpointStore {
+public:
+    /// Opens (creating if missing) the checkpoint directory.
+    explicit CheckpointStore(std::filesystem::path dir);
+
+    const std::filesystem::path& dir() const { return dir_; }
+
+    /// First slab index not yet completed (0 when no checkpoint exists).
+    index_t cursor() const;
+
+    /// Record that every slab below `next_incomplete` is done.
+    void advance(index_t next_incomplete);
+
+    bool has_slab(index_t idx) const;
+    void save_slab(index_t idx, const Volume& v);
+    Volume load_slab(index_t idx) const;
+
+private:
+    std::filesystem::path slab_path(index_t idx) const;
+
+    std::filesystem::path dir_;
+};
+
+}  // namespace xct::faults

@@ -1,0 +1,184 @@
+#include "faults/fault.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace xct::faults {
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit hash for the per-call Bernoulli
+/// decision (deterministic in (seed, site, rank, call)).
+std::uint64_t splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t hash_str(const std::string& s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+    for (const char c : s) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+    return h;
+}
+
+struct Engine {
+    std::mutex m;
+    FaultPlan plan;
+    /// Per (site, rank) call counters — deterministic trigger points
+    /// regardless of thread interleaving.
+    std::map<std::pair<std::string, index_t>, std::uint64_t> calls;
+};
+
+Engine& engine()
+{
+    static Engine e;
+    return e;
+}
+
+std::atomic<bool> g_enabled{false};
+
+/// Decide (and consume) one call at `site`; nullopt = no fault.
+std::optional<std::uint64_t> fire(const char* site)
+{
+    Engine& e = engine();
+    const index_t rank = telemetry::current_rank();
+    std::uint64_t call = 0;
+    bool fires = false;
+    {
+        std::lock_guard lk(e.m);
+        const auto it = e.plan.specs().find(site);
+        if (it == e.plan.specs().end()) return std::nullopt;
+        const FaultSpec& spec = it->second;
+        call = e.calls[{it->first, rank}]++;
+        if (spec.rank >= 0 && spec.rank != rank) return std::nullopt;
+        if (spec.after >= 0) {
+            const auto first = static_cast<std::uint64_t>(spec.after);
+            fires = call >= first &&
+                    (spec.count < 0 || call < first + static_cast<std::uint64_t>(spec.count));
+        }
+        if (!fires && spec.probability > 0.0) {
+            const std::uint64_t h = splitmix64(e.plan.seed() ^ hash_str(it->first) ^
+                                               splitmix64(static_cast<std::uint64_t>(rank + 1)) ^
+                                               splitmix64(call * 0x9e3779b97f4a7c15ull));
+            const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+            fires = u < spec.probability;
+        }
+    }
+    if (!fires) return std::nullopt;
+    auto& reg = telemetry::registry();
+    reg.counter("faults.injected").add(1);
+    reg.counter(std::string("faults.injected.") + site).add(1);
+    return call;
+}
+
+}  // namespace
+
+InjectedFault::InjectedFault(std::string site, index_t rank, std::uint64_t call)
+    : TransientError("injected fault at " + site + " (rank " + std::to_string(rank) + ", call " +
+                     std::to_string(call) + ")"),
+      site_(std::move(site))
+{
+}
+
+FaultPlan& FaultPlan::add(std::string site, FaultSpec spec)
+{
+    require(!site.empty(), "FaultPlan: empty site name");
+    require(spec.probability >= 0.0 && spec.probability <= 1.0,
+            "FaultPlan: probability must be in [0, 1]");
+    require(spec.probability > 0.0 || spec.after >= 0,
+            "FaultPlan: site " + site + " has no trigger (set p or after)");
+    specs_[std::move(site)] = spec;
+    return *this;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed)
+{
+    FaultPlan plan(seed);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t end = std::min(spec.find(';', pos), spec.size());
+        const std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty()) continue;
+
+        const std::size_t colon = entry.find(':');
+        const std::string site = entry.substr(0, colon);
+        FaultSpec fs;
+        bool has_trigger = false;
+        if (colon != std::string::npos) {
+            std::size_t kpos = colon + 1;
+            while (kpos <= entry.size()) {
+                const std::size_t kend = std::min(entry.find(',', kpos), entry.size());
+                const std::string kv = entry.substr(kpos, kend - kpos);
+                kpos = kend + 1;
+                if (kv.empty()) continue;
+                const std::size_t eq = kv.find('=');
+                require(eq != std::string::npos,
+                        "FaultPlan::parse: expected key=value, got '" + kv + "'");
+                const std::string key = kv.substr(0, eq);
+                const std::string val = kv.substr(eq + 1);
+                if (key != "p" && key != "after" && key != "count" && key != "rank")
+                    throw std::invalid_argument("FaultPlan::parse: unknown key '" + key + "'");
+                try {
+                    if (key == "p") {
+                        fs.probability = std::stod(val);
+                        has_trigger = true;
+                    } else if (key == "after") {
+                        fs.after = std::stoll(val);
+                        has_trigger = true;
+                    } else if (key == "count") {
+                        fs.count = std::stoll(val);
+                    } else {
+                        fs.rank = std::stoll(val);
+                    }
+                } catch (const std::logic_error& e) {
+                    throw std::invalid_argument("FaultPlan::parse: bad value in '" + kv +
+                                                "': " + e.what());
+                }
+            }
+        }
+        if (!has_trigger) fs.after = 0;  // bare site: fail the first call
+        plan.add(site, fs);
+    }
+    return plan;
+}
+
+void set_plan(FaultPlan plan)
+{
+    Engine& e = engine();
+    std::lock_guard lk(e.m);
+    g_enabled.store(!plan.empty(), std::memory_order_relaxed);
+    e.plan = std::move(plan);
+    e.calls.clear();
+}
+
+void clear_plan()
+{
+    set_plan(FaultPlan{});
+}
+
+bool enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool should_fail(const char* site)
+{
+    if (!enabled()) return false;
+    return fire(site).has_value();
+}
+
+void check(const char* site)
+{
+    if (!enabled()) return;
+    if (const auto call = fire(site))
+        throw InjectedFault(site, telemetry::current_rank(), *call);
+}
+
+}  // namespace xct::faults

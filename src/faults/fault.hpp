@@ -1,0 +1,120 @@
+#pragma once
+// Deterministic, seed-driven fault injection.
+//
+// Production runs at the ROADMAP's scale see transient I/O and
+// communicator failures as the norm, not the exception; iFDK-style
+// frameworks restart whole runs when anything fails.  This layer makes
+// failures *reproducible* so the recovery machinery (faults/retry.hpp,
+// faults/checkpoint.hpp, the degraded reduce in recon/distributed.cpp)
+// can be tested bit-for-bit:
+//
+//   * a FaultPlan names *sites* ("pfs.load", "sim.h2d",
+//     "minimpi.reduce_sum", "source.load", "rank.dropout", ...) and gives
+//     each a trigger: fire on the Nth call, fire for a run of calls,
+//     and/or fire with a seed-derived per-call probability;
+//   * call counting is per (site, rank) — the rank being
+//     telemetry::current_rank() — so trigger points do not depend on how
+//     rank threads interleave;
+//   * the probabilistic decision hashes (seed, site, rank, call), never a
+//     global RNG, so a given plan fires at exactly the same calls every
+//     run.
+//
+// Sites consult the plan through check() (throws InjectedFault, a
+// TransientError the retry layer understands) or should_fail() (consumes
+// the call and returns the decision — used where "failure" is not an
+// exception, e.g. a rank dropout).  With no plan installed the fast path
+// is one relaxed atomic load.
+//
+// Every fired fault increments telemetry counters `faults.injected` and
+// `faults.injected.<site>` so recovery cost is visible in --metrics.
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace xct::faults {
+
+/// Base class of errors the retry layer treats as transient (retryable).
+/// Real transports would map EINTR/EAGAIN-style failures onto this; the
+/// injection layer throws its subclass below.
+class TransientError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// A fault fired by the installed FaultPlan at a named site.
+class InjectedFault : public TransientError {
+public:
+    InjectedFault(std::string site, index_t rank, std::uint64_t call);
+    const std::string& site() const { return site_; }
+
+private:
+    std::string site_;
+};
+
+/// Trigger configuration of one site.  Counting is 0-based and per
+/// (site, rank).  Both mechanisms may be combined; the site fires when
+/// either says so.
+struct FaultSpec {
+    double probability = 0.0;  ///< per-call Bernoulli, seed-derived
+    index_t after = -1;        ///< first failing call index; -1 = disabled
+    index_t count = 1;         ///< how many consecutive calls fail from `after`
+    index_t rank = -1;         ///< restrict to this telemetry rank; -1 = any
+};
+
+/// A named set of fault sites plus the seed the probabilistic triggers
+/// derive from.  Plans are value types; install one with set_plan().
+class FaultPlan {
+public:
+    FaultPlan() = default;
+    explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+    FaultPlan& add(std::string site, FaultSpec spec);
+    bool empty() const { return specs_.empty(); }
+    std::uint64_t seed() const { return seed_; }
+    const std::map<std::string, FaultSpec>& specs() const { return specs_; }
+
+    /// Parse a plan from a spec string:
+    ///
+    ///   "<site>[:key=value[,key=value...]][;<site>...]"
+    ///
+    /// with keys `p` (probability), `after`, `count` (-1 = unbounded) and
+    /// `rank`.  A bare "<site>" means after=0,count=1 (fail the first
+    /// call).  Throws std::invalid_argument on malformed input.
+    static FaultPlan parse(const std::string& spec, std::uint64_t seed = 1);
+
+private:
+    std::uint64_t seed_ = 1;
+    std::map<std::string, FaultSpec> specs_;
+};
+
+/// Install `plan` process-wide, resetting all per-site call counters.
+/// Swapping plans mid-run is possible but the counters restart from zero.
+void set_plan(FaultPlan plan);
+
+/// Remove the installed plan (sites stop firing, counters are dropped).
+void clear_plan();
+
+/// True when a non-empty plan is installed (one relaxed atomic load).
+bool enabled();
+
+/// Consume one call at `site` and return whether the plan fires it.
+/// Always false when no plan is installed or the site is not configured.
+bool should_fail(const char* site);
+
+/// should_fail() + throw InjectedFault when it fires.
+void check(const char* site);
+
+/// RAII plan installation for tests: installs on construction, clears on
+/// destruction.
+class ScopedPlan {
+public:
+    explicit ScopedPlan(FaultPlan plan) { set_plan(std::move(plan)); }
+    ~ScopedPlan() { clear_plan(); }
+    ScopedPlan(const ScopedPlan&) = delete;
+    ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+}  // namespace xct::faults

@@ -1,0 +1,68 @@
+#include "faults/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace xct::faults {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t hash_str(const char* s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (; *s != '\0'; ++s) h = (h ^ static_cast<unsigned char>(*s)) * 0x100000001b3ull;
+    return h;
+}
+
+}  // namespace
+
+double backoff_delay(const RetryPolicy& policy, const char* site, index_t attempt)
+{
+    require(attempt >= 0, "backoff_delay: attempt must be non-negative");
+    double delay = policy.base_delay_s *
+                   std::pow(policy.multiplier, static_cast<double>(attempt));
+    delay = std::min(delay, policy.max_delay_s);
+    if (policy.jitter > 0.0) {
+        const std::uint64_t h = splitmix64(policy.seed ^ hash_str(site) ^
+                                           splitmix64(static_cast<std::uint64_t>(attempt)));
+        const double u = static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;  // [-1, 1)
+        delay *= 1.0 + policy.jitter * u;
+    }
+    return std::max(delay, 0.0);
+}
+
+namespace detail {
+
+void on_retry(const char* site, const RetryPolicy& policy, index_t attempt)
+{
+    const double delay = backoff_delay(policy, site, attempt);
+    auto& reg = telemetry::registry();
+    reg.counter("faults.retry.attempts").add(1);
+    reg.counter(std::string("faults.retry.") + site + ".attempts").add(1);
+    reg.gauge("faults.retry.delay_seconds").add(delay);
+    telemetry::ScopedTrace trace("faults", "retry", attempt);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+}
+
+void on_exhausted(const char* site)
+{
+    auto& reg = telemetry::registry();
+    reg.counter("faults.retry.exhausted").add(1);
+    reg.counter(std::string("faults.retry.") + site + ".exhausted").add(1);
+}
+
+}  // namespace detail
+}  // namespace xct::faults

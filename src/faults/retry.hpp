@@ -1,0 +1,69 @@
+#pragma once
+// Bounded retry with exponential backoff and deterministic jitter.
+//
+// Wraps the operations whose real-world counterparts fail transiently —
+// PFS loads/stores and host<->device transfers — so an injected (or, in
+// production, mapped-transient) fault is absorbed instead of killing the
+// run.  Only faults::TransientError is retried; anything else propagates
+// immediately (fail loudly stays the default for logic errors).
+//
+// The backoff is the classic bounded exponential,
+//
+//   delay(k) = min(base * multiplier^k, max) * (1 + jitter * u),
+//
+// with u in [-1, 1] derived by hashing (seed, site, attempt) — no global
+// RNG, so a given policy produces the same delays every run, which keeps
+// faulted test runs reproducible.  Delays are real sleeps (defaults are
+// sub-millisecond) and are additionally accumulated into the telemetry
+// gauge `faults.retry.delay_seconds`; each retry emits a "faults/retry"
+// trace span plus `faults.retry.attempts[.<site>]` counters, and an
+// exhausted budget bumps `faults.retry.exhausted` before rethrowing.
+
+#include <utility>
+
+#include "core/types.hpp"
+#include "faults/fault.hpp"
+
+namespace xct::faults {
+
+/// Retry budget and backoff shape of one site (or one subsystem).
+struct RetryPolicy {
+    index_t max_attempts = 4;    ///< total tries including the first
+    double base_delay_s = 1e-4;  ///< first backoff delay
+    double multiplier = 2.0;     ///< exponential growth per retry
+    double max_delay_s = 1e-2;   ///< backoff cap
+    double jitter = 0.25;        ///< +/- fraction of the delay
+    std::uint64_t seed = 1;      ///< jitter derivation seed
+};
+
+/// The (jittered, capped) delay before retry number `attempt` (0-based:
+/// the delay between the first failure and the second try).  Pure
+/// function of (policy, site, attempt).
+double backoff_delay(const RetryPolicy& policy, const char* site, index_t attempt);
+
+namespace detail {
+/// Telemetry + sleep for one retry of `site` (attempt 0-based).
+void on_retry(const char* site, const RetryPolicy& policy, index_t attempt);
+void on_exhausted(const char* site);
+}  // namespace detail
+
+/// Run `fn`, retrying on TransientError within `policy`'s budget.  The
+/// final failure rethrows the last TransientError.
+template <typename F>
+auto with_retry(const char* site, const RetryPolicy& policy, F&& fn) -> decltype(fn())
+{
+    require(policy.max_attempts > 0, "with_retry: max_attempts must be positive");
+    for (index_t attempt = 0;; ++attempt) {
+        try {
+            return fn();
+        } catch (const TransientError&) {
+            if (attempt + 1 >= policy.max_attempts) {
+                detail::on_exhausted(site);
+                throw;
+            }
+            detail::on_retry(site, policy, attempt);
+        }
+    }
+}
+
+}  // namespace xct::faults

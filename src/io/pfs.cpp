@@ -39,50 +39,62 @@ std::filesystem::path Pfs::resolve(const std::string& rel) const
 void Pfs::account_load(std::uint64_t bytes)
 {
     const double seconds = static_cast<double>(bytes) / (load_gbps_ * kGiB);
-    load_.bytes += bytes;
-    load_.operations += 1;
-    load_.seconds += seconds;
+    load_.add(bytes, seconds);
     telemetry_io("load", bytes, seconds);
 }
 
 void Pfs::account_store(std::uint64_t bytes)
 {
     const double seconds = static_cast<double>(bytes) / (store_gbps_ * kGiB);
-    store_.bytes += bytes;
-    store_.operations += 1;
-    store_.seconds += seconds;
+    store_.add(bytes, seconds);
     telemetry_io("store", bytes, seconds);
+}
+
+/// Consult the fault plan and run `op`, retrying transient failures when
+/// a policy is attached.  The whole operation re-runs on retry — loads
+/// are read-only and stores rewrite the same bytes, so repetition is
+/// idempotent (accounting only happens on the successful attempt).
+template <typename F>
+auto Pfs::guarded(const char* site, F&& op) -> decltype(op())
+{
+    auto attempt = [&] {
+        faults::check(site);
+        return op();
+    };
+    if (retry_) return faults::with_retry(site, *retry_, attempt);
+    return attempt();
 }
 
 void Pfs::store_volume(const std::string& rel, const Volume& v)
 {
-    write_volume(resolve(rel), v);
+    guarded("pfs.store", [&] { write_volume(resolve(rel), v); });
     account_store(static_cast<std::uint64_t>(v.count()) * sizeof(float));
 }
 
 Volume Pfs::load_volume(const std::string& rel)
 {
-    Volume v = read_volume(resolve(rel));
+    Volume v = guarded("pfs.load", [&] { return read_volume(resolve(rel)); });
     account_load(static_cast<std::uint64_t>(v.count()) * sizeof(float));
     return v;
 }
 
 void Pfs::store_stack(const std::string& rel, const ProjectionStack& p)
 {
-    write_stack(resolve(rel), p);
+    guarded("pfs.store", [&] { write_stack(resolve(rel), p); });
     account_store(static_cast<std::uint64_t>(p.count()) * sizeof(float));
 }
 
 ProjectionStack Pfs::load_stack(const std::string& rel)
 {
-    ProjectionStack p = read_stack(resolve(rel));
+    ProjectionStack p = guarded("pfs.load", [&] { return read_stack(resolve(rel)); });
     account_load(static_cast<std::uint64_t>(p.count()) * sizeof(float));
     return p;
 }
 
 ProjectionStack Pfs::load_stack_rows(const std::string& rel, Range views, Range band)
 {
-    ProjectionStack p = read_stack_rows(resolve(rel), views, band);
+    ProjectionStack p =
+        guarded("pfs.load", [&] { return read_stack_rows(resolve(rel), views, band); });
     account_load(static_cast<std::uint64_t>(p.count()) * sizeof(float));
     return p;
 }
@@ -99,8 +111,8 @@ bool Pfs::exists(const std::string& rel) const
 
 void Pfs::reset_stats()
 {
-    load_ = IoStats{};
-    store_ = IoStats{};
+    load_.reset();
+    store_.reset();
 }
 
 }  // namespace xct::io

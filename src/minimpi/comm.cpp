@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "faults/fault.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -129,6 +130,7 @@ index_t Communicator::size() const
 void Communicator::barrier()
 {
     require(state_ != nullptr, "Communicator: default-constructed handle");
+    faults::check("minimpi.barrier");
     sync(*state_);
 }
 
@@ -171,6 +173,7 @@ void Communicator::reduce_sum(std::span<const float> send, std::span<float> recv
     require(state_ != nullptr, "Communicator: default-constructed handle");
     CommState& st = *state_;
     require(root >= 0 && root < st.size, "reduce_sum: root out of range");
+    faults::check("minimpi.reduce_sum");
     const std::uint64_t payload = send.size() * sizeof(float);
     telemetry::ScopedTrace trace("minimpi", "reduce_sum", -1, payload);
     if (rank_ == root)
@@ -199,6 +202,7 @@ void Communicator::allreduce_sum(std::span<const float> send, std::span<float> r
     require(state_ != nullptr, "Communicator: default-constructed handle");
     require(recv.size() == send.size(), "allreduce_sum: recv size mismatch");
     CommState& st = *state_;
+    faults::check("minimpi.allreduce_sum");
     const std::uint64_t payload = send.size() * sizeof(float);
     telemetry::ScopedTrace trace("minimpi", "allreduce_sum", -1, payload);
     if (rank_ == 0)
@@ -216,6 +220,44 @@ void Communicator::allreduce_sum(std::span<const float> send, std::span<float> r
     sync(st);
 }
 
+void Communicator::reduce_sum_parts(std::span<const ReducePart> parts, std::span<float> recv,
+                                    index_t root)
+{
+    require(state_ != nullptr, "Communicator: default-constructed handle");
+    CommState& st = *state_;
+    require(root >= 0 && root < st.size, "reduce_sum_parts: root out of range");
+    faults::check("minimpi.reduce_sum_parts");
+    std::uint64_t payload = 0;
+    for (const ReducePart& p : parts) payload += p.data.size() * sizeof(float);
+    telemetry::ScopedTrace trace("minimpi", "reduce_sum_parts", -1, payload);
+    if (rank_ == root)
+        detail::account_collective(st, &CollectiveStats::parts_calls,
+                                   &CollectiveStats::parts_root_bytes,
+                                   detail::ceil_log2(st.size) * recv.size() * sizeof(float),
+                                   "reduce_sum_parts");
+    st.slots[static_cast<std::size_t>(rank_)] = parts.data();
+    st.ia[static_cast<std::size_t>(rank_)] = static_cast<long long>(parts.size());
+    sync(st);
+    if (rank_ == root) {
+        std::vector<const ReducePart*> all;
+        for (index_t r = 0; r < st.size; ++r) {
+            const auto* deposited = static_cast<const ReducePart*>(st.slots[static_cast<std::size_t>(r)]);
+            const auto n = static_cast<std::size_t>(st.ia[static_cast<std::size_t>(r)]);
+            for (std::size_t i = 0; i < n; ++i) all.push_back(&deposited[i]);
+        }
+        std::sort(all.begin(), all.end(),
+                  [](const ReducePart* a, const ReducePart* b) { return a->key < b->key; });
+        for (std::size_t i = 0; i + 1 < all.size(); ++i)
+            require(all[i]->key != all[i + 1]->key, "reduce_sum_parts: duplicate part key");
+        std::fill(recv.begin(), recv.end(), 0.0f);
+        for (const ReducePart* p : all) {
+            require(p->data.size() == recv.size(), "reduce_sum_parts: part size mismatch");
+            for (std::size_t i = 0; i < recv.size(); ++i) recv[i] += p->data[i];
+        }
+    }
+    sync(st);
+}
+
 void Communicator::reduce_sum_hierarchical(std::span<const float> send, std::span<float> recv,
                                            index_t root, index_t ranks_per_node)
 {
@@ -223,6 +265,7 @@ void Communicator::reduce_sum_hierarchical(std::span<const float> send, std::spa
     CommState& st = *state_;
     require(ranks_per_node > 0, "reduce_sum_hierarchical: ranks_per_node must be positive");
     require(root >= 0 && root < st.size, "reduce_sum_hierarchical: root out of range");
+    faults::check("minimpi.reduce_sum_hierarchical");
     const std::uint64_t payload = send.size() * sizeof(float);
     telemetry::ScopedTrace trace("minimpi", "reduce_sum_hierarchical", -1, payload);
     if (rank_ == root) {
@@ -270,6 +313,7 @@ void Communicator::bcast(std::span<float> data, index_t root)
     require(state_ != nullptr, "Communicator: default-constructed handle");
     CommState& st = *state_;
     require(root >= 0 && root < st.size, "bcast: root out of range");
+    faults::check("minimpi.bcast");
     const std::uint64_t payload = data.size() * sizeof(float);
     telemetry::ScopedTrace trace("minimpi", "bcast", -1, payload);
     if (rank_ == root)
@@ -291,6 +335,7 @@ void Communicator::gather(std::span<const float> send, std::span<float> recv, in
     require(state_ != nullptr, "Communicator: default-constructed handle");
     CommState& st = *state_;
     require(root >= 0 && root < st.size, "gather: root out of range");
+    faults::check("minimpi.gather");
     const std::uint64_t payload = send.size() * sizeof(float);
     telemetry::ScopedTrace trace("minimpi", "gather", -1, payload);
     if (rank_ == root)

@@ -17,6 +17,12 @@
 // determinism of the sum order) match MPI and are what the reconstruction
 // algorithm depends on.  All ranks of a communicator must call collectives
 // in the same order — as with MPI, mismatched calls deadlock.
+//
+// Resilience: every collective entry passes a fault-injection gate (site
+// "minimpi.<op>").  An injected fault propagates as an exception out of
+// the calling rank, which aborts the whole team (fail-loudly) — matching
+// MPI's default error handler.  Degraded-mode recovery is built *above*
+// this layer (recon::distributed) via reduce_sum_parts.
 
 #include <cstdint>
 #include <functional>
@@ -53,6 +59,8 @@ struct CommState;
 struct CollectiveStats {
     std::uint64_t reduce_calls = 0;
     std::uint64_t reduce_root_bytes = 0;
+    std::uint64_t parts_calls = 0;
+    std::uint64_t parts_root_bytes = 0;
     std::uint64_t hierarchical_calls = 0;
     std::uint64_t hierarchical_root_bytes = 0;
     std::uint64_t gather_calls = 0;
@@ -61,6 +69,17 @@ struct CollectiveStats {
     std::uint64_t bcast_bytes = 0;
     std::uint64_t allreduce_calls = 0;
     std::uint64_t allreduce_bytes = 0;
+};
+
+/// One keyed contribution to reduce_sum_parts.  The key fixes the summation
+/// position: the root sums every deposited part in ascending key order, so
+/// a rank taking over a dead peer's contribution (degraded-mode reduce)
+/// reproduces the exact addition sequence — and therefore the bitwise
+/// result — of the unfaulted reduce_sum by tagging each part with the
+/// original contributing rank's index.
+struct ReducePart {
+    long long key = 0;
+    std::span<const float> data;
 };
 
 /// Handle to a communicator; cheap to copy, ranks share the underlying
@@ -88,6 +107,15 @@ public:
 
     /// Collective: reduce_sum to every rank.
     void allreduce_sum(std::span<const float> send, std::span<float> recv);
+
+    /// Collective: keyed, ordered reduction.  Each rank deposits zero or
+    /// more equal-length parts; the root fills `recv` with zero and adds
+    /// every part element-wise in ascending key order.  Keys must be
+    /// globally unique across the communicator.  With one part per rank
+    /// keyed by its own rank this is bitwise-identical to reduce_sum; it
+    /// exists so survivors of a rank failure can contribute a dead peer's
+    /// partial under the dead peer's key (degraded-mode reduce).
+    void reduce_sum_parts(std::span<const ReducePart> parts, std::span<float> recv, index_t root);
 
     /// Collective: hierarchical two-level reduction (Sec. 4.4.2): ranks are
     /// grouped into pseudo-nodes of `ranks_per_node` consecutive ranks;

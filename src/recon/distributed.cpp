@@ -1,10 +1,40 @@
 #include "recon/distributed.hpp"
 
-#include <mutex>
+#include <algorithm>
+#include <memory>
+#include <vector>
 
+#include "faults/checkpoint.hpp"
+#include "faults/fault.hpp"
+#include "filter/parker.hpp"
 #include "pipeline/timeline.hpp"
+#include "recon/slab_backprojector.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace xct::recon {
+namespace {
+
+/// Replay state for one dead rank's view share, owned by the survivor the
+/// takeover was assigned to.  bp holds internal pointers (device/texture),
+/// so Takeover lives behind unique_ptr and is constructed in place.
+struct Takeover {
+    Takeover(index_t k, Range v, std::unique_ptr<ProjectionSource> src,
+             std::optional<filter::ParkerWeights> pw, const SlabBackprojector::Config& bc,
+             const std::vector<SlabPlan>& plans)
+        : key(k), views(v), source(std::move(src)), parker(std::move(pw)), bp(bc, plans)
+    {
+    }
+
+    index_t key;    ///< the dead rank's rank_in_group (reduction position)
+    Range views;    ///< the dead rank's view share
+    std::unique_ptr<ProjectionSource> source;
+    std::optional<filter::ParkerWeights> parker;
+    SlabBackprojector bp;
+    bool primed = false;  ///< texture holds the previous slab's rows
+};
+
+}  // namespace
 
 DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                                           const SourceFactory& make_source, io::Pfs* pfs)
@@ -20,14 +50,58 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
     const index_t nranks = cfg.layout.nranks();
     DistributedResult result{Volume(cfg.geometry.vol), std::vector<RankStats>(
                                                            static_cast<std::size_t>(nranks)),
-                             0.0};
-    std::mutex pfs_mutex;  // Pfs accounting is not thread-safe; serialise roots
+                             0.0,
+                             {}};
 
     const double t0 = pipeline::now_seconds();
     minimpi::run(nranks, [&](minimpi::Communicator& world) {
         const index_t rank = world.rank();
         const index_t group = cfg.layout.group_of(rank);
-        minimpi::Communicator gcomm = world.split(group, cfg.layout.rank_in_group(rank));
+
+        // Dropout: a rank scheduled to die (site "rank.dropout") finds out
+        // here.  Without degraded mode this is fail-loudly — the exception
+        // aborts the whole team, MPI's default error handler.
+        const bool i_died = faults::should_fail("rank.dropout");
+        if (i_died && !cfg.degraded_reduce)
+            throw faults::InjectedFault("rank.dropout", rank, 0);
+
+        std::vector<char> alive(static_cast<std::size_t>(nranks), 1);
+        minimpi::Communicator gcomm;
+        if (cfg.degraded_reduce) {
+            // World-wide liveness exchange: one-hot death flags, summed so
+            // every rank sees the same membership before splitting.
+            std::vector<float> flag(static_cast<std::size_t>(nranks), 0.0f);
+            flag[static_cast<std::size_t>(rank)] = i_died ? 1.0f : 0.0f;
+            std::vector<float> deaths(static_cast<std::size_t>(nranks), 0.0f);
+            world.allreduce_sum(flag, deaths);
+            for (index_t r = 0; r < nranks; ++r)
+                alive[static_cast<std::size_t>(r)] = deaths[static_cast<std::size_t>(r)] == 0.0f;
+            for (index_t g = 0; g < cfg.layout.num_groups; ++g) {
+                index_t survivors = 0;
+                for (index_t r = g * cfg.layout.ranks_per_group;
+                     r < (g + 1) * cfg.layout.ranks_per_group; ++r)
+                    survivors += alive[static_cast<std::size_t>(r)] ? 1 : 0;
+                require(survivors > 0,
+                        "reconstruct_distributed: every rank of group " + std::to_string(g) +
+                            " died; degraded reduce needs at least one survivor per group");
+            }
+            if (rank == 0) {
+                for (index_t r = 0; r < nranks; ++r)
+                    if (!alive[static_cast<std::size_t>(r)]) result.dead.push_back(r);
+                if (!result.dead.empty())
+                    telemetry::registry().counter("faults.degraded.ranks").add(
+                        result.dead.size());
+            }
+            // Dead ranks split into a "graveyard" colour so survivors'
+            // group communicators exclude them, then leave.  Survivor key
+            // order preserves rank_in_group, so a surviving original root
+            // stays root.
+            const index_t color = i_died ? cfg.layout.num_groups : group;
+            gcomm = world.split(color, cfg.layout.rank_in_group(rank));
+            if (i_died) return;
+        } else {
+            gcomm = world.split(group, cfg.layout.rank_in_group(rank));
+        }
 
         RankConfig rc;
         rc.geometry = cfg.geometry;
@@ -40,18 +114,119 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         rc.d2h_gbps = cfg.d2h_gbps;
         rc.threaded = cfg.threaded;
         rc.beer = cfg.beer;
+        rc.retry = cfg.retry;
+
+        // Checkpoint resume must re-enter the per-slab reduce at the same
+        // slab on every rank of the group, so reconcile to the group-wide
+        // minimum cursor.  Saved slabs live with the group root: if the
+        // root died, the group recomputes from slab 0 (always correct —
+        // replay is idempotent).
+        const bool root_alive = alive[static_cast<std::size_t>(cfg.layout.group_root(group))];
+        index_t first_live = 0;
+        if (cfg.checkpoint_dir) {
+            const auto my_dir = *cfg.checkpoint_dir / ("rank_" + std::to_string(rank));
+            const index_t cursor = faults::CheckpointStore(my_dir).cursor();
+            const index_t group_min =
+                root_alive ? -static_cast<index_t>(gcomm.allreduce_max(-static_cast<double>(cursor)))
+                           : 0;
+            rc.checkpoint = CheckpointConfig{my_dir, group_min};
+            first_live = group_min;
+        }
+
+        // Round-robin takeover: the g-th dead rank of a group is replayed
+        // by its g-th survivor (ordered by rank_in_group), so the load is
+        // spread when several ranks died.
+        std::vector<std::unique_ptr<Takeover>> takeovers;
+        bool group_has_dead = false;
+        if (cfg.degraded_reduce) {
+            std::vector<index_t> group_dead, group_alive;
+            for (index_t r = group * cfg.layout.ranks_per_group;
+                 r < (group + 1) * cfg.layout.ranks_per_group; ++r)
+                (alive[static_cast<std::size_t>(r)] ? group_alive : group_dead).push_back(r);
+            group_has_dead = !group_dead.empty();
+            if (group_has_dead) {
+                require(cfg.ranks_per_node == 0,
+                        "reconstruct_distributed: degraded reduce requires the flat reduce "
+                        "(ranks_per_node == 0)");
+                const index_t nb = (rc.slices.length() + cfg.batches - 1) / cfg.batches;
+                const auto plans = plan_slabs(cfg.geometry, rc.slices, nb);
+                for (std::size_t d = 0; d < group_dead.size(); ++d) {
+                    if (group_alive[d % group_alive.size()] != rank) continue;
+                    const index_t dead_rank = group_dead[d];
+                    const Range dv = cfg.layout.views_of_rank(dead_rank, cfg.geometry.num_proj);
+                    std::optional<filter::ParkerWeights> pw;
+                    if (cfg.geometry.short_scan()) pw.emplace(cfg.geometry, dv);
+                    auto src = make_source(dead_rank);
+                    require(src != nullptr,
+                            "reconstruct_distributed: source factory returned null");
+                    SlabBackprojector::Config bc{cfg.geometry,  dv,
+                                                 cfg.device_capacity, cfg.h2d_gbps,
+                                                 cfg.d2h_gbps,  cfg.retry};
+                    takeovers.push_back(std::make_unique<Takeover>(
+                        cfg.layout.rank_in_group(dead_rank), dv, std::move(src), std::move(pw),
+                        bc, plans));
+                }
+                if (!takeovers.empty())
+                    telemetry::registry().counter("faults.degraded.takeovers").add(
+                        takeovers.size());
+            }
+        }
+        std::optional<filter::FilterEngine> tk_engine;
+        if (!takeovers.empty()) tk_engine.emplace(cfg.geometry, cfg.window);
 
         const bool is_root = gcomm.rank() == 0;
         std::vector<float> recv;
+        index_t next_slab = first_live;  // reduce is called once per live slab, in order
 
-        auto reduce = [&](Volume& slab, const SlabPlan&) {
+        auto reduce = [&](Volume& slab, const SlabPlan& plan) {
             // Segmented reduction: only this group's communicator takes
             // part (Fig. 8).  Roots receive the sum in place.
+            const index_t idx = next_slab++;
             if (is_root) recv.resize(static_cast<std::size_t>(slab.count()));
-            if (cfg.ranks_per_node > 0)
-                gcomm.reduce_sum_hierarchical(slab.span(), recv, 0, cfg.ranks_per_node);
-            else
-                gcomm.reduce_sum(slab.span(), recv, 0);
+            if (!group_has_dead) {
+                if (cfg.ranks_per_node > 0)
+                    gcomm.reduce_sum_hierarchical(slab.span(), recv, 0, cfg.ranks_per_node);
+                else
+                    gcomm.reduce_sum(slab.span(), recv, 0);
+            } else {
+                // Degraded path: recompute each dead rank's partial with
+                // its exact arithmetic, then sum all parts in original
+                // rank_in_group order — bitwise-identical to the unfaulted
+                // flat reduce.
+                std::vector<Volume> replayed;
+                replayed.reserve(takeovers.size());
+                for (auto& t : takeovers) {
+                    telemetry::ScopedTrace trace("faults", "takeover", idx);
+                    const Range band = t->primed ? plan.delta : plan.rows;
+                    if (!band.empty()) {
+                        auto attempt = [&] {
+                            faults::check("source.load");
+                            return t->source->load(t->views, band);
+                        };
+                        ProjectionStack delta =
+                            cfg.retry ? faults::with_retry("source.load", *cfg.retry, attempt)
+                                      : attempt();
+                        if (t->source->raw_counts()) {
+                            require(cfg.beer.has_value(),
+                                    "reconstruct_distributed: source emits raw counts but no "
+                                    "Beer-law calibration configured");
+                            beer_law(delta, *cfg.beer);
+                        }
+                        if (t->parker) t->parker->apply(delta);
+                        tk_engine->apply(delta);
+                        t->bp.upload_band(delta);
+                    }
+                    t->primed = true;
+                    replayed.push_back(t->bp.backproject(plan));
+                    telemetry::registry().counter("faults.degraded.slabs").add(1);
+                }
+                std::vector<minimpi::ReducePart> parts;
+                parts.reserve(1 + replayed.size());
+                parts.push_back({cfg.layout.rank_in_group(rank), slab.span()});
+                for (std::size_t i = 0; i < replayed.size(); ++i)
+                    parts.push_back({takeovers[i]->key, replayed[i].span()});
+                gcomm.reduce_sum_parts(parts, recv, 0);
+            }
             if (is_root) std::copy(recv.begin(), recv.end(), slab.span().begin());
             return is_root;
         };
@@ -63,7 +238,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                 std::copy(src.begin(), src.end(), dst.begin());
             }
             if (pfs != nullptr) {
-                std::lock_guard lk(pfs_mutex);
+                // Pfs is internally thread-safe; group roots store concurrently.
                 pfs->store_volume("slab_" + std::to_string(plan.slab.lo) + "_" +
                                       std::to_string(plan.slab.hi) + ".xvol",
                                   slab);

@@ -10,7 +10,25 @@
 // to the group root with a *segmented* reduce — per-group communicators
 // from MPI_Comm_split, exactly the communication structure that replaces
 // the two global collectives of prior work with one O(log Nr) reduction.
+//
+// Resilience (see DESIGN.md "Resilience"):
+//
+//   * degraded_reduce — a rank that dies at startup (fault site
+//     "rank.dropout") is detected by a world-wide liveness exchange; its
+//     whole view share is taken over by one survivor of its group, which
+//     replays it through a second SlabBackprojector and contributes the
+//     partial under the dead rank's reduction key via reduce_sum_parts.
+//     Because the takeover reproduces the dead rank's exact arithmetic
+//     and the keyed reduce preserves the original summation order, the
+//     degraded result is bitwise-identical to the unfaulted (flat-reduce)
+//     run.  Without degraded_reduce a dropout aborts the whole team.
+//   * retry — forwarded to every rank's pipeline (source loads, device
+//     transfers).
+//   * checkpoint_dir — per-rank slab checkpoints under rank_<r>/; a rerun
+//     resumes at the group-reconciled cursor (minimum over survivors; 0
+//     when the group root died, since saved slabs live with the root).
 
+#include <filesystem>
 #include <optional>
 
 #include "io/pfs.hpp"
@@ -31,12 +49,21 @@ struct DistributedConfig {
     std::optional<BeerLawScalar> beer;
     /// Hierarchical reduction: ranks per pseudo-node (0 = flat reduce).
     index_t ranks_per_node = 0;
+    /// Survive rank dropouts by re-assigning dead ranks' view shares to
+    /// group survivors (accuracy-identical; see header comment).  Requires
+    /// the flat reduce (ranks_per_node == 0) when a rank actually dies.
+    bool degraded_reduce = false;
+    /// Retry transient source/PFS/device faults on every rank.
+    std::optional<faults::RetryPolicy> retry;
+    /// Slab-granular checkpoint/restart root (per-rank subdirectories).
+    std::optional<std::filesystem::path> checkpoint_dir;
 };
 
 struct DistributedResult {
     Volume volume;                 ///< assembled full reconstruction
     std::vector<RankStats> ranks;  ///< per-rank pipeline statistics
     double wall_seconds = 0.0;     ///< end-to-end wall time (max over ranks)
+    std::vector<index_t> dead;     ///< world ranks lost to dropout (degraded mode)
 };
 
 /// Run the distributed reconstruction.  `make_source` builds each rank's

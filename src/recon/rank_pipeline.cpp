@@ -5,9 +5,11 @@
 #include <mutex>
 #include <thread>
 
-#include "backproj/kernel.hpp"
+#include "faults/checkpoint.hpp"
+#include "faults/fault.hpp"
 #include "filter/parker.hpp"
 #include "pipeline/queue.hpp"
+#include "recon/slab_backprojector.hpp"
 #include "telemetry/trace.hpp"
 
 namespace xct::recon {
@@ -23,78 +25,6 @@ struct VolItem {
     index_t idx = 0;
     SlabPlan plan;
     Volume slab;
-};
-
-/// The back-projection stage state: simulated device, circular texture and
-/// the Algorithm-3 upload bookkeeping.
-class BpStage {
-public:
-    BpStage(const RankConfig& cfg, index_t h, index_t origin, index_t max_slab)
-        : cfg_(cfg), origin_(origin),
-          device_(cfg.device_capacity, cfg.h2d_gbps, cfg.d2h_gbps),
-          tex_(device_, cfg.geometry.nu, cfg.views.length(), h),
-          slab_dev_(device_, cfg.geometry.vol.x * cfg.geometry.vol.y * max_slab),
-          mats_all_(projection_matrices(cfg.geometry))
-    {
-    }
-
-    /// Upload a differential row band and back-project one slab.
-    Volume process(const LoadItem& item, pipeline::Timeline& tl)
-    {
-        if (item.delta) upload_delta(*item.delta);
-
-        Volume slab(Dim3{cfg_.geometry.vol.x, cfg_.geometry.vol.y, item.plan.slab.length()});
-        {
-            pipeline::ScopedSpan span(tl, "bp", item.idx);
-            const std::span<const Mat34> mats(mats_all_.data() + cfg_.views.lo,
-                                              static_cast<std::size_t>(cfg_.views.length()));
-            backproj::backproject_streaming(
-                tex_, mats, slab, backproj::StreamOffsets{item.plan.slab.lo, origin_},
-                cfg_.geometry.nu, cfg_.geometry.nv);
-        }
-        // Model the sub-volume device->host move (the kernel conceptually
-        // filled slab_dev_; Table 5's T_D2H).
-        device_.account_d2h(static_cast<std::size_t>(slab.count()) * sizeof(float));
-        return slab;
-    }
-
-    const sim::Device& device() const { return device_; }
-
-private:
-    /// Algorithm 3: copy the band into circular depth positions, splitting
-    /// runs that would wrap (lines 10-15).
-    void upload_delta(const ProjectionStack& delta)
-    {
-        const index_t views = delta.views();
-        const index_t nu = delta.cols();
-        const index_t h = tex_.depth();
-        index_t v = delta.row_begin();
-        const index_t v_end = v + delta.rows();
-        std::vector<float> buf;
-        while (v < v_end) {
-            index_t depth = (v - origin_) % h;
-            if (depth < 0) depth += h;
-            const index_t run = std::min(v_end - v, h - depth);
-            buf.resize(static_cast<std::size_t>(run * views * nu));
-            for (index_t r = 0; r < run; ++r)
-                for (index_t s = 0; s < views; ++s) {
-                    const auto row = delta.row(s, v + r);
-                    std::copy(row.begin(), row.end(),
-                              buf.begin() + static_cast<std::ptrdiff_t>((r * views + s) * nu));
-                }
-            tex_.copy_planes(std::span<const float>(buf.data(),
-                                                    static_cast<std::size_t>(run * views * nu)),
-                             depth, run);
-            v += run;
-        }
-    }
-
-    const RankConfig& cfg_;
-    index_t origin_;
-    sim::Device device_;
-    sim::Texture3 tex_;
-    sim::DeviceBuffer slab_dev_;  ///< models the device-resident sub-volume
-    std::vector<Mat34> mats_all_;
 };
 
 void filter_item(const RankConfig& cfg, const filter::FilterEngine& engine,
@@ -126,16 +56,10 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
     const index_t nb = (cfg.slices.length() + cfg.batches - 1) / cfg.batches;
     const auto plans = plan_slabs(cfg.geometry, cfg.slices, nb);
 
-    index_t h = 1;
-    index_t max_slab = 1;
-    for (const auto& p : plans) {
-        h = std::max(h, p.rows.length());
-        max_slab = std::max(max_slab, p.slab.length());
-    }
-    const index_t origin = plans.front().rows.lo;
-
     pipeline::Timeline tl;
-    BpStage bp(cfg, h, origin, max_slab);
+    SlabBackprojector::Config bpc{cfg.geometry, cfg.views, cfg.device_capacity,
+                                  cfg.h2d_gbps,  cfg.d2h_gbps, cfg.retry};
+    SlabBackprojector bp(bpc, plans);
     const filter::FilterEngine engine(cfg.geometry, cfg.window);
     // Short scans need Parker redundancy weighting of this rank's views.
     std::optional<filter::ParkerWeights> parker;
@@ -144,30 +68,75 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
 
     RankStats stats;
 
+    // Slab-granular restart: replay checkpointed slabs (group roots saved
+    // them; non-roots have none and only skip), then resume computation at
+    // the first incomplete slab.  The resume point must be identical across
+    // a reduction group — cfg.checkpoint->resume_limit carries the
+    // group-reconciled minimum.
+    std::optional<faults::CheckpointStore> ckpt;
+    index_t resume = 0;
+    if (cfg.checkpoint) {
+        ckpt.emplace(cfg.checkpoint->dir);
+        resume = std::min(ckpt->cursor(), static_cast<index_t>(plans.size()));
+        if (cfg.checkpoint->resume_limit >= 0)
+            resume = std::min(resume, cfg.checkpoint->resume_limit);
+        for (index_t i = 0; i < resume; ++i) {
+            if (!ckpt->has_slab(i)) continue;
+            pipeline::ScopedSpan span(tl, "restore", i);
+            const Volume slab = ckpt->load_slab(i);
+            store(slab, plans[static_cast<std::size_t>(i)]);
+            ++stats.slabs_restored;
+        }
+    }
+
     auto load_one = [&](index_t idx) {
         pipeline::ScopedSpan span(tl, "load", idx);
         LoadItem item{idx, plans[static_cast<std::size_t>(idx)], std::nullopt};
-        if (!item.plan.delta.empty())
-            item.delta = source.load(cfg.views, item.plan.delta);
+        // The first live slab after a restart starts from a cold texture,
+        // so it loads the full row band instead of the differential one.
+        const Range band = (idx == resume) ? item.plan.rows : item.plan.delta;
+        if (!band.empty()) {
+            auto attempt = [&] {
+                faults::check("source.load");
+                return source.load(cfg.views, band);
+            };
+            item.delta = cfg.retry ? faults::with_retry("source.load", *cfg.retry, attempt)
+                                   : attempt();
+        }
         return item;
+    };
+    auto bp_one = [&](const LoadItem& item) {
+        if (item.delta) bp.upload_band(*item.delta);
+        pipeline::ScopedSpan span(tl, "bp", item.idx);
+        return bp.backproject(item.plan);
     };
     auto reduce_one = [&](VolItem& v) {
         pipeline::ScopedSpan span(tl, "mpi", v.idx);
-        return reduce(v.slab, v.plan);
+        const bool is_root = reduce(v.slab, v.plan);
+        // Non-roots are done with this slab once the reduce completes.
+        if (!is_root && ckpt) ckpt->advance(v.idx + 1);
+        return is_root;
     };
     auto store_one = [&](const VolItem& v) {
         pipeline::ScopedSpan span(tl, "store", v.idx);
         store(v.slab, v.plan);
+        // Roots record the reduced slab; the cursor only advances once the
+        // slab is durably saved, so a crash between store and advance just
+        // recomputes this slab.
+        if (ckpt) {
+            ckpt->save_slab(v.idx, v.slab);
+            ckpt->advance(v.idx + 1);
+        }
     };
 
     if (!cfg.threaded) {
-        for (index_t i = 0; i < static_cast<index_t>(plans.size()); ++i) {
+        for (index_t i = resume; i < static_cast<index_t>(plans.size()); ++i) {
             LoadItem item = load_one(i);
             {
                 pipeline::ScopedSpan span(tl, "filter", i);
                 filter_item(cfg, engine, parker ? &*parker : nullptr, counts, item);
             }
-            VolItem v{i, item.plan, bp.process(item, tl)};
+            VolItem v{i, item.plan, bp_one(item)};
             if (reduce_one(v)) store_one(v);
         }
     } else {
@@ -196,7 +165,8 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         std::thread t_load([&] {
             telemetry::set_current_rank(telemetry_rank);
             guard([&] {
-                for (index_t i = 0; i < static_cast<index_t>(plans.size()); ++i) q0.push(load_one(i));
+                for (index_t i = resume; i < static_cast<index_t>(plans.size()); ++i)
+                    q0.push(load_one(i));
                 q0.close();
             });
         });
@@ -217,7 +187,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
             telemetry::set_current_rank(telemetry_rank);
             guard([&] {
                 while (auto item = q1.pop()) {
-                    VolItem v{item->idx, item->plan, bp.process(*item, tl)};
+                    VolItem v{item->idx, item->plan, bp_one(*item)};
                     q2.push(std::move(v));
                 }
                 q2.close();

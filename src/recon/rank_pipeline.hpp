@@ -11,7 +11,17 @@
 // The back-projection stage owns the simulated device and implements
 // Algorithm 3: a circular texture of H detector rows; each batch uploads
 // only its *differential* rows (Eq. 6), splitting copies that wrap.
+//
+// Resilience (see DESIGN.md "Resilience"): source loads pass the
+// "source.load" fault gate and are retried under cfg.retry; with
+// cfg.checkpoint set, completed slabs are recorded in a CheckpointStore
+// (group roots also save the reduced slab) and a restarted run replays
+// saved slabs through the store callable before resuming live computation
+// at the first incomplete slab — the restart is bitwise-identical to an
+// uninterrupted run because every per-row operation (noise realisation,
+// filtering, Parker weighting) is independent of the band split.
 
+#include <filesystem>
 #include <functional>
 #include <optional>
 
@@ -19,12 +29,23 @@
 #include "core/geometry.hpp"
 #include "core/preprocess.hpp"
 #include "core/volume.hpp"
+#include "faults/retry.hpp"
 #include "filter/ramp.hpp"
 #include "pipeline/timeline.hpp"
 #include "recon/source.hpp"
 #include "sim/device.hpp"
 
 namespace xct::recon {
+
+/// Slab-granular checkpoint/restart configuration of one rank.
+struct CheckpointConfig {
+    std::filesystem::path dir;  ///< this rank's private checkpoint directory
+    /// Resume at most this many slabs from the checkpoint (-1: all the
+    /// cursor covers).  The distributed layer reconciles this to the
+    /// group-wide minimum so every rank re-enters the per-slab reduce
+    /// collective at the same slab index.
+    index_t resume_limit = -1;
+};
 
 /// Configuration of one rank's pipeline.
 struct RankConfig {
@@ -38,6 +59,11 @@ struct RankConfig {
     double d2h_gbps = 12.0;                      ///< PCIe model for T_D2H
     bool threaded = true;                        ///< 5-thread pipeline vs in-order execution
     std::optional<BeerLawScalar> beer;           ///< Eq. 1 calibration when source emits counts
+    /// Retry transient source-load and device-transfer faults (nullopt —
+    /// the default — fails loudly on the first fault).
+    std::optional<faults::RetryPolicy> retry;
+    /// Slab-granular checkpoint/restart (nullopt: disabled).
+    std::optional<CheckpointConfig> checkpoint;
 };
 
 /// Measured per-rank statistics (stage busy times follow Table 5's
@@ -49,6 +75,7 @@ struct RankStats {
     double t_reduce = 0.0;  ///< reducer callable time (T_reduce)
     double t_store = 0.0;
     double wall = 0.0;      ///< pipeline makespan
+    index_t slabs_restored = 0;  ///< slabs replayed from the checkpoint
     sim::LinkStats h2d{};
     sim::LinkStats d2h{};
     std::vector<pipeline::StageSpan> spans;  ///< full Fig. 10 timeline

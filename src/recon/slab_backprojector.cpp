@@ -1,0 +1,80 @@
+#include "recon/slab_backprojector.hpp"
+
+#include <algorithm>
+
+#include "backproj/kernel.hpp"
+
+namespace xct::recon {
+
+SlabBackprojector::SlabBackprojector(const Config& cfg, index_t h, index_t origin,
+                                     index_t max_slab)
+    : cfg_(cfg), origin_(origin),
+      device_(cfg.device_capacity, cfg.h2d_gbps, cfg.d2h_gbps),
+      tex_(device_, cfg.geometry.nu, cfg.views.length(), h),
+      slab_dev_(device_, cfg.geometry.vol.x * cfg.geometry.vol.y * max_slab),
+      mats_all_(projection_matrices(cfg.geometry))
+{
+    device_.set_retry(cfg.retry);
+}
+
+namespace {
+index_t max_rows(const std::vector<SlabPlan>& plans)
+{
+    index_t h = 1;
+    for (const auto& p : plans) h = std::max(h, p.rows.length());
+    return h;
+}
+index_t max_slab(const std::vector<SlabPlan>& plans)
+{
+    index_t m = 1;
+    for (const auto& p : plans) m = std::max(m, p.slab.length());
+    return m;
+}
+}
+
+SlabBackprojector::SlabBackprojector(const Config& cfg, const std::vector<SlabPlan>& plans)
+    : SlabBackprojector(cfg, max_rows(plans), plans.front().rows.lo, max_slab(plans))
+{
+}
+
+void SlabBackprojector::upload_band(const ProjectionStack& band)
+{
+    const index_t views = band.views();
+    const index_t nu = band.cols();
+    const index_t h = tex_.depth();
+    index_t v = band.row_begin();
+    const index_t v_end = v + band.rows();
+    std::vector<float> buf;
+    while (v < v_end) {
+        index_t depth = (v - origin_) % h;
+        if (depth < 0) depth += h;
+        const index_t run = std::min(v_end - v, h - depth);
+        buf.resize(static_cast<std::size_t>(run * views * nu));
+        for (index_t r = 0; r < run; ++r)
+            for (index_t s = 0; s < views; ++s) {
+                const auto row = band.row(s, v + r);
+                std::copy(row.begin(), row.end(),
+                          buf.begin() + static_cast<std::ptrdiff_t>((r * views + s) * nu));
+            }
+        tex_.copy_planes(std::span<const float>(buf.data(),
+                                                static_cast<std::size_t>(run * views * nu)),
+                         depth, run);
+        v += run;
+    }
+}
+
+Volume SlabBackprojector::backproject(const SlabPlan& plan)
+{
+    Volume slab(Dim3{cfg_.geometry.vol.x, cfg_.geometry.vol.y, plan.slab.length()});
+    const std::span<const Mat34> mats(mats_all_.data() + cfg_.views.lo,
+                                      static_cast<std::size_t>(cfg_.views.length()));
+    backproj::backproject_streaming(tex_, mats, slab,
+                                    backproj::StreamOffsets{plan.slab.lo, origin_},
+                                    cfg_.geometry.nu, cfg_.geometry.nv);
+    // Model the sub-volume device->host move (the kernel conceptually
+    // filled slab_dev_; Table 5's T_D2H).
+    device_.account_d2h(static_cast<std::size_t>(slab.count()) * sizeof(float));
+    return slab;
+}
+
+}  // namespace xct::recon

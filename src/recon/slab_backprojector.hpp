@@ -1,0 +1,65 @@
+#pragma once
+// The back-projection engine of one rank's pipeline, extracted so it can
+// be driven from two places with bit-identical arithmetic:
+//
+//   * rank_pipeline's bp stage (the normal Fig. 9 path);
+//   * the degraded-mode reduce (recon::distributed): a survivor replays a
+//     dead peer's view share through a second SlabBackprojector and
+//     contributes the result under the dead rank's reduction key —
+//     bitwise-identical to what the dead rank would have produced.
+//
+// Owns the simulated device, the circular texture of H detector rows and
+// the Algorithm-3 upload bookkeeping (differential bands, wrap-splitting).
+
+#include <optional>
+#include <vector>
+
+#include "core/decompose.hpp"
+#include "core/geometry.hpp"
+#include "core/volume.hpp"
+#include "faults/retry.hpp"
+#include "recon/source.hpp"
+#include "sim/device.hpp"
+
+namespace xct::recon {
+
+class SlabBackprojector {
+public:
+    struct Config {
+        CbctGeometry geometry;                     ///< full problem geometry
+        Range views{};                             ///< this engine's view share
+        std::size_t device_capacity = 512u << 20;  ///< device budget [bytes]
+        double h2d_gbps = 12.0;
+        double d2h_gbps = 12.0;
+        std::optional<faults::RetryPolicy> retry;  ///< transfer-fault retry
+    };
+
+    /// `h` is the texture depth (max rows length over the slab plans),
+    /// `origin` the first plan's rows.lo (the circular addressing offset),
+    /// `max_slab` the largest slab length (sizes the device sub-volume).
+    SlabBackprojector(const Config& cfg, index_t h, index_t origin, index_t max_slab);
+
+    /// Convenience: derive h/origin/max_slab from a full slab schedule.
+    SlabBackprojector(const Config& cfg, const std::vector<SlabPlan>& plans);
+
+    /// Algorithm 3: copy a (differential) row band into circular depth
+    /// positions, splitting runs that would wrap (lines 10-15).
+    void upload_band(const ProjectionStack& band);
+
+    /// Back-project one slab from the resident texture rows and model the
+    /// sub-volume device->host move (Table 5's T_D2H).
+    Volume backproject(const SlabPlan& plan);
+
+    sim::Device& device() { return device_; }
+    const sim::Device& device() const { return device_; }
+
+private:
+    Config cfg_;
+    index_t origin_;
+    sim::Device device_;
+    sim::Texture3 tex_;
+    sim::DeviceBuffer slab_dev_;  ///< models the device-resident sub-volume
+    std::vector<Mat34> mats_all_;
+};
+
+}  // namespace xct::recon

@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <random>
 
 namespace xct::recon {
@@ -93,12 +92,13 @@ ProjectionStack ViewDirSource::load(Range views, Range band)
 
 SourceFactory make_shared_pfs_factory(io::Pfs& pfs, std::string rel, bool counts)
 {
-    // One mutex shared by all sources the factory hands out.
+    // Pfs is internally thread-safe (atomic statistics; each load opens its
+    // own stream), so the sources the factory hands out can share it with
+    // no external locking.
     struct Shared {
         io::Pfs* pfs;
         std::string rel;
         bool counts;
-        std::mutex mu;
     };
     auto shared = std::make_shared<Shared>();
     shared->pfs = &pfs;
@@ -106,12 +106,11 @@ SourceFactory make_shared_pfs_factory(io::Pfs& pfs, std::string rel, bool counts
     shared->counts = counts;
     require(pfs.exists(shared->rel), "make_shared_pfs_factory: no such stack: " + shared->rel);
 
-    class LockedSource final : public ProjectionSource {
+    class SharedPfsSource final : public ProjectionSource {
     public:
-        explicit LockedSource(std::shared_ptr<Shared> s) : s_(std::move(s)) {}
+        explicit SharedPfsSource(std::shared_ptr<Shared> s) : s_(std::move(s)) {}
         ProjectionStack load(Range views, Range band) override
         {
-            std::lock_guard lk(s_->mu);
             return s_->pfs->load_stack_rows(s_->rel, views, band);
         }
         bool raw_counts() const override { return s_->counts; }
@@ -121,7 +120,7 @@ SourceFactory make_shared_pfs_factory(io::Pfs& pfs, std::string rel, bool counts
     };
 
     return [shared](index_t) -> std::unique_ptr<ProjectionSource> {
-        return std::make_unique<LockedSource>(shared);
+        return std::make_unique<SharedPfsSource>(shared);
     };
 }
 

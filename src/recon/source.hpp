@@ -103,8 +103,8 @@ private:
 };
 
 /// Factory producing per-rank sources that all read one Pfs-resident
-/// stack; the shared Pfs handle (whose statistics are not thread-safe) is
-/// serialised internally, mirroring ranks sharing a node's NVMe.
+/// stack concurrently (Pfs is internally thread-safe), mirroring ranks
+/// sharing a node's NVMe.
 SourceFactory make_shared_pfs_factory(io::Pfs& pfs, std::string rel, bool counts = false);
 
 }  // namespace xct::recon

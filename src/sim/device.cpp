@@ -71,6 +71,17 @@ void Device::account_d2h(std::size_t bytes)
     telemetry_transfer("d2h", bytes, seconds);
 }
 
+void Device::gate(const char* site)
+{
+    if (!faults::enabled()) return;
+    auto attempt = [&] { faults::check(site); };
+    if (retry_) {
+        faults::with_retry(site, *retry_, attempt);
+    } else {
+        attempt();
+    }
+}
+
 DeviceBuffer::DeviceBuffer(Device& dev, index_t count) : dev_(&dev)
 {
     require(count > 0, "DeviceBuffer: count must be positive");
@@ -92,6 +103,7 @@ void DeviceBuffer::upload(std::span<const float> src, index_t offset)
 {
     require(offset >= 0 && offset + static_cast<index_t>(src.size()) <= count(),
             "DeviceBuffer::upload: range out of bounds");
+    dev_->gate("sim.h2d");
     std::copy(src.begin(), src.end(), data_.begin() + offset);
     dev_->account_h2d(src.size() * sizeof(float));
 }
@@ -100,6 +112,7 @@ void DeviceBuffer::download(std::span<float> dst, index_t offset) const
 {
     require(offset >= 0 && offset + static_cast<index_t>(dst.size()) <= count(),
             "DeviceBuffer::download: range out of bounds");
+    dev_->gate("sim.d2h");
     std::copy(data_.begin() + offset, data_.begin() + offset + static_cast<std::ptrdiff_t>(dst.size()),
               dst.begin());
     dev_->account_d2h(dst.size() * sizeof(float));
@@ -136,6 +149,7 @@ void Texture3::copy_planes(std::span<const float> src, index_t depth_begin, inde
             "Texture3::copy_planes: depth range out of bounds (wrapped copies must be split)");
     require(static_cast<index_t>(src.size()) == nplanes * plane,
             "Texture3::copy_planes: source size mismatch");
+    dev_->gate("sim.h2d");
     std::copy(src.begin(), src.end(), data_.begin() + depth_begin * plane);
     dev_->account_h2d(src.size() * sizeof(float));
 }
@@ -163,6 +177,7 @@ void QuantizedTexture3::copy_planes(std::span<const float> src, index_t depth_be
             "QuantizedTexture3::copy_planes: depth range out of bounds");
     require(static_cast<index_t>(src.size()) == nplanes * plane,
             "QuantizedTexture3::copy_planes: source size mismatch");
+    dev_->gate("sim.h2d");
     const float scale = 255.0f / (hi_ - lo_);
     for (std::size_t i = 0; i < src.size(); ++i) {
         float t = (src[i] - lo_) * scale;

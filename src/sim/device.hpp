@@ -18,14 +18,21 @@
 // CUDA path because the kernel only uses single-precision FMA arithmetic
 // and manual bilinear interpolation (the paper deliberately avoids the
 // 8-bit hardware texture interpolation, Sec. 4.3.1).
+//
+// Resilience: every host<->device transfer passes a fault-injection gate
+// (sites "sim.h2d" / "sim.d2h"); when a RetryPolicy is attached via
+// set_retry(), transient transfer faults are retried with bounded backoff
+// — the ECC-retry / link-replay behaviour real GPUs provide in hardware.
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "core/types.hpp"
+#include "faults/retry.hpp"
 
 namespace xct::sim {
 
@@ -69,11 +76,17 @@ public:
     const LinkStats& d2h_stats() const { return d2h_; }
     void reset_stats();
 
+    /// Retry transient transfer faults under `policy` (nullopt — the
+    /// default — fails loudly on the first fault).
+    void set_retry(std::optional<faults::RetryPolicy> policy) { retry_ = std::move(policy); }
+
     // -- internal bookkeeping used by DeviceBuffer / Texture3 ---------------
     void allocate(std::size_t bytes);
     void release(std::size_t bytes) noexcept;
     void account_h2d(std::size_t bytes);
     void account_d2h(std::size_t bytes);
+    /// Fault-injection gate run at the start of each transfer.
+    void gate(const char* site);
 
 private:
     std::size_t capacity_;
@@ -82,6 +95,7 @@ private:
     double d2h_gbps_;
     LinkStats h2d_{};
     LinkStats d2h_{};
+    std::optional<faults::RetryPolicy> retry_;
 };
 
 /// RAII linear device allocation of floats with explicit upload/download.

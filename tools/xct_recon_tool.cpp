@@ -12,12 +12,20 @@
 // (pipeline stages, device transfers, minimpi collectives, PFS I/O) into
 // one Chrome trace-event file — open it at ui.perfetto.dev — and
 // `--metrics out.csv` dumps the telemetry metrics registry.
+//
+// Resilience: `--faults "<site>[:k=v,...][;...]"` installs a deterministic
+// fault plan (sites: pfs.load, pfs.store, sim.h2d, sim.d2h, source.load,
+// minimpi.<op>, rank.dropout), `--retry N` retries transient faults up to
+// N attempts with exponential backoff, `--checkpoint-dir d` enables
+// slab-granular checkpoint/restart, and `--degraded` lets the distributed
+// run survive rank dropouts with an accuracy-identical degraded reduce.
 
 #include <algorithm>
 #include <cstdio>
 #include <mutex>
 
 #include "cli.hpp"
+#include "faults/fault.hpp"
 #include "io/geometry_io.hpp"
 #include "io/raw_io.hpp"
 #include "recon/distributed.hpp"
@@ -39,8 +47,22 @@ int main(int argc, char** argv)
         .option("slice-pgm", "", "optional PGM preview of the central slice")
         .option("trace", "", "write a Chrome/Perfetto trace-event JSON of the run")
         .option("metrics", "", "write a CSV dump of the telemetry metrics registry")
+        .option("faults", "", "fault plan: <site>[:k=v,...][;<site>...] (keys p,after,count,rank)")
+        .option("fault-seed", "1", "seed for probabilistic fault triggers")
+        .option("retry", "0", "retry transient faults up to N attempts (0 = fail loudly)")
+        .option("checkpoint-dir", "", "slab-granular checkpoint/restart directory")
+        .flag("degraded", "survive rank dropouts via the degraded-mode reduce")
         .flag("sequential", "disable the 5-thread pipeline (debugging)");
     args.parse(argc, argv, "FDK cone-beam reconstruction");
+
+    if (args.is_set("faults"))
+        faults::set_plan(faults::FaultPlan::parse(
+            args.get("faults"), static_cast<std::uint64_t>(args.get_int("fault-seed"))));
+    std::optional<faults::RetryPolicy> retry;
+    if (args.get_int("retry") > 0) {
+        retry.emplace();
+        retry->max_attempts = args.get_int("retry");
+    }
 
     // Enable span capture before any work so every subsystem's telemetry
     // lands on one timebase; dump_telemetry() runs at every exit path.
@@ -105,6 +127,9 @@ int main(int argc, char** argv)
         cfg.device_capacity = static_cast<std::size_t>(args.get_int("device-mib")) << 20;
         cfg.threaded = !args.get_flag("sequential");
         if (gf.raw_counts) cfg.beer = gf.beer;
+        cfg.retry = retry;
+        if (args.is_set("checkpoint-dir"))
+            cfg.checkpoint = recon::CheckpointConfig{args.get("checkpoint-dir"), -1};
         const recon::FdkResult r = recon::reconstruct_fdk(cfg, src);
         volume = r.volume;
         std::printf("stages: load %.3f filter %.3f bp %.3f store %.3f | wall %.3f s\n",
@@ -119,11 +144,17 @@ int main(int argc, char** argv)
         cfg.device_capacity = static_cast<std::size_t>(args.get_int("device-mib")) << 20;
         cfg.threaded = !args.get_flag("sequential");
         if (gf.raw_counts) cfg.beer = gf.beer;
+        cfg.retry = retry;
+        cfg.degraded_reduce = args.get_flag("degraded");
+        if (args.is_set("checkpoint-dir")) cfg.checkpoint_dir = args.get("checkpoint-dir");
         const auto factory = [&](index_t) {
             return std::make_unique<recon::MemorySource>(stack, gf.raw_counts);
         };
         const recon::DistributedResult r = recon::reconstruct_distributed(cfg, factory);
         volume = r.volume;
+        for (const index_t d : r.dead)
+            std::printf("rank %lld dropped out; its view share was replayed by a survivor\n",
+                        static_cast<long long>(d));
         for (index_t rank = 0; rank < ng * nr; ++rank) {
             const recon::RankStats& st = r.ranks[static_cast<std::size_t>(rank)];
             std::printf("rank %lld (group %lld): load %.3f filter %.3f bp %.3f reduce %.3f "
