@@ -70,10 +70,15 @@ int main()
         for (int rep = 0; rep < 5; ++rep) {
             c.gather(send, gat, 0);
             if (c.rank() == 0) {
-                for (std::size_t i = 0; i < send.size(); ++i) {
+                // Flat-index multiplication in 64-bit index_t (xct_lint
+                // rule `intloop`): an int induction variable here would
+                // silently wrap past 2G elements.
+                const auto n = static_cast<index_t>(send.size());
+                for (index_t i = 0; i < n; ++i) {
                     float s = 0.0f;
-                    for (int q = 0; q < 4; ++q) s += gat[static_cast<std::size_t>(q) * send.size() + i];
-                    recv[i] = s;
+                    for (index_t q = 0; q < 4; ++q)
+                        s += gat[static_cast<std::size_t>(q * n + i)];
+                    recv[static_cast<std::size_t>(i)] = s;
                 }
             }
         }

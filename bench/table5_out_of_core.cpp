@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "backproj/rtk_style.hpp"
+#include "core/names.hpp"
 #include "perfmodel/model.hpp"
 #include "recon/fdk.hpp"
 #include "telemetry/metrics.hpp"
@@ -132,11 +133,11 @@ int main()
     auto& reg = telemetry::registry();
     std::printf("\nmeasured-sweep telemetry: H2D %.1f MiB in %llu transfers, D2H %.1f MiB, "
                 "%llu FFTs, %llu detector rows filtered\n",
-                bench::mib(reg.counter("sim.h2d.bytes").value()),
-                static_cast<unsigned long long>(reg.counter("sim.h2d.transfers").value()),
-                bench::mib(reg.counter("sim.d2h.bytes").value()),
-                static_cast<unsigned long long>(reg.counter("fft.transforms").value()),
-                static_cast<unsigned long long>(reg.counter("filter.rows_filtered").value()));
+                bench::mib(reg.counter(names::kMetricSimH2dBytes).value()),
+                static_cast<unsigned long long>(reg.counter(names::kMetricSimH2dTransfers).value()),
+                bench::mib(reg.counter(names::kMetricSimD2hBytes).value()),
+                static_cast<unsigned long long>(reg.counter(names::kMetricFftTransforms).value()),
+                static_cast<unsigned long long>(reg.counter(names::kMetricFilterRowsFiltered).value()));
 
     bench::note("modelled full-scale rows (Sec. 5 parameters) vs the printed paper values:");
     bench::note("paper tomo_00029/V100: 2048^3 T_bp=124.2 T_runtime=137.7; 4096^3 971.1/1028.8");

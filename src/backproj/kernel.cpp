@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/check.hpp"
+
 namespace xct::backproj {
 
 namespace {
@@ -110,7 +112,11 @@ void backproject_streaming_incremental(const sim::Texture3& tex, std::span<const
         for (index_t j = 0; j < d.y; ++j) {
             const double kk = static_cast<double>(k + off.volume_z);
             const double jj = static_cast<double>(j);
-            std::vector<float> acc(static_cast<std::size_t>(d.x), 0.0f);
+            // Row accumulator behind CheckedSpan: the incremental walk
+            // derives i from pointer bumps, so an off-by-one would write a
+            // neighbouring row silently — under XCT_BOUNDS_CHECK it aborts.
+            std::vector<float> acc_store(static_cast<std::size_t>(d.x), 0.0f);
+            const CheckedSpan<float> acc(acc_store.data(), d.x);
             for (index_t s = 0; s < views; ++s) {
                 const Mat34& m = mats[static_cast<std::size_t>(s)];
                 // Row constants at i = 0 (double precision so the
@@ -126,11 +132,10 @@ void backproject_streaming_incremental(const sim::Texture3& tex, std::span<const
                     const float x = xn / zn;
                     const float y = yn / zn;
                     if (x < 0.0f || x > x_hi || y < 0.0f || y > y_hi) continue;
-                    acc[static_cast<std::size_t>(i)] +=
-                        1.0f / (zn * zn) * dev_sub_pixel(tex, x, y - proj_y0, s);
+                    acc[i] += 1.0f / (zn * zn) * dev_sub_pixel(tex, x, y - proj_y0, s);
                 }
             }
-            for (index_t i = 0; i < d.x; ++i) vol.at(i, j, k) += acc[static_cast<std::size_t>(i)];
+            for (index_t i = 0; i < d.x; ++i) vol.at(i, j, k) += acc[i];
         }
     }
 }

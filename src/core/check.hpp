@@ -1,0 +1,69 @@
+#pragma once
+// Bounds-check instrumentation (DESIGN.md §3d).
+//
+// The streaming back-projection is offset arithmetic end to end
+// (`offset_volume_z`, `offset_proj_y`, circular `z % dimZ`): a silent
+// out-of-bounds access produces a plausible-but-wrong volume, not a
+// crash.  Building with -DXCT_BOUNDS_CHECK=ON turns every Volume /
+// ProjectionStack / texture / CheckedSpan access into a checked access
+// that aborts with file:line on the first violation — the Debug and
+// sanitizer CI legs run the full suite in this mode.  Without the option
+// the checks compile to plain assert() (active in Debug, free in
+// Release), so hot kernels keep their throughput.
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+
+#include "core/types.hpp"
+
+namespace xct::detail {
+
+[[noreturn]] inline void bounds_fail(const char* what, const char* file, int line)
+{
+    std::fprintf(stderr, "xct: bounds check failed: %s (%s:%d)\n", what, file, line);
+    std::abort();
+}
+
+}  // namespace xct::detail
+
+#if defined(XCT_BOUNDS_CHECK)
+#define XCT_CHECK_BOUNDS(cond, what) \
+    ((cond) ? static_cast<void>(0) : ::xct::detail::bounds_fail(what, __FILE__, __LINE__))
+#else
+#define XCT_CHECK_BOUNDS(cond, what) assert((cond) && (what))
+#endif
+
+namespace xct {
+
+/// Span wrapper whose operator[] goes through XCT_CHECK_BOUNDS.  Used for
+/// kernel scratch buffers where a stale index would otherwise read or
+/// corrupt neighbouring rows silently.  Indexing takes index_t so callers
+/// never narrow before the check.
+template <typename T>
+class CheckedSpan {
+public:
+    CheckedSpan() = default;
+    CheckedSpan(T* data, index_t count) : data_(data), count_(count) {}
+    explicit CheckedSpan(std::span<T> s)
+        : data_(s.data()), count_(static_cast<index_t>(s.size()))
+    {
+    }
+
+    index_t size() const { return count_; }
+
+    T& operator[](index_t i) const
+    {
+        XCT_CHECK_BOUNDS(i >= 0 && i < count_, "CheckedSpan index out of range");
+        return data_[static_cast<std::size_t>(i)];
+    }
+
+    T* data() const { return data_; }
+
+private:
+    T* data_ = nullptr;
+    index_t count_ = 0;
+};
+
+}  // namespace xct

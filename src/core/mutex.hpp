@@ -1,0 +1,126 @@
+#pragma once
+// Annotated synchronisation wrappers (DESIGN.md §3d).
+//
+// libstdc++'s std::mutex carries no `capability` attribute, so clang's
+// Thread Safety Analysis cannot reason about it directly.  These thin
+// wrappers attach the annotations; they compile to exactly the std types
+// on every compiler.  xct_lint enforces that src/, tools/ and bench/
+// declare mutexes only through these wrappers (this header is the single
+// whitelisted exception) and that every Mutex is referenced by at least
+// one XCT_GUARDED_BY / XCT_REQUIRES / XCT_ACQUIRE annotation.
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "core/thread_annotations.hpp"
+
+namespace xct {
+
+/// Annotated std::mutex.  Lock through MutexLock / UniqueLock; the raw
+/// lock()/unlock() exist for the wrappers and for adopting APIs.
+class XCT_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() XCT_ACQUIRE() { m_.lock(); }
+    void unlock() XCT_RELEASE() { m_.unlock(); }
+
+    /// Tell the analysis this capability is held — for condition-variable
+    /// wait predicates, which run under the lock but are analysed as
+    /// stand-alone lambdas.
+    void assert_held() const XCT_ASSERT_CAPABILITY(this) {}
+
+    /// Underlying std::mutex for interop (condition_variable wait).
+    std::mutex& native() { return m_; }
+
+private:
+    std::mutex m_;
+};
+
+/// RAII lock for the plain critical-section case (std::lock_guard).
+class XCT_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& m) XCT_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() XCT_RELEASE() { m_.unlock(); }
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& m_;
+};
+
+/// RAII lock that a CondVar can temporarily release (std::unique_lock).
+class XCT_SCOPED_CAPABILITY UniqueLock {
+public:
+    explicit UniqueLock(Mutex& m) XCT_ACQUIRE(m) : lk_(m.native()) {}
+    ~UniqueLock() XCT_RELEASE() {}
+    UniqueLock(const UniqueLock&) = delete;
+    UniqueLock& operator=(const UniqueLock&) = delete;
+
+    std::unique_lock<std::mutex>& native() { return lk_; }
+
+private:
+    std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable paired with Mutex/UniqueLock.  Wait predicates run
+/// with the lock held; call `mutex.assert_held()` at the top of the
+/// predicate so the analysis accepts reads of guarded state.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    template <typename Pred>
+    void wait(UniqueLock& lk, Pred pred)
+    {
+        cv_.wait(lk.native(), std::move(pred));
+    }
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+/// First-exception capture shared by a team of threads: each worker calls
+/// capture() from its catch-all, the coordinator rethrows after joining.
+/// Replaces the ad-hoc `std::mutex em; std::exception_ptr first;` pairs
+/// that predated the annotation layer (minimpi::run, recon::run_rank).
+class FirstError {
+public:
+    /// Record std::current_exception() if no earlier error was captured.
+    void capture() noexcept
+    {
+        MutexLock lk(m_);
+        if (!first_) first_ = std::current_exception();
+    }
+
+    bool set() const
+    {
+        MutexLock lk(m_);
+        return first_ != nullptr;
+    }
+
+    /// Rethrow the first captured exception, if any.
+    void rethrow_if_set()
+    {
+        std::exception_ptr e;
+        {
+            MutexLock lk(m_);
+            e = first_;
+        }
+        if (e) std::rethrow_exception(e);
+    }
+
+private:
+    mutable Mutex m_;
+    std::exception_ptr first_ XCT_GUARDED_BY(m_);
+};
+
+}  // namespace xct

@@ -1,0 +1,83 @@
+#pragma once
+// Central registry of every observability and fault-injection name in the
+// tree (DESIGN.md §3d).
+//
+// Metric names, trace span/category names and fault-site names are
+// string-keyed: a typo at one call site silently forks a metric or makes
+// a fault plan never fire.  This header is the single source of truth —
+// tools/xct_lint enforces (rule `names`) that every string literal passed
+// to telemetry::Registry::{counter,gauge,histogram}, ScopedTrace,
+// Tracer::record*, faults::{check,should_fail}, sim::Device::gate and
+// io::Pfs::guarded either appears verbatim below or extends one of the
+// registered prefixes (entries ending in '.').
+//
+// To add a name: declare the constant here, use it at the call site, and
+// document non-obvious units in the comment.  Naming scheme (README
+// "Observability"): dot-separated `<subsystem>.<object>.<unit>`.
+
+namespace xct::names {
+
+// ---- trace categories (TraceEvent::cat, one per subsystem) --------------
+inline constexpr const char* kCatPipeline = "pipeline";
+inline constexpr const char* kCatMinimpi = "minimpi";
+inline constexpr const char* kCatSim = "sim";
+inline constexpr const char* kCatIo = "io";
+inline constexpr const char* kCatFilter = "filter";
+inline constexpr const char* kCatFaults = "faults";
+
+// ---- trace span names ---------------------------------------------------
+inline constexpr const char* kSpanReduceSum = "reduce_sum";
+inline constexpr const char* kSpanAllreduceSum = "allreduce_sum";
+inline constexpr const char* kSpanReduceSumParts = "reduce_sum_parts";
+inline constexpr const char* kSpanReduceSumHierarchical = "reduce_sum_hierarchical";
+inline constexpr const char* kSpanBcast = "bcast";
+inline constexpr const char* kSpanGather = "gather";
+inline constexpr const char* kSpanH2d = "h2d";  ///< also the sim.* metric infix
+inline constexpr const char* kSpanD2h = "d2h";  ///< also the sim.* metric infix
+inline constexpr const char* kSpanFilterApply = "apply";
+inline constexpr const char* kSpanRetry = "retry";
+inline constexpr const char* kSpanCkptSave = "ckpt.save";
+inline constexpr const char* kSpanCkptRestore = "ckpt.restore";
+inline constexpr const char* kSpanTakeover = "takeover";
+inline constexpr const char* kSpanPfsPrefix = "pfs.";  ///< + "load" / "store"
+
+// ---- metric names (registry counters / gauges / histograms) -------------
+inline constexpr const char* kMetricFaultsInjected = "faults.injected";
+inline constexpr const char* kMetricFaultsInjectedPrefix = "faults.injected.";  ///< + site
+inline constexpr const char* kMetricFaultsRetryAttempts = "faults.retry.attempts";
+inline constexpr const char* kMetricFaultsRetryExhausted = "faults.retry.exhausted";
+inline constexpr const char* kMetricFaultsRetryDelaySeconds = "faults.retry.delay_seconds";
+inline constexpr const char* kMetricFaultsRetryPrefix = "faults.retry.";  ///< + site + suffix
+inline constexpr const char* kMetricFaultsCkptSaved = "faults.checkpoint.saved";
+inline constexpr const char* kMetricFaultsCkptRestored = "faults.checkpoint.restored";
+inline constexpr const char* kMetricFaultsDegradedRanks = "faults.degraded.ranks";
+inline constexpr const char* kMetricFaultsDegradedTakeovers = "faults.degraded.takeovers";
+inline constexpr const char* kMetricFaultsDegradedSlabs = "faults.degraded.slabs";
+inline constexpr const char* kMetricFftTransforms = "fft.transforms";
+inline constexpr const char* kMetricFilterApplyCalls = "filter.apply.calls";
+inline constexpr const char* kMetricFilterRowsFiltered = "filter.rows_filtered";
+inline constexpr const char* kMetricPipelineStagePrefix = "pipeline.stage.";  ///< + stage + unit
+inline constexpr const char* kMetricMinimpiPrefix = "minimpi.";  ///< + op + ".calls"/bytes
+inline constexpr const char* kMetricIoPfsPrefix = "io.pfs.";     ///< + op + unit
+inline constexpr const char* kMetricSimPrefix = "sim.";          ///< + dir + ".bytes"/transfers
+// Well-known expansions of the prefixes above, for readers (benches):
+inline constexpr const char* kMetricSimH2dBytes = "sim.h2d.bytes";
+inline constexpr const char* kMetricSimH2dTransfers = "sim.h2d.transfers";
+inline constexpr const char* kMetricSimD2hBytes = "sim.d2h.bytes";
+
+// ---- fault-injection sites (FaultPlan spec keys) ------------------------
+inline constexpr const char* kSitePfsLoad = "pfs.load";
+inline constexpr const char* kSitePfsStore = "pfs.store";
+inline constexpr const char* kSiteSimH2d = "sim.h2d";
+inline constexpr const char* kSiteSimD2h = "sim.d2h";
+inline constexpr const char* kSiteMinimpiBarrier = "minimpi.barrier";
+inline constexpr const char* kSiteMinimpiReduceSum = "minimpi.reduce_sum";
+inline constexpr const char* kSiteMinimpiAllreduceSum = "minimpi.allreduce_sum";
+inline constexpr const char* kSiteMinimpiReduceSumParts = "minimpi.reduce_sum_parts";
+inline constexpr const char* kSiteMinimpiReduceSumHierarchical = "minimpi.reduce_sum_hierarchical";
+inline constexpr const char* kSiteMinimpiBcast = "minimpi.bcast";
+inline constexpr const char* kSiteMinimpiGather = "minimpi.gather";
+inline constexpr const char* kSiteSourceLoad = "source.load";
+inline constexpr const char* kSiteRankDropout = "rank.dropout";
+
+}  // namespace xct::names

@@ -1,0 +1,63 @@
+#pragma once
+// Clang Thread Safety Analysis annotation macros (DESIGN.md §3d).
+//
+// The macros expand to the clang `capability`-family attributes when the
+// compiler supports them and to nothing elsewhere, so annotated headers
+// stay portable across gcc and clang.  The analysis itself runs on the
+// dedicated clang CI leg (`-Wthread-safety -Werror=thread-safety`); the
+// repo-specific checker (tools/xct_lint) enforces that every mutex in the
+// tree is declared through the annotated wrappers in core/mutex.hpp and
+// is referenced by at least one of these annotations.
+//
+// Naming follows the clang documentation's canonical macro set with an
+// XCT_ prefix.  See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define XCT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef XCT_THREAD_ANNOTATION
+#define XCT_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a capability (lockable).  The string names the
+/// capability kind in diagnostics ("mutex" for all xct wrappers).
+#define XCT_CAPABILITY(x) XCT_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability.
+#define XCT_SCOPED_CAPABILITY XCT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be accessed while holding the given capability.
+#define XCT_GUARDED_BY(x) XCT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define XCT_PT_GUARDED_BY(x) XCT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it).
+#define XCT_REQUIRES(...) XCT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define XCT_ACQUIRE(...) XCT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define XCT_RELEASE(...) XCT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns the given value.
+#define XCT_TRY_ACQUIRE(...) XCT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock
+/// prevention for non-reentrant locks).
+#define XCT_EXCLUDES(...) XCT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held — used inside condition
+/// variable wait predicates, which the static analysis cannot see are
+/// invoked under the lock.
+#define XCT_ASSERT_CAPABILITY(x) XCT_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define XCT_RETURN_CAPABILITY(x) XCT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function.
+#define XCT_NO_THREAD_SAFETY_ANALYSIS XCT_THREAD_ANNOTATION(no_thread_safety_analysis)

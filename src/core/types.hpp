@@ -20,6 +20,11 @@ namespace xct {
 /// Signed index type used for all voxel/pixel coordinates and counts.
 using index_t = std::int64_t;
 
+// Flat indices are products like i + j*Nx + k*Nx*Ny: a >2G-voxel volume
+// (e.g. the paper's 4096^3 target) overflows 32-bit arithmetic long before
+// it exhausts memory, so the multiplications MUST happen in index_t.
+static_assert(sizeof(index_t) >= 8, "index_t must be 64-bit for >2G-voxel volumes");
+
 /// 3-component double vector (geometry math).
 struct Vec3 {
     double x = 0.0, y = 0.0, z = 0.0;

@@ -9,11 +9,12 @@
 //                       restricted to a detector-row band [row0, row0+rows).
 //
 // Both are plain owning containers (RAII, no naked new/delete) with checked
-// accessors in debug builds and span-based raw access for kernels.
+// accessors (assert in Debug, unconditional abort under -DXCT_BOUNDS_CHECK=ON
+// — see core/check.hpp) and span-based raw access for kernels.
 
-#include <cassert>
 #include <vector>
 
+#include "core/check.hpp"
 #include "core/types.hpp"
 
 namespace xct {
@@ -34,12 +35,14 @@ public:
 
     float& at(index_t i, index_t j, index_t k)
     {
-        assert(i >= 0 && i < size_.x && j >= 0 && j < size_.y && k >= 0 && k < size_.z);
+        XCT_CHECK_BOUNDS(i >= 0 && i < size_.x && j >= 0 && j < size_.y && k >= 0 && k < size_.z,
+                         "Volume::at");
         return data_[static_cast<std::size_t>((k * size_.y + j) * size_.x + i)];
     }
     float at(index_t i, index_t j, index_t k) const
     {
-        assert(i >= 0 && i < size_.x && j >= 0 && j < size_.y && k >= 0 && k < size_.z);
+        XCT_CHECK_BOUNDS(i >= 0 && i < size_.x && j >= 0 && j < size_.y && k >= 0 && k < size_.z,
+                         "Volume::at");
         return data_[static_cast<std::size_t>((k * size_.y + j) * size_.x + i)];
     }
 
@@ -49,13 +52,13 @@ public:
     /// Mutable view of one z-slice (Ny*Nx contiguous floats).
     std::span<float> slice(index_t k)
     {
-        assert(k >= 0 && k < size_.z);
+        XCT_CHECK_BOUNDS(k >= 0 && k < size_.z, "Volume::slice");
         return std::span<float>(data_).subspan(static_cast<std::size_t>(k * size_.y * size_.x),
                                                static_cast<std::size_t>(size_.y * size_.x));
     }
     std::span<const float> slice(index_t k) const
     {
-        assert(k >= 0 && k < size_.z);
+        XCT_CHECK_BOUNDS(k >= 0 && k < size_.z, "Volume::slice");
         return std::span<const float>(data_).subspan(
             static_cast<std::size_t>(k * size_.y * size_.x),
             static_cast<std::size_t>(size_.y * size_.x));
@@ -104,12 +107,14 @@ public:
     /// Element access with v in global detector-row coordinates.
     float& at(index_t s, index_t v, index_t u)
     {
-        assert(s >= 0 && s < views_ && band_.contains(v) && u >= 0 && u < cols_);
+        XCT_CHECK_BOUNDS(s >= 0 && s < views_ && band_.contains(v) && u >= 0 && u < cols_,
+                         "ProjectionStack::at");
         return data_[static_cast<std::size_t>(((s * band_.length()) + (v - band_.lo)) * cols_ + u)];
     }
     float at(index_t s, index_t v, index_t u) const
     {
-        assert(s >= 0 && s < views_ && band_.contains(v) && u >= 0 && u < cols_);
+        XCT_CHECK_BOUNDS(s >= 0 && s < views_ && band_.contains(v) && u >= 0 && u < cols_,
+                         "ProjectionStack::at");
         return data_[static_cast<std::size_t>(((s * band_.length()) + (v - band_.lo)) * cols_ + u)];
     }
 
@@ -117,14 +122,14 @@ public:
     /// v in global coordinates.
     std::span<float> row(index_t s, index_t v)
     {
-        assert(s >= 0 && s < views_ && band_.contains(v));
+        XCT_CHECK_BOUNDS(s >= 0 && s < views_ && band_.contains(v), "ProjectionStack::row");
         return std::span<float>(data_).subspan(
             static_cast<std::size_t>(((s * band_.length()) + (v - band_.lo)) * cols_),
             static_cast<std::size_t>(cols_));
     }
     std::span<const float> row(index_t s, index_t v) const
     {
-        assert(s >= 0 && s < views_ && band_.contains(v));
+        XCT_CHECK_BOUNDS(s >= 0 && s < views_ && band_.contains(v), "ProjectionStack::row");
         return std::span<const float>(data_).subspan(
             static_cast<std::size_t>(((s * band_.length()) + (v - band_.lo)) * cols_),
             static_cast<std::size_t>(cols_));
@@ -133,14 +138,14 @@ public:
     /// View of one full projection (rows()*cols contiguous floats).
     std::span<float> view(index_t s)
     {
-        assert(s >= 0 && s < views_);
+        XCT_CHECK_BOUNDS(s >= 0 && s < views_, "ProjectionStack::view");
         return std::span<float>(data_).subspan(
             static_cast<std::size_t>(s * band_.length() * cols_),
             static_cast<std::size_t>(band_.length() * cols_));
     }
     std::span<const float> view(index_t s) const
     {
-        assert(s >= 0 && s < views_);
+        XCT_CHECK_BOUNDS(s >= 0 && s < views_, "ProjectionStack::view");
         return std::span<const float>(data_).subspan(
             static_cast<std::size_t>(s * band_.length() * cols_),
             static_cast<std::size_t>(band_.length() * cols_));

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "core/names.hpp"
 #include "io/raw_io.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -46,20 +47,20 @@ bool CheckpointStore::has_slab(index_t idx) const
 
 void CheckpointStore::save_slab(index_t idx, const Volume& v)
 {
-    telemetry::ScopedTrace trace("faults", "ckpt.save", idx,
+    telemetry::ScopedTrace trace(names::kCatFaults, names::kSpanCkptSave, idx,
                                  static_cast<std::uint64_t>(v.count()) * sizeof(float));
     const auto path = slab_path(idx);
     const auto tmp = path.string() + ".tmp";
     io::write_volume(tmp, v);
     std::filesystem::rename(tmp, path);
-    telemetry::registry().counter("faults.checkpoint.saved").add(1);
+    telemetry::registry().counter(names::kMetricFaultsCkptSaved).add(1);
 }
 
 Volume CheckpointStore::load_slab(index_t idx) const
 {
-    telemetry::ScopedTrace trace("faults", "ckpt.restore", idx);
+    telemetry::ScopedTrace trace(names::kCatFaults, names::kSpanCkptRestore, idx);
     Volume v = io::read_volume(slab_path(idx));
-    telemetry::registry().counter("faults.checkpoint.restored").add(1);
+    telemetry::registry().counter(names::kMetricFaultsCkptRestored).add(1);
     return v;
 }
 

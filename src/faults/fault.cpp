@@ -1,9 +1,10 @@
 #include "faults/fault.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <optional>
 
+#include "core/mutex.hpp"
+#include "core/names.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -28,11 +29,11 @@ std::uint64_t hash_str(const std::string& s)
 }
 
 struct Engine {
-    std::mutex m;
-    FaultPlan plan;
+    Mutex m;
+    FaultPlan plan XCT_GUARDED_BY(m);
     /// Per (site, rank) call counters — deterministic trigger points
     /// regardless of thread interleaving.
-    std::map<std::pair<std::string, index_t>, std::uint64_t> calls;
+    std::map<std::pair<std::string, index_t>, std::uint64_t> calls XCT_GUARDED_BY(m);
 };
 
 Engine& engine()
@@ -51,7 +52,7 @@ std::optional<std::uint64_t> fire(const char* site)
     std::uint64_t call = 0;
     bool fires = false;
     {
-        std::lock_guard lk(e.m);
+        MutexLock lk(e.m);
         const auto it = e.plan.specs().find(site);
         if (it == e.plan.specs().end()) return std::nullopt;
         const FaultSpec& spec = it->second;
@@ -72,8 +73,8 @@ std::optional<std::uint64_t> fire(const char* site)
     }
     if (!fires) return std::nullopt;
     auto& reg = telemetry::registry();
-    reg.counter("faults.injected").add(1);
-    reg.counter(std::string("faults.injected.") + site).add(1);
+    reg.counter(names::kMetricFaultsInjected).add(1);
+    reg.counter(std::string(names::kMetricFaultsInjectedPrefix) + site).add(1);
     return call;
 }
 
@@ -152,7 +153,7 @@ FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed)
 void set_plan(FaultPlan plan)
 {
     Engine& e = engine();
-    std::lock_guard lk(e.m);
+    MutexLock lk(e.m);
     g_enabled.store(!plan.empty(), std::memory_order_relaxed);
     e.plan = std::move(plan);
     e.calls.clear();

@@ -6,6 +6,7 @@
 #include <string>
 #include <thread>
 
+#include "core/names.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -50,18 +51,18 @@ void on_retry(const char* site, const RetryPolicy& policy, index_t attempt)
 {
     const double delay = backoff_delay(policy, site, attempt);
     auto& reg = telemetry::registry();
-    reg.counter("faults.retry.attempts").add(1);
-    reg.counter(std::string("faults.retry.") + site + ".attempts").add(1);
-    reg.gauge("faults.retry.delay_seconds").add(delay);
-    telemetry::ScopedTrace trace("faults", "retry", attempt);
+    reg.counter(names::kMetricFaultsRetryAttempts).add(1);
+    reg.counter(std::string(names::kMetricFaultsRetryPrefix) + site + ".attempts").add(1);
+    reg.gauge(names::kMetricFaultsRetryDelaySeconds).add(delay);
+    telemetry::ScopedTrace trace(names::kCatFaults, names::kSpanRetry, attempt);
     std::this_thread::sleep_for(std::chrono::duration<double>(delay));
 }
 
 void on_exhausted(const char* site)
 {
     auto& reg = telemetry::registry();
-    reg.counter("faults.retry.exhausted").add(1);
-    reg.counter(std::string("faults.retry.") + site + ".exhausted").add(1);
+    reg.counter(names::kMetricFaultsRetryExhausted).add(1);
+    reg.counter(std::string(names::kMetricFaultsRetryPrefix) + site + ".exhausted").add(1);
 }
 
 }  // namespace detail

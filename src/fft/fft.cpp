@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/names.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace xct::fft {
@@ -28,7 +29,7 @@ void transform(std::span<std::complex<double>> data, bool inverse)
 
     // One relaxed atomic add per transform — negligible against the
     // O(n log n) butterflies, so this counts unconditionally.
-    static telemetry::Counter& transforms = telemetry::registry().counter("fft.transforms");
+    static telemetry::Counter& transforms = telemetry::registry().counter(names::kMetricFftTransforms);
     transforms.add(1);
 
     // Bit-reversal permutation.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/names.hpp"
 #include "fft/fft.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -151,12 +152,12 @@ void FilterEngine::apply_row_pair(std::span<float> a, index_t va, std::span<floa
 void FilterEngine::apply(ProjectionStack& stack) const
 {
     require(stack.cols() == nu_, "FilterEngine: stack width != Nu");
-    telemetry::ScopedTrace trace("filter", "apply", -1,
+    telemetry::ScopedTrace trace(names::kCatFilter, names::kSpanFilterApply, -1,
                                  static_cast<std::uint64_t>(stack.count()) * sizeof(float));
     {
-        static telemetry::Counter& calls = telemetry::registry().counter("filter.apply.calls");
+        static telemetry::Counter& calls = telemetry::registry().counter(names::kMetricFilterApplyCalls);
         static telemetry::Counter& rows_filtered =
-            telemetry::registry().counter("filter.rows_filtered");
+            telemetry::registry().counter(names::kMetricFilterRowsFiltered);
         calls.add(1);
         rows_filtered.add(static_cast<std::uint64_t>(stack.views() * stack.rows()));
     }

@@ -1,5 +1,6 @@
 #include "io/pfs.hpp"
 
+#include "core/names.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -13,12 +14,13 @@ constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
 void telemetry_io(const char* op, std::uint64_t bytes, double seconds)
 {
     auto& reg = telemetry::registry();
-    reg.counter(std::string("io.pfs.") + op + ".bytes").add(bytes);
-    reg.counter(std::string("io.pfs.") + op + ".operations").add(1);
+    reg.counter(std::string(names::kMetricIoPfsPrefix) + op + ".bytes").add(bytes);
+    reg.counter(std::string(names::kMetricIoPfsPrefix) + op + ".operations").add(1);
     auto& tr = telemetry::tracer();
     if (tr.enabled()) {
         const double now = tr.now();
-        tr.record(std::string("pfs.") + op, "io", now, now + seconds, -1, bytes);
+        tr.record(std::string(names::kSpanPfsPrefix) + op, names::kCatIo, now, now + seconds, -1,
+                  bytes);
     }
 }
 }
@@ -67,26 +69,26 @@ auto Pfs::guarded(const char* site, F&& op) -> decltype(op())
 
 void Pfs::store_volume(const std::string& rel, const Volume& v)
 {
-    guarded("pfs.store", [&] { write_volume(resolve(rel), v); });
+    guarded(names::kSitePfsStore, [&] { write_volume(resolve(rel), v); });
     account_store(static_cast<std::uint64_t>(v.count()) * sizeof(float));
 }
 
 Volume Pfs::load_volume(const std::string& rel)
 {
-    Volume v = guarded("pfs.load", [&] { return read_volume(resolve(rel)); });
+    Volume v = guarded(names::kSitePfsLoad, [&] { return read_volume(resolve(rel)); });
     account_load(static_cast<std::uint64_t>(v.count()) * sizeof(float));
     return v;
 }
 
 void Pfs::store_stack(const std::string& rel, const ProjectionStack& p)
 {
-    guarded("pfs.store", [&] { write_stack(resolve(rel), p); });
+    guarded(names::kSitePfsStore, [&] { write_stack(resolve(rel), p); });
     account_store(static_cast<std::uint64_t>(p.count()) * sizeof(float));
 }
 
 ProjectionStack Pfs::load_stack(const std::string& rel)
 {
-    ProjectionStack p = guarded("pfs.load", [&] { return read_stack(resolve(rel)); });
+    ProjectionStack p = guarded(names::kSitePfsLoad, [&] { return read_stack(resolve(rel)); });
     account_load(static_cast<std::uint64_t>(p.count()) * sizeof(float));
     return p;
 }
@@ -94,7 +96,7 @@ ProjectionStack Pfs::load_stack(const std::string& rel)
 ProjectionStack Pfs::load_stack_rows(const std::string& rel, Range views, Range band)
 {
     ProjectionStack p =
-        guarded("pfs.load", [&] { return read_stack_rows(resolve(rel), views, band); });
+        guarded(names::kSitePfsLoad, [&] { return read_stack_rows(resolve(rel), views, band); });
     account_load(static_cast<std::uint64_t>(p.count()) * sizeof(float));
     return p;
 }

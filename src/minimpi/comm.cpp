@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "core/mutex.hpp"
+#include "core/names.hpp"
 #include "faults/fault.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -18,8 +18,8 @@ namespace detail {
 /// flag and the list of live communicator states to wake on abort.
 struct Team {
     std::atomic<bool> abort{false};
-    std::mutex m;
-    std::vector<std::weak_ptr<CommState>> states;
+    Mutex m;
+    std::vector<std::weak_ptr<CommState>> states XCT_GUARDED_BY(m);
 };
 
 struct CommState {
@@ -35,19 +35,23 @@ struct CommState {
     index_t size;
     std::shared_ptr<Team> team;
 
-    std::mutex m;
-    std::condition_variable cv;
-    index_t arrived = 0;
-    std::uint64_t gen = 0;
+    Mutex m;
+    CondVar cv;
+    index_t arrived XCT_GUARDED_BY(m) = 0;
+    std::uint64_t gen XCT_GUARDED_BY(m) = 0;
 
     // Deposit areas for collectives (indexed by rank in this communicator).
+    // Deliberately NOT XCT_GUARDED_BY(m): they are synchronised by the
+    // sync() generation barrier, not the mutex — every write happens
+    // strictly between two barriers and is read only after the next one,
+    // a protocol the static analysis cannot express.
     std::vector<const void*> slots;
     std::vector<const void*> slots2;
     std::vector<long long> ia, ib;
     std::vector<double> dv;
     std::shared_ptr<void> result;  // split() publishes the new communicators here
 
-    CollectiveStats stats;  // guarded by m; written by one rank per collective
+    CollectiveStats stats XCT_GUARDED_BY(m);  // written by one rank per collective
 };
 
 namespace {
@@ -55,7 +59,7 @@ namespace {
 std::shared_ptr<CommState> make_state(index_t n, const std::shared_ptr<Team>& team)
 {
     auto st = std::make_shared<CommState>(n, team);
-    std::lock_guard lk(team->m);
+    MutexLock lk(team->m);
     team->states.push_back(st);
     return st;
 }
@@ -63,7 +67,7 @@ std::shared_ptr<CommState> make_state(index_t n, const std::shared_ptr<Team>& te
 /// Generation barrier; throws if a peer rank aborted the team.
 void sync(CommState& st)
 {
-    std::unique_lock lk(st.m);
+    UniqueLock lk(st.m);
     if (st.team->abort.load()) throw std::runtime_error("minimpi: a peer rank failed");
     const std::uint64_t my_gen = st.gen;
     if (++st.arrived == st.size) {
@@ -72,7 +76,10 @@ void sync(CommState& st)
         st.cv.notify_all();
         return;
     }
-    st.cv.wait(lk, [&] { return st.gen != my_gen || st.team->abort.load(); });
+    st.cv.wait(lk, [&] {
+        st.m.assert_held();
+        return st.gen != my_gen || st.team->abort.load();
+    });
     if (st.gen == my_gen) throw std::runtime_error("minimpi: a peer rank failed");
 }
 
@@ -91,21 +98,21 @@ void account_collective(CommState& st, std::uint64_t CollectiveStats::* calls,
                         const char* op, const char* bytes_metric = "root_bytes")
 {
     {
-        std::lock_guard lk(st.m);
+        MutexLock lk(st.m);
         st.stats.*calls += 1;
         st.stats.*bytes += amount;
     }
     auto& reg = telemetry::registry();
-    reg.counter(std::string("minimpi.") + op + ".calls").add(1);
-    reg.counter(std::string("minimpi.") + op + "." + bytes_metric).add(amount);
+    reg.counter(std::string(names::kMetricMinimpiPrefix) + op + ".calls").add(1);
+    reg.counter(std::string(names::kMetricMinimpiPrefix) + op + "." + bytes_metric).add(amount);
 }
 
 void wake_all(Team& team)
 {
-    std::lock_guard lk(team.m);
+    MutexLock lk(team.m);
     for (auto& w : team.states)
         if (auto st = w.lock()) {
-            std::lock_guard slk(st->m);
+            MutexLock slk(st->m);
             st->cv.notify_all();
         }
 }
@@ -130,7 +137,7 @@ index_t Communicator::size() const
 void Communicator::barrier()
 {
     require(state_ != nullptr, "Communicator: default-constructed handle");
-    faults::check("minimpi.barrier");
+    faults::check(names::kSiteMinimpiBarrier);
     sync(*state_);
 }
 
@@ -173,9 +180,9 @@ void Communicator::reduce_sum(std::span<const float> send, std::span<float> recv
     require(state_ != nullptr, "Communicator: default-constructed handle");
     CommState& st = *state_;
     require(root >= 0 && root < st.size, "reduce_sum: root out of range");
-    faults::check("minimpi.reduce_sum");
+    faults::check(names::kSiteMinimpiReduceSum);
     const std::uint64_t payload = send.size() * sizeof(float);
-    telemetry::ScopedTrace trace("minimpi", "reduce_sum", -1, payload);
+    telemetry::ScopedTrace trace(names::kCatMinimpi, names::kSpanReduceSum, -1, payload);
     if (rank_ == root)
         detail::account_collective(st, &CollectiveStats::reduce_calls,
                                    &CollectiveStats::reduce_root_bytes,
@@ -202,9 +209,9 @@ void Communicator::allreduce_sum(std::span<const float> send, std::span<float> r
     require(state_ != nullptr, "Communicator: default-constructed handle");
     require(recv.size() == send.size(), "allreduce_sum: recv size mismatch");
     CommState& st = *state_;
-    faults::check("minimpi.allreduce_sum");
+    faults::check(names::kSiteMinimpiAllreduceSum);
     const std::uint64_t payload = send.size() * sizeof(float);
-    telemetry::ScopedTrace trace("minimpi", "allreduce_sum", -1, payload);
+    telemetry::ScopedTrace trace(names::kCatMinimpi, names::kSpanAllreduceSum, -1, payload);
     if (rank_ == 0)
         detail::account_collective(st, &CollectiveStats::allreduce_calls,
                                    &CollectiveStats::allreduce_bytes,
@@ -226,10 +233,10 @@ void Communicator::reduce_sum_parts(std::span<const ReducePart> parts, std::span
     require(state_ != nullptr, "Communicator: default-constructed handle");
     CommState& st = *state_;
     require(root >= 0 && root < st.size, "reduce_sum_parts: root out of range");
-    faults::check("minimpi.reduce_sum_parts");
+    faults::check(names::kSiteMinimpiReduceSumParts);
     std::uint64_t payload = 0;
     for (const ReducePart& p : parts) payload += p.data.size() * sizeof(float);
-    telemetry::ScopedTrace trace("minimpi", "reduce_sum_parts", -1, payload);
+    telemetry::ScopedTrace trace(names::kCatMinimpi, names::kSpanReduceSumParts, -1, payload);
     if (rank_ == root)
         detail::account_collective(st, &CollectiveStats::parts_calls,
                                    &CollectiveStats::parts_root_bytes,
@@ -265,9 +272,9 @@ void Communicator::reduce_sum_hierarchical(std::span<const float> send, std::spa
     CommState& st = *state_;
     require(ranks_per_node > 0, "reduce_sum_hierarchical: ranks_per_node must be positive");
     require(root >= 0 && root < st.size, "reduce_sum_hierarchical: root out of range");
-    faults::check("minimpi.reduce_sum_hierarchical");
+    faults::check(names::kSiteMinimpiReduceSumHierarchical);
     const std::uint64_t payload = send.size() * sizeof(float);
-    telemetry::ScopedTrace trace("minimpi", "reduce_sum_hierarchical", -1, payload);
+    telemetry::ScopedTrace trace(names::kCatMinimpi, names::kSpanReduceSumHierarchical, -1, payload);
     if (rank_ == root) {
         const index_t leaders = (st.size + ranks_per_node - 1) / ranks_per_node;
         detail::account_collective(st, &CollectiveStats::hierarchical_calls,
@@ -313,9 +320,9 @@ void Communicator::bcast(std::span<float> data, index_t root)
     require(state_ != nullptr, "Communicator: default-constructed handle");
     CommState& st = *state_;
     require(root >= 0 && root < st.size, "bcast: root out of range");
-    faults::check("minimpi.bcast");
+    faults::check(names::kSiteMinimpiBcast);
     const std::uint64_t payload = data.size() * sizeof(float);
-    telemetry::ScopedTrace trace("minimpi", "bcast", -1, payload);
+    telemetry::ScopedTrace trace(names::kCatMinimpi, names::kSpanBcast, -1, payload);
     if (rank_ == root)
         detail::account_collective(st, &CollectiveStats::bcast_calls,
                                    &CollectiveStats::bcast_bytes,
@@ -335,9 +342,9 @@ void Communicator::gather(std::span<const float> send, std::span<float> recv, in
     require(state_ != nullptr, "Communicator: default-constructed handle");
     CommState& st = *state_;
     require(root >= 0 && root < st.size, "gather: root out of range");
-    faults::check("minimpi.gather");
+    faults::check(names::kSiteMinimpiGather);
     const std::uint64_t payload = send.size() * sizeof(float);
-    telemetry::ScopedTrace trace("minimpi", "gather", -1, payload);
+    telemetry::ScopedTrace trace(names::kCatMinimpi, names::kSpanGather, -1, payload);
     if (rank_ == root)
         detail::account_collective(st, &CollectiveStats::gather_calls,
                                    &CollectiveStats::gather_root_bytes,
@@ -359,7 +366,7 @@ void Communicator::gather(std::span<const float> send, std::span<float> recv, in
 CollectiveStats Communicator::collective_stats() const
 {
     require(state_ != nullptr, "Communicator: default-constructed handle");
-    std::lock_guard lk(state_->m);
+    MutexLock lk(state_->m);
     return state_->stats;
 }
 
@@ -381,8 +388,7 @@ void run(index_t nranks, const RankFn& fn)
     auto team = std::make_shared<detail::Team>();
     auto world = detail::make_state(nranks, team);
 
-    std::mutex em;
-    std::exception_ptr first;
+    FirstError error;
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nranks));
     for (index_t r = 0; r < nranks; ++r) {
@@ -392,17 +398,14 @@ void run(index_t nranks, const RankFn& fn)
             try {
                 fn(comm);
             } catch (...) {
-                {
-                    std::lock_guard lk(em);
-                    if (!first) first = std::current_exception();
-                }
+                error.capture();
                 team->abort.store(true);
                 detail::wake_all(*team);
             }
         });
     }
     for (auto& t : threads) t.join();
-    if (first) std::rethrow_exception(first);
+    error.rethrow_if_set();
 }
 
 }  // namespace xct::minimpi

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "core/names.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -32,23 +33,25 @@ void Timeline::record(std::string stage, index_t item, double begin, double end)
     // path: one relaxed atomic load.
     auto& tr = telemetry::tracer();
     if (tr.enabled()) {
-        tr.record_interval_abs(stage, "pipeline", epoch_ + begin, epoch_ + end, item);
-        telemetry::registry().gauge("pipeline.stage." + stage + ".seconds").add(end - begin);
-        telemetry::registry().counter("pipeline.stage." + stage + ".spans").add(1);
+        tr.record_interval_abs(stage, names::kCatPipeline, epoch_ + begin, epoch_ + end, item);
+        telemetry::registry()
+            .gauge(names::kMetricPipelineStagePrefix + stage + ".seconds")
+            .add(end - begin);
+        telemetry::registry().counter(names::kMetricPipelineStagePrefix + stage + ".spans").add(1);
     }
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     spans_.push_back(StageSpan{std::move(stage), item, begin, end});
 }
 
 std::vector<StageSpan> Timeline::spans() const
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     return spans_;
 }
 
 double Timeline::stage_busy(const std::string& stage) const
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     double total = 0.0;
     for (const auto& s : spans_)
         if (s.stage == stage) total += s.end - s.begin;
@@ -57,7 +60,7 @@ double Timeline::stage_busy(const std::string& stage) const
 
 double Timeline::makespan() const
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     double m = 0.0;
     for (const auto& s : spans_) m = std::max(m, s.end);
     return m;
@@ -108,7 +111,7 @@ double Timeline::overlap_factor() const
 {
     const double mk = makespan();
     if (mk <= 0.0) return 0.0;
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     double busy = 0.0;
     for (const auto& s : spans_) busy += s.end - s.begin;
     return busy / mk;

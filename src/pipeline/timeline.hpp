@@ -3,10 +3,10 @@
 // pipeline stage worked on which batch, and renders the Fig. 10-style
 // overlap timeline as ASCII.
 
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/mutex.hpp"
 #include "core/types.hpp"
 
 namespace xct::pipeline {
@@ -53,9 +53,9 @@ public:
     double overlap_factor() const;
 
 private:
-    double epoch_;
-    mutable std::mutex m_;
-    std::vector<StageSpan> spans_;
+    double epoch_;  ///< set once in the constructor, read-only afterwards
+    mutable Mutex m_;
+    std::vector<StageSpan> spans_ XCT_GUARDED_BY(m_);
 };
 
 /// RAII span recorder: records [construction, destruction) of a scope.

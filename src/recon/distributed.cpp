@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/names.hpp"
 #include "faults/checkpoint.hpp"
 #include "faults/fault.hpp"
 #include "filter/parker.hpp"
@@ -61,7 +62,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         // Dropout: a rank scheduled to die (site "rank.dropout") finds out
         // here.  Without degraded mode this is fail-loudly — the exception
         // aborts the whole team, MPI's default error handler.
-        const bool i_died = faults::should_fail("rank.dropout");
+        const bool i_died = faults::should_fail(names::kSiteRankDropout);
         if (i_died && !cfg.degraded_reduce)
             throw faults::InjectedFault("rank.dropout", rank, 0);
 
@@ -89,7 +90,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                 for (index_t r = 0; r < nranks; ++r)
                     if (!alive[static_cast<std::size_t>(r)]) result.dead.push_back(r);
                 if (!result.dead.empty())
-                    telemetry::registry().counter("faults.degraded.ranks").add(
+                    telemetry::registry().counter(names::kMetricFaultsDegradedRanks).add(
                         result.dead.size());
             }
             // Dead ranks split into a "graveyard" colour so survivors'
@@ -167,7 +168,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                         bc, plans));
                 }
                 if (!takeovers.empty())
-                    telemetry::registry().counter("faults.degraded.takeovers").add(
+                    telemetry::registry().counter(names::kMetricFaultsDegradedTakeovers).add(
                         takeovers.size());
             }
         }
@@ -196,11 +197,11 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                 std::vector<Volume> replayed;
                 replayed.reserve(takeovers.size());
                 for (auto& t : takeovers) {
-                    telemetry::ScopedTrace trace("faults", "takeover", idx);
+                    telemetry::ScopedTrace trace(names::kCatFaults, names::kSpanTakeover, idx);
                     const Range band = t->primed ? plan.delta : plan.rows;
                     if (!band.empty()) {
                         auto attempt = [&] {
-                            faults::check("source.load");
+                            faults::check(names::kSiteSourceLoad);
                             return t->source->load(t->views, band);
                         };
                         ProjectionStack delta =
@@ -218,7 +219,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                     }
                     t->primed = true;
                     replayed.push_back(t->bp.backproject(plan));
-                    telemetry::registry().counter("faults.degraded.slabs").add(1);
+                    telemetry::registry().counter(names::kMetricFaultsDegradedSlabs).add(1);
                 }
                 std::vector<minimpi::ReducePart> parts;
                 parts.reserve(1 + replayed.size());

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "core/mutex.hpp"
+#include "core/names.hpp"
 #include "faults/checkpoint.hpp"
 #include "faults/fault.hpp"
 #include "filter/parker.hpp"
@@ -97,10 +98,10 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         const Range band = (idx == resume) ? item.plan.rows : item.plan.delta;
         if (!band.empty()) {
             auto attempt = [&] {
-                faults::check("source.load");
+                faults::check(names::kSiteSourceLoad);
                 return source.load(cfg.views, band);
             };
-            item.delta = cfg.retry ? faults::with_retry("source.load", *cfg.retry, attempt)
+            item.delta = cfg.retry ? faults::with_retry(names::kSiteSourceLoad, *cfg.retry, attempt)
                                    : attempt();
         }
         return item;
@@ -147,14 +148,12 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         // thread so telemetry attributes their spans to the right rank.
         const index_t telemetry_rank = telemetry::current_rank();
 
-        std::mutex em;
-        std::exception_ptr first;
+        FirstError error;
         auto guard = [&](auto&& body) {
             try {
                 body();
             } catch (...) {
-                std::lock_guard lk(em);
-                if (!first) first = std::current_exception();
+                error.capture();
                 q0.close();
                 q1.close();
                 q2.close();
@@ -215,7 +214,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         t_filter.join();
         t_bp.join();
         t_store.join();
-        if (first) std::rethrow_exception(first);
+        error.rethrow_if_set();
     }
 
     stats.t_load = tl.stage_busy("load");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/names.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -18,12 +19,12 @@ constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
 void telemetry_transfer(const char* dir, std::size_t bytes, double seconds)
 {
     auto& reg = telemetry::registry();
-    reg.counter(std::string("sim.") + dir + ".bytes").add(bytes);
-    reg.counter(std::string("sim.") + dir + ".transfers").add(1);
+    reg.counter(std::string(names::kMetricSimPrefix) + dir + ".bytes").add(bytes);
+    reg.counter(std::string(names::kMetricSimPrefix) + dir + ".transfers").add(1);
     auto& tr = telemetry::tracer();
     if (tr.enabled()) {
         const double now = tr.now();
-        tr.record(dir, "sim", now, now + seconds, -1, bytes);
+        tr.record(dir, names::kCatSim, now, now + seconds, -1, bytes);
     }
 }
 }
@@ -103,7 +104,7 @@ void DeviceBuffer::upload(std::span<const float> src, index_t offset)
 {
     require(offset >= 0 && offset + static_cast<index_t>(src.size()) <= count(),
             "DeviceBuffer::upload: range out of bounds");
-    dev_->gate("sim.h2d");
+    dev_->gate(names::kSiteSimH2d);
     std::copy(src.begin(), src.end(), data_.begin() + offset);
     dev_->account_h2d(src.size() * sizeof(float));
 }
@@ -112,7 +113,7 @@ void DeviceBuffer::download(std::span<float> dst, index_t offset) const
 {
     require(offset >= 0 && offset + static_cast<index_t>(dst.size()) <= count(),
             "DeviceBuffer::download: range out of bounds");
-    dev_->gate("sim.d2h");
+    dev_->gate(names::kSiteSimD2h);
     std::copy(data_.begin() + offset, data_.begin() + offset + static_cast<std::ptrdiff_t>(dst.size()),
               dst.begin());
     dev_->account_d2h(dst.size() * sizeof(float));
@@ -149,7 +150,7 @@ void Texture3::copy_planes(std::span<const float> src, index_t depth_begin, inde
             "Texture3::copy_planes: depth range out of bounds (wrapped copies must be split)");
     require(static_cast<index_t>(src.size()) == nplanes * plane,
             "Texture3::copy_planes: source size mismatch");
-    dev_->gate("sim.h2d");
+    dev_->gate(names::kSiteSimH2d);
     std::copy(src.begin(), src.end(), data_.begin() + depth_begin * plane);
     dev_->account_h2d(src.size() * sizeof(float));
 }
@@ -177,7 +178,7 @@ void QuantizedTexture3::copy_planes(std::span<const float> src, index_t depth_be
             "QuantizedTexture3::copy_planes: depth range out of bounds");
     require(static_cast<index_t>(src.size()) == nplanes * plane,
             "QuantizedTexture3::copy_planes: source size mismatch");
-    dev_->gate("sim.h2d");
+    dev_->gate(names::kSiteSimH2d);
     const float scale = 255.0f / (hi_ - lo_);
     for (std::size_t i = 0; i < src.size(); ++i) {
         float t = (src[i] - lo_) * scale;

@@ -31,6 +31,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/check.hpp"
 #include "core/types.hpp"
 #include "faults/retry.hpp"
 
@@ -162,7 +163,10 @@ public:
         y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
         index_t zz = z % depth_;
         if (zz < 0) zz += depth_;
-        return data_[static_cast<std::size_t>((zz * height_ + y) * width_ + x)];
+        const index_t flat = (zz * height_ + y) * width_ + x;
+        XCT_CHECK_BOUNDS(flat >= 0 && flat < static_cast<index_t>(data_.size()),
+                         "Texture3::fetch");
+        return data_[static_cast<std::size_t>(flat)];
     }
 
 private:
@@ -200,7 +204,10 @@ public:
         y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
         index_t zz = z % depth_;
         if (zz < 0) zz += depth_;
-        const unsigned char q = data_[static_cast<std::size_t>((zz * height_ + y) * width_ + x)];
+        const index_t flat = (zz * height_ + y) * width_ + x;
+        XCT_CHECK_BOUNDS(flat >= 0 && flat < static_cast<index_t>(data_.size()),
+                         "QuantizedTexture3::fetch");
+        const unsigned char q = data_[static_cast<std::size_t>(flat)];
         return lo_ + static_cast<float>(q) * (hi_ - lo_) / 255.0f;
     }
 

@@ -70,7 +70,7 @@ void merge(MetricsSnapshot& into, const MetricsSnapshot& other)
 
 Counter& Registry::counter(const std::string& name)
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     auto& slot = counters_[name];
     if (!slot) slot = std::make_unique<Counter>();
     return *slot;
@@ -78,7 +78,7 @@ Counter& Registry::counter(const std::string& name)
 
 Gauge& Registry::gauge(const std::string& name)
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     auto& slot = gauges_[name];
     if (!slot) slot = std::make_unique<Gauge>();
     return *slot;
@@ -86,7 +86,7 @@ Gauge& Registry::gauge(const std::string& name)
 
 Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds)
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     auto& slot = histograms_[name];
     if (!slot)
         slot = std::make_unique<Histogram>(std::move(bounds));
@@ -98,7 +98,7 @@ Histogram& Registry::histogram(const std::string& name, std::vector<double> boun
 
 MetricsSnapshot Registry::snapshot() const
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     MetricsSnapshot s;
     s.counters.reserve(counters_.size());
     for (const auto& [name, c] : counters_) s.counters.push_back({name, c->value()});
@@ -112,7 +112,7 @@ MetricsSnapshot Registry::snapshot() const
 
 void Registry::reset()
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     for (auto& [name, c] : counters_) c->reset();
     for (auto& [name, g] : gauges_) g->reset();
     for (auto& [name, h] : histograms_) h->reset();

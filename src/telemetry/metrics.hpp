@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/mutex.hpp"
 #include "core/types.hpp"
 
 namespace xct::telemetry {
@@ -131,10 +131,10 @@ public:
     void reset();
 
 private:
-    mutable std::mutex m_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    mutable Mutex m_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_ XCT_GUARDED_BY(m_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_ XCT_GUARDED_BY(m_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_ XCT_GUARDED_BY(m_);
 };
 
 /// The process-wide registry every subsystem feeds.

@@ -30,7 +30,7 @@ void set_current_rank(index_t rank)
 
 void Tracer::enable()
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     events_.clear();
     lanes_.clear();
     epoch_ = wall_now();
@@ -56,7 +56,7 @@ void Tracer::record(std::string name, std::string cat, double begin, double end,
                     std::uint64_t bytes)
 {
     if (!enabled()) return;
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     events_.push_back(TraceEvent{std::move(name), std::move(cat), current_rank(), lane_locked(),
                                  item, bytes, begin, end});
 }
@@ -65,26 +65,26 @@ void Tracer::record_interval_abs(std::string name, std::string cat, double abs_b
                                  double abs_end, index_t item, std::uint64_t bytes)
 {
     if (!enabled()) return;
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     events_.push_back(TraceEvent{std::move(name), std::move(cat), current_rank(), lane_locked(),
                                  item, bytes, abs_begin - epoch_, abs_end - epoch_});
 }
 
 std::vector<TraceEvent> Tracer::events() const
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     return events_;
 }
 
 std::size_t Tracer::event_count() const
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     return events_.size();
 }
 
 void Tracer::clear()
 {
-    std::lock_guard lk(m_);
+    MutexLock lk(m_);
     events_.clear();
     lanes_.clear();
 }

@@ -17,13 +17,14 @@
 // transfers), which is why the instrumentation sits at those boundaries
 // and not inside per-voxel loops.
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "core/mutex.hpp"
 #include "core/types.hpp"
 
 namespace xct::telemetry {
@@ -73,12 +74,15 @@ public:
 
 private:
     std::atomic<bool> enabled_{false};
+    // Written by enable() under m_, read lock-free by now(): callers only
+    // consume now() while enabled, and enable() happens-before via the
+    // enabled_ store/load pair.
     double epoch_ = 0.0;  ///< absolute seconds (pipeline::now_seconds base)
-    mutable std::mutex m_;
-    std::vector<TraceEvent> events_;
-    std::unordered_map<std::thread::id, index_t> lanes_;
+    mutable Mutex m_;
+    std::vector<TraceEvent> events_ XCT_GUARDED_BY(m_);
+    std::unordered_map<std::thread::id, index_t> lanes_ XCT_GUARDED_BY(m_);
 
-    index_t lane_locked();
+    index_t lane_locked() XCT_REQUIRES(m_);
 };
 
 /// The process-wide tracer every subsystem feeds.

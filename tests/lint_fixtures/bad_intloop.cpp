@@ -1,0 +1,21 @@
+// Lint fixture: trips rule `intloop` only.  The int induction variables
+// feed flat-index multiplications — exactly the 32-bit overflow pattern
+// the rule exists to catch (a 4096^3 volume has 2^36 voxels).
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline float sum_planes(const std::vector<float>& buf, int nx, int ny, int nz)
+{
+    float s = 0.0f;
+    for (int k = 0; k < nz; ++k)                    // k * plane: overflows in int
+        s += buf[static_cast<std::size_t>(k) * static_cast<std::size_t>(nx * ny)];
+    for (int j = 0; j < ny; ++j) {
+        const int row = j * nx;                     // j * nx: overflows in int
+        s += buf[static_cast<std::size_t>(row)];
+    }
+    return s;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Lint fixture: trips rule `mutex` only — once for the raw std::mutex
+// (wrappers from core/mutex.hpp are mandatory) and once for the Mutex
+// member that no XCT_* annotation references.
+#include <mutex>
+
+namespace fixture {
+
+struct Mutex {
+    void lock() {}
+    void unlock() {}
+};
+
+struct State {
+    std::mutex raw_;    // raw standard primitive: use xct::Mutex
+    Mutex lone_;        // annotated type, but nothing is XCT_GUARDED_BY(lone_)... almost:
+                        // the annotation only appears in this comment, which the
+                        // scanner blanks before matching, so the rule still fires.
+    int value_ = 0;
+};
+
+}  // namespace fixture

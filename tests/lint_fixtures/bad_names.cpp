@@ -1,0 +1,26 @@
+// Lint fixture: trips rule `names` only.  Metric and span literals below
+// are deliberately NOT registered in src/core/names.hpp.
+#include <string>
+
+namespace fixture {
+
+struct Counter {
+    void add(long) {}
+};
+struct Registry {
+    Counter& counter(const std::string&) { return c_; }
+    Counter& gauge(const std::string&) { return c_; }
+    Counter c_;
+};
+struct ScopedTrace {
+    ScopedTrace(const char*, const char*, long) {}
+};
+
+inline void record(Registry& reg)
+{
+    reg.counter("bogus.metric").add(1);             // unregistered metric
+    reg.gauge("made.up.gauge").add(2);              // unregistered gauge
+    ScopedTrace trace("nocategory", "nospan", 0);   // unregistered category + span
+}
+
+}  // namespace fixture

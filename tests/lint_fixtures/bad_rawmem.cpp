@@ -1,0 +1,13 @@
+// Lint fixture: trips rule `rawmem` only — one hit per banned token.
+#include <cstdlib>
+
+namespace fixture {
+
+inline float* leak_some_memory()
+{
+    float* a = new float[16];                       // raw new
+    void* b = std::malloc(64);                      // raw malloc
+    return reinterpret_cast<float*>(b) + (a != nullptr ? 0 : 1);  // reinterpret_cast
+}
+
+}  // namespace fixture

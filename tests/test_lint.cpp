@@ -1,0 +1,138 @@
+// xct_lint behaviour: every rule fires on its fixture under
+// tests/lint_fixtures/, the clean fixture and the real tree stay silent,
+// and the names registry parses with both exact and prefix entries.
+//
+// XCT_LINT_REPO_ROOT is injected by tests/CMakeLists.txt so the suite
+// works from any build directory.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace {
+
+using xct_lint::Registry;
+using xct_lint::Violation;
+
+std::string repo_root()
+{
+    return XCT_LINT_REPO_ROOT;
+}
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.is_open()) << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+Registry real_registry()
+{
+    return xct_lint::parse_registry(slurp(repo_root() + "/src/core/names.hpp"));
+}
+
+std::vector<Violation> lint_fixture(const std::string& name)
+{
+    const std::string rel = "tests/lint_fixtures/" + name;
+    return xct_lint::lint_source(rel, slurp(repo_root() + "/" + rel), real_registry());
+}
+
+long count_rule(const std::vector<Violation>& vs, const std::string& rule)
+{
+    return std::count_if(vs.begin(), vs.end(),
+                         [&](const Violation& v) { return v.rule == rule; });
+}
+
+TEST(LintRegistry, ParsesExactAndPrefixEntries)
+{
+    const Registry reg = real_registry();
+    EXPECT_FALSE(reg.exact.empty());
+    EXPECT_FALSE(reg.prefixes.empty());
+    // Exact entries.
+    EXPECT_TRUE(reg.allows("fft.transforms"));
+    EXPECT_TRUE(reg.allows("faults.injected"));
+    EXPECT_TRUE(reg.allows("rank.dropout"));
+    // Prefix entries admit any non-empty suffix...
+    EXPECT_TRUE(reg.allows("pipeline.stage.filter.seconds"));
+    EXPECT_TRUE(reg.allows("minimpi.reduce_sum.calls"));
+    // ...but not the bare prefix-with-nothing-after and not strangers.
+    EXPECT_FALSE(reg.allows("bogus.metric"));
+    EXPECT_FALSE(reg.allows("pipelinestage"));
+}
+
+TEST(LintFixtures, BadNamesTripsNamesRuleOnly)
+{
+    const auto vs = lint_fixture("bad_names.cpp");
+    EXPECT_EQ(count_rule(vs, "names"), 4) << xct_lint::format(vs);  // counter, gauge, cat, span
+    EXPECT_EQ(count_rule(vs, "rawmem"), 0) << xct_lint::format(vs);
+    EXPECT_EQ(count_rule(vs, "intloop"), 0) << xct_lint::format(vs);
+    EXPECT_EQ(count_rule(vs, "mutex"), 0) << xct_lint::format(vs);
+}
+
+TEST(LintFixtures, BadRawmemTripsEachBannedToken)
+{
+    const auto vs = lint_fixture("bad_rawmem.cpp");
+    EXPECT_EQ(count_rule(vs, "rawmem"), 3) << xct_lint::format(vs);  // new, malloc, reinterpret
+    EXPECT_EQ(vs.size(), static_cast<std::size_t>(3)) << xct_lint::format(vs);
+}
+
+TEST(LintFixtures, BadIntloopTripsMultiplyingIntLoops)
+{
+    const auto vs = lint_fixture("bad_intloop.cpp");
+    EXPECT_EQ(count_rule(vs, "intloop"), 2) << xct_lint::format(vs);  // k * plane, j * nx
+    EXPECT_EQ(vs.size(), static_cast<std::size_t>(2)) << xct_lint::format(vs);
+}
+
+TEST(LintFixtures, BadMutexTripsRawPrimitiveAndMissingAnnotation)
+{
+    const auto vs = lint_fixture("bad_mutex.cpp");
+    EXPECT_EQ(count_rule(vs, "mutex"), 2) << xct_lint::format(vs);
+    EXPECT_EQ(vs.size(), static_cast<std::size_t>(2)) << xct_lint::format(vs);
+}
+
+TEST(LintFixtures, CleanFixtureIsSilent)
+{
+    const auto vs = lint_fixture("clean.cpp");
+    EXPECT_TRUE(vs.empty()) << xct_lint::format(vs);
+}
+
+TEST(LintTree, RealTreeIsClean)
+{
+    const auto vs = xct_lint::lint_tree(repo_root(), {"src", "tools", "bench"});
+    EXPECT_TRUE(vs.empty()) << xct_lint::format(vs);
+}
+
+TEST(LintRules, CommentsAndStringsDoNotTrip)
+{
+    const Registry reg = real_registry();
+    const std::string src =
+        "// new malloc reinterpret_cast std::mutex\n"
+        "/* for (int q = 0; q < 4; ++q) s += a[q * n]; */\n"
+        "const char* doc = \"counter(\\\"totally.fake\\\") uses new std::mutex\";\n";
+    const auto vs = xct_lint::lint_source("x.cpp", src, reg);
+    EXPECT_TRUE(vs.empty()) << xct_lint::format(vs);
+}
+
+TEST(LintRules, NamesConstantArgumentsAreAccepted)
+{
+    const Registry reg = real_registry();
+    // Non-literal arguments (names:: constants, composed strings) are the
+    // blessed pattern — the rule only judges raw literals.
+    const std::string src =
+        "void f(R& reg) {\n"
+        "    reg.counter(names::kMetricFftTransforms).add(1);\n"
+        "    reg.counter(names::kMetricPipelineStagePrefix + stage + \".seconds\").add(1);\n"
+        "}\n";
+    const auto vs = xct_lint::lint_source("x.cpp", src, reg);
+    EXPECT_TRUE(vs.empty()) << xct_lint::format(vs);
+}
+
+}  // namespace

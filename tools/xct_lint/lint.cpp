@@ -1,0 +1,503 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xct_lint {
+namespace {
+
+/// A string literal found in the source: content without quotes, byte
+/// offset of the opening quote, 1-based line number.
+struct Literal {
+    std::string text;
+    std::size_t offset = 0;
+    int line = 0;
+};
+
+/// Result of the blanking pass: `code` is the input with comments and
+/// string/char literals replaced by spaces (newlines preserved so byte
+/// offsets and line numbers stay aligned), plus the extracted literals.
+struct Blanked {
+    std::string code;
+    std::vector<Literal> literals;
+};
+
+bool ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+int line_of(const std::string& s, std::size_t pos)
+{
+    return 1 + static_cast<int>(std::count(s.begin(), s.begin() + static_cast<long>(pos), '\n'));
+}
+
+/// Strip comments and literals.  Handles //, /* */, "..." with escapes,
+/// '...' char literals, and R"delim(...)delim" raw strings.
+Blanked blank(const std::string& src)
+{
+    Blanked out;
+    out.code = src;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    auto space_out = [&](std::size_t from, std::size_t to) {
+        for (std::size_t k = from; k < to && k < n; ++k)
+            if (out.code[k] != '\n') out.code[k] = ' ';
+    };
+    while (i < n) {
+        const char c = src[i];
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t end = src.find('\n', i);
+            if (end == std::string::npos) end = n;
+            space_out(i, end);
+            i = end;
+        } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t end = src.find("*/", i + 2);
+            end = end == std::string::npos ? n : end + 2;
+            space_out(i, end);
+            i = end;
+        } else if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+                   (i == 0 || !ident_char(src[i - 1]))) {
+            const std::size_t open = src.find('(', i + 2);
+            if (open == std::string::npos) break;
+            std::string closer(1, ')');
+            closer.append(src, i + 2, open - (i + 2));
+            closer.push_back('"');
+            std::size_t end = src.find(closer, open + 1);
+            end = end == std::string::npos ? n : end + closer.size();
+            out.literals.push_back(
+                Literal{src.substr(open + 1, end - closer.size() - (open + 1)), i, line_of(src, i)});
+            space_out(i, end);
+            i = end;
+        } else if (c == '"' || c == '\'') {
+            const std::size_t start = i;
+            ++i;
+            while (i < n && src[i] != c) {
+                if (src[i] == '\\') ++i;
+                if (src[i] == '\n') break;  // unterminated: stop at line end
+                ++i;
+            }
+            const std::size_t end = i < n ? i + 1 : n;
+            if (c == '"')
+                out.literals.push_back(Literal{src.substr(start + 1, end - start - 2), start,
+                                               line_of(src, start)});
+            space_out(start, end);
+            i = end;
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+bool path_starts_with(const std::string& rel, const std::string& prefix)
+{
+    return rel.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------- names ----
+
+/// Call sites whose literal arguments must be registered names.  The
+/// value lists which 1-based argument positions to check when they are
+/// string literals (non-literal arguments — names:: constants, variables
+/// — are accepted as-is: the registry check happened where the constant
+/// was defined).
+struct NamePattern {
+    const char* callee;
+    std::vector<int> args;
+};
+
+const std::vector<NamePattern>& name_patterns()
+{
+    static const std::vector<NamePattern> p = {
+        {"counter", {1}},
+        {"gauge", {1}},
+        {"histogram", {1}},
+        {"ScopedTrace", {1, 2}},          // (category, name, ...)
+        {"record_interval_abs", {1, 2}},  // (name, category, ...)
+        {"faults::check", {1}},
+        {"should_fail", {1}},
+        {"with_retry", {1}},
+        {"InjectedFault", {1}},
+        {"gate", {1}},
+        {"guarded", {1}},
+    };
+    return p;
+}
+
+/// Find the literal whose opening quote sits at `offset`, if any.
+const Literal* literal_at(const std::vector<Literal>& lits, std::size_t offset)
+{
+    for (const auto& l : lits)
+        if (l.offset == offset) return &l;
+    return nullptr;
+}
+
+void rule_names(const std::string& rel, const std::string& src, const Blanked& b,
+                const Registry& reg, std::vector<Violation>& out)
+{
+    for (const auto& pat : name_patterns()) {
+        const std::string needle = pat.callee;
+        std::size_t pos = 0;
+        while ((pos = b.code.find(needle, pos)) != std::string::npos) {
+            const std::size_t after = pos + needle.size();
+            // Token boundary: not the tail of a longer identifier.
+            if (pos > 0 && ident_char(b.code[pos - 1])) {
+                pos = after;
+                continue;
+            }
+            // Accept both the call/temporary form `Callee(...)` and the
+            // declaration form `Callee var(...)` (ScopedTrace guards).
+            std::size_t q = after;
+            while (q < b.code.size() && std::isspace(static_cast<unsigned char>(b.code[q]))) ++q;
+            if (q < b.code.size() && ident_char(b.code[q])) {
+                while (q < b.code.size() && ident_char(b.code[q])) ++q;
+                while (q < b.code.size() && std::isspace(static_cast<unsigned char>(b.code[q])))
+                    ++q;
+            }
+            if (q >= b.code.size() || b.code[q] != '(') {
+                pos = after;
+                continue;
+            }
+            // Walk the argument list at depth 1, visiting each argument's
+            // first non-whitespace byte.
+            int depth = 1;
+            int arg = 1;
+            std::size_t k = q + 1;
+            std::size_t arg_start = k;
+            auto visit = [&](std::size_t begin, std::size_t end, int index) {
+                if (std::find(pat.args.begin(), pat.args.end(), index) == pat.args.end()) return;
+                // Whitespace-skip in the ORIGINAL text: in the blanked copy
+                // the literal itself is spaces and would be walked over.
+                std::size_t s = begin;
+                while (s < end && std::isspace(static_cast<unsigned char>(src[s]))) ++s;
+                if (s >= end || src[s] != '"') return;  // not a literal: fine
+                const Literal* lit = literal_at(b.literals, s);
+                if (lit != nullptr && !reg.allows(lit->text))
+                    out.push_back(Violation{
+                        rel, lit->line, "names",
+                        "\"" + lit->text + "\" passed to " + pat.callee +
+                            "() is not registered in src/core/names.hpp"});
+            };
+            for (; k < b.code.size() && depth > 0; ++k) {
+                const char ch = b.code[k];
+                if (ch == '(' || ch == '[' || ch == '{') ++depth;
+                if (ch == ')' || ch == ']' || ch == '}') {
+                    --depth;
+                    if (depth == 0) visit(arg_start, k, arg);
+                }
+                if (ch == ',' && depth == 1) {
+                    visit(arg_start, k, arg);
+                    ++arg;
+                    arg_start = k + 1;
+                }
+            }
+            pos = after;
+        }
+    }
+}
+
+// --------------------------------------------------------------- rawmem ----
+
+void rule_rawmem(const std::string& rel, const Blanked& b, std::vector<Violation>& out)
+{
+    // The serialization layer legitimately reinterprets POD buffers for
+    // stream I/O; the lint's own sources mention the tokens in messages.
+    if (rel == "src/io/raw_io.cpp" || path_starts_with(rel, "tools/xct_lint/")) return;
+    static const std::vector<std::pair<std::string, std::string>> banned = {
+        {"new", "raw `new` — own memory with containers / make_unique"},
+        {"malloc", "`malloc` — own memory with containers"},
+        {"reinterpret_cast", "`reinterpret_cast` — only src/io/raw_io.cpp may reinterpret"},
+    };
+    for (const auto& [tok, msg] : banned) {
+        std::size_t pos = 0;
+        while ((pos = b.code.find(tok, pos)) != std::string::npos) {
+            const bool lb = pos == 0 || !ident_char(b.code[pos - 1]);
+            const std::size_t after = pos + tok.size();
+            const bool rb = after >= b.code.size() || !ident_char(b.code[after]);
+            if (lb && rb) out.push_back(Violation{rel, line_of(b.code, pos), "rawmem", msg});
+            pos = after;
+        }
+    }
+}
+
+// -------------------------------------------------------------- intloop ----
+
+/// Extent [body_begin, body_end) of the statement controlled by the `for`
+/// whose header opens at `paren` — braces matched, or up to the `;` of a
+/// single-statement body.
+std::pair<std::size_t, std::size_t> loop_body(const std::string& code, std::size_t paren)
+{
+    int depth = 0;
+    std::size_t k = paren;
+    for (; k < code.size(); ++k) {
+        if (code[k] == '(') ++depth;
+        if (code[k] == ')' && --depth == 0) break;
+    }
+    if (k >= code.size()) return {code.size(), code.size()};
+    std::size_t s = k + 1;
+    while (s < code.size() && std::isspace(static_cast<unsigned char>(code[s]))) ++s;
+    if (s < code.size() && code[s] == '{') {
+        int braces = 0;
+        std::size_t e = s;
+        for (; e < code.size(); ++e) {
+            if (code[e] == '{') ++braces;
+            if (code[e] == '}' && --braces == 0) break;
+        }
+        return {s + 1, std::min(e, code.size())};
+    }
+    std::size_t e = code.find(';', s);
+    return {s, e == std::string::npos ? code.size() : e};
+}
+
+void rule_intloop(const std::string& rel, const Blanked& b, std::vector<Violation>& out)
+{
+    const std::string& code = b.code;
+    std::size_t pos = 0;
+    while ((pos = code.find("for", pos)) != std::string::npos) {
+        const std::size_t after = pos + 3;
+        if ((pos > 0 && ident_char(code[pos - 1])) ||
+            (after < code.size() && ident_char(code[after]))) {
+            pos = after;
+            continue;
+        }
+        std::size_t q = after;
+        while (q < code.size() && std::isspace(static_cast<unsigned char>(code[q]))) ++q;
+        if (q >= code.size() || code[q] != '(') {
+            pos = after;
+            continue;
+        }
+        // `for ( int VAR` — only plain int induction variables are suspect.
+        std::size_t t = q + 1;
+        while (t < code.size() && std::isspace(static_cast<unsigned char>(code[t]))) ++t;
+        if (code.compare(t, 4, "int ") != 0) {
+            pos = after;
+            continue;
+        }
+        t += 4;
+        while (t < code.size() && std::isspace(static_cast<unsigned char>(code[t]))) ++t;
+        std::size_t ve = t;
+        while (ve < code.size() && ident_char(code[ve])) ++ve;
+        const std::string var = code.substr(t, ve - t);
+        if (var.empty()) {
+            pos = after;
+            continue;
+        }
+        const auto [bs, be] = loop_body(code, q);
+        // Multiplication adjacency: `var [)]* *` or `* [(]* var`.  The
+        // closing-paren skip catches `static_cast<...>(var) * stride`;
+        // subscripts (`a[var] * x`) deliberately do NOT match — there the
+        // product is of the element, not the index.
+        const std::string body = code.substr(bs, be - bs);
+        bool hit = false;
+        std::size_t vp = 0;
+        while (!hit && (vp = body.find(var, vp)) != std::string::npos) {
+            const bool lb = vp == 0 || !ident_char(body[vp - 1]);
+            std::size_t e = vp + var.size();
+            if (lb && (e >= body.size() || !ident_char(body[e]))) {
+                std::size_t f = e;
+                while (f < body.size() &&
+                       (std::isspace(static_cast<unsigned char>(body[f])) || body[f] == ')'))
+                    ++f;
+                if (f < body.size() && body[f] == '*' &&
+                    (f + 1 >= body.size() || body[f + 1] != '='))
+                    hit = true;
+                std::size_t g = vp;
+                while (g > 0 && (std::isspace(static_cast<unsigned char>(body[g - 1])) ||
+                                 body[g - 1] == '('))
+                    --g;
+                if (g > 0 && body[g - 1] == '*' && (g < 2 || body[g - 2] != '*')) hit = true;
+            }
+            vp = e;
+        }
+        if (hit)
+            out.push_back(Violation{
+                rel, line_of(code, pos), "intloop",
+                "`int " + var + "` feeds a multiplication — flat-index arithmetic must "
+                "run in index_t (overflows past 2G voxels)"});
+        pos = after;
+    }
+}
+
+// ---------------------------------------------------------------- mutex ----
+
+void rule_mutex(const std::string& rel, const Blanked& b, std::vector<Violation>& out)
+{
+    const std::string& code = b.code;
+    // (a) raw standard synchronisation primitives outside the wrapper.
+    if (rel != "src/core/mutex.hpp" && !path_starts_with(rel, "tools/xct_lint/")) {
+        static const std::vector<std::string> raw = {
+            "std::mutex",          "std::shared_mutex",       "std::timed_mutex",
+            "std::recursive_mutex", "std::condition_variable", "std::lock_guard",
+            "std::scoped_lock",    "std::unique_lock",        "std::shared_lock",
+        };
+        for (const auto& tok : raw) {
+            std::size_t pos = 0;
+            while ((pos = code.find(tok, pos)) != std::string::npos) {
+                const std::size_t after = pos + tok.size();
+                if ((pos == 0 || !ident_char(code[pos - 1])) &&
+                    (after >= code.size() || !ident_char(code[after])))
+                    out.push_back(Violation{
+                        rel, line_of(code, pos), "mutex",
+                        tok + " — use the annotated wrappers in core/mutex.hpp so "
+                        "-Wthread-safety sees the lock"});
+                pos = after;
+            }
+        }
+    }
+    // (b) every `Mutex name;` declaration must be referenced by an XCT_*
+    // thread-safety annotation somewhere in the same file — an
+    // unannotated mutex guards nothing the analysis can verify.
+    std::size_t pos = 0;
+    while ((pos = code.find("Mutex", pos)) != std::string::npos) {
+        const std::size_t after = pos + 5;
+        if ((pos > 0 && (ident_char(code[pos - 1]) || code[pos - 1] == ':')) ||
+            (after < code.size() && ident_char(code[after]))) {
+            pos = after;  // MutexLock, xct::Mutex qualifier tail, etc.
+            continue;
+        }
+        std::size_t t = after;
+        while (t < code.size() && std::isspace(static_cast<unsigned char>(code[t])) &&
+               code[t] != '\n')
+            ++t;
+        std::size_t ve = t;
+        while (ve < code.size() && ident_char(code[ve])) ++ve;
+        const std::string var = code.substr(t, ve - t);
+        std::size_t semi = ve;
+        while (semi < code.size() && std::isspace(static_cast<unsigned char>(code[semi]))) ++semi;
+        if (var.empty() || semi >= code.size() || code[semi] != ';') {
+            pos = after;  // reference, parameter, return type — not a declaration
+            continue;
+        }
+        // Look for XCT_<RULE>(... var ...) anywhere in the file.
+        bool annotated = false;
+        std::size_t ap = 0;
+        while (!annotated && (ap = code.find("XCT_", ap)) != std::string::npos) {
+            std::size_t open = ap + 4;
+            while (open < code.size() &&
+                   (std::isupper(static_cast<unsigned char>(code[open])) || code[open] == '_'))
+                ++open;
+            if (open < code.size() && code[open] == '(') {
+                const std::size_t close = code.find(')', open);
+                const std::string inside =
+                    code.substr(open + 1, close == std::string::npos ? 0 : close - open - 1);
+                std::size_t ip = 0;
+                while ((ip = inside.find(var, ip)) != std::string::npos) {
+                    const bool lb = ip == 0 || !ident_char(inside[ip - 1]);
+                    const std::size_t ie = ip + var.size();
+                    if (lb && (ie >= inside.size() || !ident_char(inside[ie]))) {
+                        annotated = true;
+                        break;
+                    }
+                    ip = ie;
+                }
+            }
+            ap += 4;
+        }
+        if (!annotated)
+            out.push_back(Violation{
+                rel, line_of(code, pos), "mutex",
+                "Mutex `" + var + "` has no XCT_* thread-safety annotation referencing it "
+                "(add XCT_GUARDED_BY(" + var + ") to the fields it protects)"});
+        pos = after;
+    }
+}
+
+std::string read_file(const std::filesystem::path& p)
+{
+    std::ifstream f(p, std::ios::binary);
+    if (!f) throw std::runtime_error("xct_lint: cannot read " + p.string());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+}  // namespace
+
+bool Registry::allows(const std::string& name) const
+{
+    if (std::find(exact.begin(), exact.end(), name) != exact.end()) return true;
+    for (const auto& p : prefixes)
+        if (name.size() > p.size() && name.compare(0, p.size(), p) == 0) return true;
+    return false;
+}
+
+Registry parse_registry(const std::string& names_hpp_source)
+{
+    Registry reg;
+    const Blanked b = blank(names_hpp_source);
+    // A literal registers when its line declares a `constexpr const char*`
+    // constant; prose in comments was blanked before literal extraction,
+    // so only real initialisers remain.
+    std::istringstream lines(b.code);
+    std::string line;
+    std::vector<int> decl_lines;
+    int ln = 0;
+    while (std::getline(lines, line)) {
+        ++ln;
+        if (line.find("constexpr const char*") != std::string::npos) decl_lines.push_back(ln);
+    }
+    for (const auto& lit : b.literals) {
+        if (std::find(decl_lines.begin(), decl_lines.end(), lit.line) == decl_lines.end())
+            continue;
+        if (lit.text.empty()) continue;
+        reg.exact.push_back(lit.text);
+        if (lit.text.back() == '.') reg.prefixes.push_back(lit.text);
+    }
+    return reg;
+}
+
+std::vector<Violation> lint_source(const std::string& rel, const std::string& source,
+                                   const Registry& reg)
+{
+    std::vector<Violation> out;
+    const Blanked b = blank(source);
+    rule_names(rel, source, b, reg, out);
+    rule_rawmem(rel, b, out);
+    rule_intloop(rel, b, out);
+    rule_mutex(rel, b, out);
+    std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& c) {
+        return a.line < c.line;
+    });
+    return out;
+}
+
+std::vector<Violation> lint_tree(const std::filesystem::path& root,
+                                 const std::vector<std::string>& dirs)
+{
+    const Registry reg = parse_registry(read_file(root / "src" / "core" / "names.hpp"));
+    std::vector<Violation> out;
+    for (const auto& dir : dirs) {
+        const auto base = root / dir;
+        if (!std::filesystem::exists(base)) continue;
+        std::vector<std::filesystem::path> files;
+        for (const auto& e : std::filesystem::recursive_directory_iterator(base)) {
+            if (!e.is_regular_file()) continue;
+            const auto ext = e.path().extension();
+            if (ext != ".hpp" && ext != ".cpp") continue;
+            if (e.path().string().find("lint_fixtures") != std::string::npos) continue;
+            files.push_back(e.path());
+        }
+        std::sort(files.begin(), files.end());
+        for (const auto& p : files) {
+            const std::string rel =
+                std::filesystem::relative(p, root).generic_string();
+            const auto vs = lint_source(rel, read_file(p), reg);
+            out.insert(out.end(), vs.begin(), vs.end());
+        }
+    }
+    return out;
+}
+
+std::string format(const std::vector<Violation>& violations)
+{
+    std::ostringstream out;
+    for (const auto& v : violations)
+        out << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
+    return out.str();
+}
+
+}  // namespace xct_lint

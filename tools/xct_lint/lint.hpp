@@ -1,0 +1,71 @@
+#pragma once
+// xct_lint: repo-specific static analysis (DESIGN.md §3d).
+//
+// Four rules, each motivated by a bug class this codebase is prone to:
+//
+//  * names    — every string literal passed to a telemetry / fault-site
+//               call (counter, gauge, ScopedTrace, faults::check, ...)
+//               must be registered in src/core/names.hpp, either exactly
+//               or under a registered prefix (entries ending in '.').
+//               Unregistered names silently fork the metric namespace.
+//  * rawmem   — no raw `new` / `malloc` / `reinterpret_cast` outside the
+//               whitelisted serialization layer: everything else owns
+//               memory through containers and views it through spans.
+//  * intloop  — no `int` induction variable feeding a multiplication:
+//               flat indices like (k*Ny + j)*Nx + i overflow 32-bit
+//               arithmetic on >2G-voxel volumes; loops that multiply
+//               must run in index_t (see core/types.hpp static_assert).
+//  * mutex    — no raw std::mutex / std::condition_variable outside
+//               core/mutex.hpp (use the capability-annotated wrappers),
+//               and every declared `Mutex` member must be referenced by
+//               at least one XCT_* thread-safety annotation in the same
+//               file, so -Wthread-safety actually has edges to check.
+//
+// The checker is a token-level scanner, not a compiler: it strips
+// comments and string/char literals first (so prose never trips rules),
+// then applies per-rule pattern matching on the blanked source.  That
+// keeps it dependency-free and fast enough to run as a ctest on every
+// build.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace xct_lint {
+
+/// One rule violation at a specific source line.
+struct Violation {
+    std::string file;  ///< path relative to the scanned root
+    int line = 0;      ///< 1-based
+    std::string rule;  ///< "names" | "rawmem" | "intloop" | "mutex"
+    std::string message;
+};
+
+/// The registered telemetry / fault-site name set from core/names.hpp.
+struct Registry {
+    std::vector<std::string> exact;     ///< complete names
+    std::vector<std::string> prefixes;  ///< entries ending in '.' allow any suffix
+
+    /// True when `name` is registered exactly or extends a registered prefix.
+    bool allows(const std::string& name) const;
+};
+
+/// Extract the registry from names.hpp source text: every string literal
+/// initialising a `constexpr const char* k...` constant is registered.
+Registry parse_registry(const std::string& names_hpp_source);
+
+/// Lint a single file's source text.  `rel` is the path reported in
+/// violations and matched against the per-rule whitelists.
+std::vector<Violation> lint_source(const std::string& rel, const std::string& source,
+                                   const Registry& reg);
+
+/// Walk `root`/dir for each dir, linting every .hpp/.cpp found (skipping
+/// any path containing "lint_fixtures").  Reads the registry from
+/// root/src/core/names.hpp.
+std::vector<Violation> lint_tree(const std::filesystem::path& root,
+                                 const std::vector<std::string>& dirs);
+
+/// Render violations one per line: `file:line: [rule] message`.
+std::string format(const std::vector<Violation>& violations);
+
+}  // namespace xct_lint

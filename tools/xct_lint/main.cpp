@@ -1,0 +1,42 @@
+// xct_lint driver: `xct_lint --root <repo> <dir>...` scans the given
+// directories (default: src tools bench) and exits non-zero when any rule
+// fires.  Registered as the ctest `xct_lint`, so a plain `ctest` run
+// re-proves the invariants on every build.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv)
+{
+    std::string root = ".";
+    std::vector<std::string> dirs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: xct_lint [--root DIR] [subdir...]\n");
+            return 0;
+        } else {
+            dirs.push_back(arg);
+        }
+    }
+    if (dirs.empty()) dirs = {"src", "tools", "bench"};
+
+    try {
+        const auto violations = xct_lint::lint_tree(root, dirs);
+        if (violations.empty()) {
+            std::printf("xct_lint: clean\n");
+            return 0;
+        }
+        std::fputs(xct_lint::format(violations).c_str(), stderr);
+        std::fprintf(stderr, "xct_lint: %zu violation(s)\n", violations.size());
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "xct_lint: %s\n", e.what());
+        return 2;
+    }
+}
