@@ -2,15 +2,25 @@
 // measurements"): per-kernel throughputs feeding the performance model,
 // plus kernel parity checks (ours vs reference vs RTK-style) at the
 // machine level.
+//
+// Besides the google-benchmark tables, main() emits BENCH_pr4.json — the
+// machine-readable scalar-vs-vectorised numbers (voxel updates/s, views/s,
+// filter rows/s, steady-state scratch-pool heap events) CI archives as the
+// perf trajectory (EXPERIMENTS.md "roofline" note).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <random>
 
 #include "backproj/kernel.hpp"
 #include "backproj/reference.hpp"
 #include "backproj/rtk_style.hpp"
+#include "bench_common.hpp"
 #include "core/decompose.hpp"
+#include "core/scratch.hpp"
+#include "core/simd.hpp"
 #include "fft/fft.hpp"
 #include "filter/ramp.hpp"
 #include "minimpi/comm.hpp"
@@ -70,11 +80,12 @@ void BM_BackprojStreaming(benchmark::State& state)
 }
 BENCHMARK(BM_BackprojStreaming)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 
-void BM_BackprojStreamingIncremental(benchmark::State& state)
+void BM_BackprojStreamingScalar(benchmark::State& state)
 {
     const CbctGeometry g = bench_geo(state.range(0));
     const ProjectionStack p = random_stack(g);
     const auto mats = projection_matrices(g);
+    const backproj::MatrixPack pack{std::span<const Mat34>(mats)};
     sim::Device dev(1u << 30);
     sim::Texture3 tex(dev, g.nu, g.num_proj, g.nv);
     std::vector<float> plane(static_cast<std::size_t>(g.nu * g.num_proj));
@@ -88,8 +99,8 @@ void BM_BackprojStreamingIncremental(benchmark::State& state)
     }
     Volume vol(g.vol);
     for (auto _ : state) {
-        backproj::backproject_streaming_incremental(tex, mats, vol,
-                                                    backproj::StreamOffsets{0, 0}, g.nu, g.nv);
+        backproj::backproject_streaming_scalar(tex, pack, vol, backproj::StreamOffsets{0, 0},
+                                               g.nu, g.nv);
         benchmark::DoNotOptimize(vol.span().data());
     }
     state.counters["GUPS"] = benchmark::Counter(
@@ -97,7 +108,7 @@ void BM_BackprojStreamingIncremental(benchmark::State& state)
             static_cast<double>(state.iterations()),
         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_BackprojStreamingIncremental)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BackprojStreamingScalar)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 
 void BM_BackprojReference(benchmark::State& state)
 {
@@ -162,6 +173,19 @@ void BM_Fft(benchmark::State& state)
 }
 BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
 
+void BM_FftF32(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const fft::Plan& plan = fft::plan_for(static_cast<index_t>(n));
+    std::vector<std::complex<float>> data(n, {1.0f, 0.5f});
+    for (auto _ : state) {
+        fft::transform_f(data, plan, false);
+        fft::transform_f(data, plan, true);
+        benchmark::DoNotOptimize(data.data());
+    }
+}
+BENCHMARK(BM_FftF32)->Arg(256)->Arg(1024)->Arg(4096);
+
 void BM_ComputeAb(benchmark::State& state)
 {
     const CbctGeometry g = bench_geo(64);
@@ -203,6 +227,157 @@ void BM_PhantomForwardProject(benchmark::State& state)
 }
 BENCHMARK(BM_PhantomForwardProject)->Unit(benchmark::kMillisecond);
 
+// ---- BENCH_pr4.json: scalar-vs-vectorised trajectory ----------------------
+
+/// Best-of-`reps` wall time of fn() in seconds (first call should be a
+/// separate warm-up so pools and plan caches are populated).
+template <typename F>
+double seconds_best_of(int reps, F&& fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+void emit_bench_json(const std::string& path)
+{
+    // Back-projection: retained Listing-1 scalar loop vs the vectorised
+    // default, same MatrixPack and texture.
+    {
+        const CbctGeometry g = bench_geo(32);
+        const ProjectionStack p = random_stack(g);
+        const auto mats = projection_matrices(g);
+        const backproj::MatrixPack pack{std::span<const Mat34>(mats)};
+        sim::Device dev(1u << 30);
+        sim::Texture3 tex(dev, g.nu, g.num_proj, g.nv);
+        std::vector<float> plane(static_cast<std::size_t>(g.nu * g.num_proj));
+        for (index_t v = 0; v < g.nv; ++v) {
+            for (index_t s = 0; s < g.num_proj; ++s) {
+                const auto row = p.row(s, v);
+                std::copy(row.begin(), row.end(),
+                          plane.begin() + static_cast<std::ptrdiff_t>(s * g.nu));
+            }
+            tex.copy_planes(plane, v, 1);
+        }
+        Volume vol(g.vol);
+        const backproj::StreamOffsets off{0, 0};
+        const double updates =
+            static_cast<double>(g.vol.count()) * static_cast<double>(g.num_proj);
+
+        backproj::backproject_streaming_scalar(tex, pack, vol, off, g.nu, g.nv);
+        const double t_scalar = seconds_best_of(3, [&] {
+            backproj::backproject_streaming_scalar(tex, pack, vol, off, g.nu, g.nv);
+        });
+        backproj::backproject_streaming(tex, pack, vol, off, g.nu, g.nv);
+        const std::uint64_t heap0 = scratch::heap_events();
+        const double t_simd = seconds_best_of(3, [&] {
+            backproj::backproject_streaming(tex, pack, vol, off, g.nu, g.nv);
+        });
+        const std::uint64_t heap_delta = scratch::heap_events() - heap0;
+
+        bench::write_json_section(
+            path, "backproj",
+            {{"simd_backend", bench::json_str(simd::backend_name())},
+             {"simd_lanes", bench::json_num(static_cast<double>(simd::kLanes))},
+             {"updates_per_s_scalar", bench::json_num(updates / t_scalar)},
+             {"updates_per_s_simd", bench::json_num(updates / t_simd)},
+             {"views_per_s_simd", bench::json_num(static_cast<double>(g.num_proj) / t_simd)},
+             {"speedup", bench::json_num(t_scalar / t_simd)},
+             {"warm_heap_events", bench::json_num(static_cast<double>(heap_delta))}},
+            /*fresh=*/true);
+    }
+
+    // Ramp filtering: per-row double-precision reference vs the fp32
+    // pair-packed batched path, OpenMP on both sides so the speedup
+    // isolates fp32 + plan cache + scratch pooling.
+    {
+        const CbctGeometry g = bench_geo(64);
+        const filter::FilterEngine eng(g);
+        ProjectionStack stack(8, g.nv, g.nu, 1.0f);
+        const double rows =
+            static_cast<double>(stack.views()) * static_cast<double>(stack.rows());
+
+        const auto run_reference = [&] {
+            for (float& v : stack.span()) v = 1.0f;
+#pragma omp parallel for collapse(2) schedule(static)
+            for (index_t s = 0; s < stack.views(); ++s)
+                for (index_t v = 0; v < stack.rows(); ++v)
+                    eng.apply_row_reference(stack.row(s, v), v);
+        };
+        run_reference();
+        const double t_ref = seconds_best_of(3, run_reference);
+
+        const auto run_fp32 = [&] {
+            for (float& v : stack.span()) v = 1.0f;
+            eng.apply(stack);
+        };
+        run_fp32();
+        const std::uint64_t heap0 = scratch::heap_events();
+        const double t_f32 = seconds_best_of(3, run_fp32);
+        const std::uint64_t heap_delta = scratch::heap_events() - heap0;
+
+        bench::write_json_section(
+            path, "filter",
+            {{"padded_len", bench::json_num(static_cast<double>(eng.padded_len()))},
+             {"rows_per_s_reference", bench::json_num(rows / t_ref)},
+             {"rows_per_s_fp32", bench::json_num(rows / t_f32)},
+             {"speedup", bench::json_num(t_ref / t_f32)},
+             {"warm_heap_events", bench::json_num(static_cast<double>(heap_delta))}});
+    }
+
+    // Raw FFT round-trip cost per transform (context for the filter row
+    // numbers): seed per-call-twiddle reference vs plan-cached double vs
+    // plan-cached fp32.
+    {
+        const index_t n = 1024;
+        const fft::Plan& plan = fft::plan_for(n);
+        std::vector<std::complex<double>> d(static_cast<std::size_t>(n), {1.0, 0.5});
+        std::vector<std::complex<float>> f(static_cast<std::size_t>(n), {1.0f, 0.5f});
+        const int iters = 200;
+        const auto per = [&](double secs) { return secs / (2.0 * iters); };
+
+        const double t_refr = seconds_best_of(3, [&] {
+            for (int i = 0; i < iters; ++i) {
+                fft::transform_reference(d, false);
+                fft::transform_reference(d, true);
+            }
+        });
+        const double t_plan = seconds_best_of(3, [&] {
+            for (int i = 0; i < iters; ++i) {
+                fft::transform(d, false);
+                fft::transform(d, true);
+            }
+        });
+        const double t_f32 = seconds_best_of(3, [&] {
+            for (int i = 0; i < iters; ++i) {
+                fft::transform_f(f, plan, false);
+                fft::transform_f(f, plan, true);
+            }
+        });
+        bench::write_json_section(
+            path, "fft",
+            {{"n", bench::json_num(static_cast<double>(n))},
+             {"us_per_transform_reference", bench::json_num(per(t_refr) * 1e6)},
+             {"us_per_transform_planned_f64", bench::json_num(per(t_plan) * 1e6)},
+             {"us_per_transform_planned_f32", bench::json_num(per(t_f32) * 1e6)},
+             {"speedup_f32_vs_reference", bench::json_num(t_refr / t_f32)}});
+    }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    emit_bench_json("BENCH_pr4.json");
+    std::printf("BENCH_pr4.json written (backproj / filter / fft sections)\n");
+    return 0;
+}

@@ -16,8 +16,19 @@
 // Texture axis mapping (matches Listing 1's devPixel call):
 //   x = detector column u, y = view index s, z = detector row v relative to
 //   offset_proj_y.
+//
+// Performance layer (DESIGN.md §3e): the default backproject_streaming is
+// the incremental-walk variant with an explicit-SIMD inner loop over i
+// (core/simd.hpp; AVX2/NEON when XCT_SIMD is ON, scalar lanes otherwise):
+// lane-wise zn<=0 / detector-bounds masks, fused bilinear gathers off a
+// precomputed circular-row offset table, hoisted per-view row constants,
+// pooled row accumulators.  The original Listing-1 loop is retained as
+// backproject_streaming_scalar and the agreement bound is documented below
+// (kSimdVsScalarRelBound, asserted in test_simd/test_backproj).
 
+#include <array>
 #include <span>
+#include <vector>
 
 #include "core/geometry.hpp"
 #include "core/volume.hpp"
@@ -32,29 +43,84 @@ struct StreamOffsets {
     index_t proj_y = 0;    ///< global detector row mapped to texture depth 0
 };
 
-/// Accumulate the back-projection of all `mats.size()` views held in `tex`
-/// into the slab `vol`.  `nu`/`nv` are the full detector dimensions for the
-/// off-detector bounds test.  The slab must be zero-initialised (or hold a
-/// partial accumulation from a previous view batch).
+/// Per-view projection matrices pre-converted for the kernel: the float
+/// rows the CUDA kernel would read via __ldg, plus the original doubles
+/// from which the incremental walk derives exact row constants.  Build
+/// once per view share / slab schedule (SlabBackprojector caches one) —
+/// previously every kernel call re-converted the full set.  Shared by the
+/// fp32 and q8 paths.
+class MatrixPack {
+public:
+    MatrixPack() = default;
+    explicit MatrixPack(std::span<const Mat34> mats);
+
+    index_t views() const { return static_cast<index_t>(dm_.size()); }
+    bool empty() const { return dm_.empty(); }
+
+    /// Row-major float 3x4 matrix of view s (rows x, y, z; columns i,j,k,1).
+    const std::array<float, 12>& fmat(index_t s) const
+    {
+        return fm_[static_cast<std::size_t>(s)];
+    }
+    /// The original double-precision matrix of view s.
+    const Mat34& dmat(index_t s) const { return dm_[static_cast<std::size_t>(s)]; }
+
+private:
+    std::vector<std::array<float, 12>> fm_;
+    std::vector<Mat34> dm_;
+};
+
+/// Accumulate the back-projection of all `pack.views()` views held in
+/// `tex` into the slab `vol`.  `nu`/`nv` are the full detector dimensions
+/// for the off-detector bounds test.  The slab must be zero-initialised
+/// (or hold a partial accumulation from a previous view batch).  This is
+/// the vectorised incremental-walk kernel (see file header).
+void backproject_streaming(const sim::Texture3& tex, const MatrixPack& pack, Volume& vol,
+                           const StreamOffsets& off, index_t nu, index_t nv);
+
+/// Convenience overload converting the matrices ad hoc (one-shot callers;
+/// hot callers should cache a MatrixPack).
 void backproject_streaming(const sim::Texture3& tex, std::span<const Mat34> mats, Volume& vol,
                            const StreamOffsets& off, index_t nu, index_t nv);
+
+/// The original scalar Listing-1 loop (voxel-major, full dot products per
+/// view), retained as the in-build reference the vectorised kernel is
+/// bounded against.
+void backproject_streaming_scalar(const sim::Texture3& tex, const MatrixPack& pack, Volume& vol,
+                                  const StreamOffsets& off, index_t nu, index_t nv);
+void backproject_streaming_scalar(const sim::Texture3& tex, std::span<const Mat34> mats,
+                                  Volume& vol, const StreamOffsets& off, index_t nu, index_t nv);
 
 /// The same kernel over an 8-bit quantised texture — CUDA's *hardware*
 /// texture-interpolation precision, which the paper rejects (Sec. 4.3.1)
 /// in favour of fp32 manual interpolation.  Exists for the precision
-/// ablation (bench/ablation_interpolation_precision).
+/// ablation (bench/ablation_interpolation_precision); stays scalar but
+/// shares the MatrixPack with the fp32 path.
+void backproject_streaming_q8(const sim::QuantizedTexture3& tex, const MatrixPack& pack,
+                              Volume& vol, const StreamOffsets& off, index_t nu, index_t nv);
 void backproject_streaming_q8(const sim::QuantizedTexture3& tex, std::span<const Mat34> mats,
                               Volume& vol, const StreamOffsets& off, index_t nu, index_t nv);
 
-/// Optimised variant: view-major over each voxel row with incremental
-/// update of the three dot products (x, y, z are affine in i, so stepping
-/// i adds a constant — 3 FMAs replace 9 multiply-adds per update).
-/// Results agree with backproject_streaming to float rounding; see the
-/// micro_kernels bench for the measured speed difference and test_backproj
-/// for the equivalence bound.
+/// Back-compat name for the incremental-walk variant: since the
+/// vectorisation PR it IS the default kernel; this forwards to
+/// backproject_streaming.
 void backproject_streaming_incremental(const sim::Texture3& tex, std::span<const Mat34> mats,
                                        Volume& vol, const StreamOffsets& off, index_t nu,
                                        index_t nv);
+
+/// Documented agreement bound between the vectorised default kernel and
+/// the scalar Listing-1 loop:
+///
+///   max_voxel |simd - scalar|  <=  kSimdVsScalarRelBound * max_voxel |scalar|
+///
+/// Sources of divergence, all O(1 ulp) per sample: the incremental walk
+/// evaluates x/y/z as fma(i, step, row_constant) instead of the full
+/// 4-term dot product (different association), divides once by a
+/// sanitised zn, and the bilinear weights come from clamped coordinates.
+/// Accumulated over views the error stays well under 1e-4 of the field
+/// maximum; the bound below carries ~10x margin (measured in test_simd
+/// across randomized geometries including Table-4 calibration offsets).
+inline constexpr float kSimdVsScalarRelBound = 2e-4f;
 
 /// Approximate floating-point operations per (voxel, view) update of the
 /// kernel inner loop — used by the roofline analysis (Fig. 12).

@@ -54,6 +54,9 @@ inline constexpr const char* kMetricFaultsDegradedRanks = "faults.degraded.ranks
 inline constexpr const char* kMetricFaultsDegradedTakeovers = "faults.degraded.takeovers";
 inline constexpr const char* kMetricFaultsDegradedSlabs = "faults.degraded.slabs";
 inline constexpr const char* kMetricFftTransforms = "fft.transforms";
+inline constexpr const char* kMetricFftTransformsF32 = "fft.transforms.f32";
+inline constexpr const char* kMetricFftPlanHits = "fft.plan.hits";
+inline constexpr const char* kMetricFftPlanMisses = "fft.plan.misses";
 inline constexpr const char* kMetricFilterApplyCalls = "filter.apply.calls";
 inline constexpr const char* kMetricFilterRowsFiltered = "filter.rows_filtered";
 inline constexpr const char* kMetricPipelineStagePrefix = "pipeline.stage.";  ///< + stage + unit

@@ -1,0 +1,354 @@
+#pragma once
+// Portable explicit-SIMD wrapper for the hot-path kernels (DESIGN.md §3e).
+//
+// Exposes a fixed-width lane abstraction (VecF / VecI / Mask) with exactly
+// the operations the streaming back-projection inner loop needs: splat,
+// affine index arithmetic (FMA), floor, clamp, lane-wise compares feeding
+// blend masks, int conversion and gathers from flat arrays.  Three
+// backends, chosen at compile time:
+//
+//   * AVX2 (8 lanes)  — x86-64, selected when the compiler sets __AVX2__
+//     (e.g. -march=native on any post-2013 core);
+//   * NEON (4 lanes)  — aarch64 (__ARM_NEON);
+//   * scalar fallback — plain arrays of kLanes elements, used when the
+//     XCT_SIMD CMake option is OFF or no vector ISA is available.  The
+//     loops are trivially auto-vectorisable, and — more importantly — the
+//     fallback keeps the *same* rounding behaviour contract, so tests and
+//     sanitizer legs exercise the identical control flow.
+//
+// Semantics contract (what the backends must agree on):
+//   * all lane operations are IEEE single precision, one rounding per op
+//     (fmadd may fuse — results are ULP-bounded, not bitwise, against the
+//     scalar kernel; see test_simd for the documented bounds);
+//   * blend(m, a, b) selects a where m is true, b elsewhere;
+//   * gathers read base[idx[lane]] for every lane — callers mask/clamp
+//     indices BEFORE gathering, out-of-range lanes are not tolerated.
+
+#include <cstdint>
+#include <cstring>
+
+#include <cmath>
+
+#if defined(XCT_SIMD_ENABLED) && defined(__AVX2__)
+#define XCT_SIMD_BACKEND_AVX2 1
+#include <immintrin.h>
+#elif defined(XCT_SIMD_ENABLED) && defined(__ARM_NEON)
+#define XCT_SIMD_BACKEND_NEON 1
+#include <arm_neon.h>
+#else
+#define XCT_SIMD_BACKEND_SCALAR 1
+#endif
+
+namespace xct::simd {
+
+#if defined(XCT_SIMD_BACKEND_AVX2)
+
+inline constexpr int kLanes = 8;
+inline constexpr const char* backend_name() { return "avx2"; }
+
+struct VecF {
+    __m256 v;
+};
+struct VecI {
+    __m256i v;
+};
+struct Mask {
+    __m256 m;
+};
+
+inline VecF splat(float x) { return {_mm256_set1_ps(x)}; }
+inline VecF iota()
+{
+    return {_mm256_setr_ps(0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f)};
+}
+inline VecF load(const float* p) { return {_mm256_loadu_ps(p)}; }
+inline void store(float* p, VecF a) { _mm256_storeu_ps(p, a.v); }
+
+inline VecF operator+(VecF a, VecF b) { return {_mm256_add_ps(a.v, b.v)}; }
+inline VecF operator-(VecF a, VecF b) { return {_mm256_sub_ps(a.v, b.v)}; }
+inline VecF operator*(VecF a, VecF b) { return {_mm256_mul_ps(a.v, b.v)}; }
+inline VecF operator/(VecF a, VecF b) { return {_mm256_div_ps(a.v, b.v)}; }
+
+/// a*b + c (fused when the target has FMA; one extra rounding otherwise).
+inline VecF fmadd(VecF a, VecF b, VecF c)
+{
+#if defined(__FMA__)
+    return {_mm256_fmadd_ps(a.v, b.v, c.v)};
+#else
+    return {_mm256_add_ps(_mm256_mul_ps(a.v, b.v), c.v)};
+#endif
+}
+
+inline VecF floor_(VecF a) { return {_mm256_floor_ps(a.v)}; }
+inline VecF min_(VecF a, VecF b) { return {_mm256_min_ps(a.v, b.v)}; }
+inline VecF max_(VecF a, VecF b) { return {_mm256_max_ps(a.v, b.v)}; }
+
+inline Mask cmp_gt(VecF a, VecF b) { return {_mm256_cmp_ps(a.v, b.v, _CMP_GT_OQ)}; }
+inline Mask cmp_ge(VecF a, VecF b) { return {_mm256_cmp_ps(a.v, b.v, _CMP_GE_OQ)}; }
+inline Mask cmp_le(VecF a, VecF b) { return {_mm256_cmp_ps(a.v, b.v, _CMP_LE_OQ)}; }
+inline Mask operator&(Mask a, Mask b) { return {_mm256_and_ps(a.m, b.m)}; }
+inline bool none(Mask m) { return _mm256_movemask_ps(m.m) == 0; }
+inline VecF blend(Mask m, VecF a, VecF b) { return {_mm256_blendv_ps(b.v, a.v, m.m)}; }
+
+/// Truncating float->int32 conversion (callers floor first).
+inline VecI to_int(VecF a) { return {_mm256_cvttps_epi32(a.v)}; }
+inline VecI splat_i(std::int32_t x) { return {_mm256_set1_epi32(x)}; }
+inline VecI operator+(VecI a, VecI b) { return {_mm256_add_epi32(a.v, b.v)}; }
+inline VecI load_i(const std::int32_t* p)
+{
+    return {_mm256_setr_epi32(p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7])};
+}
+inline void store_i(std::int32_t* p, VecI a)
+{
+    // Bit-preserving spill through the float view (no pointer punning).
+    float tmp[kLanes];
+    _mm256_storeu_ps(tmp, _mm256_castsi256_ps(a.v));
+    std::memcpy(p, tmp, sizeof(tmp));
+}
+
+inline VecF gather(const float* base, VecI idx)
+{
+    return {_mm256_i32gather_ps(base, idx.v, 4)};
+}
+inline VecI gather_i(const std::int32_t* base, VecI idx)
+{
+    return {_mm256_i32gather_epi32(base, idx.v, 4)};
+}
+
+#elif defined(XCT_SIMD_BACKEND_NEON)
+
+inline constexpr int kLanes = 4;
+inline constexpr const char* backend_name() { return "neon"; }
+
+struct VecF {
+    float32x4_t v;
+};
+struct VecI {
+    int32x4_t v;
+};
+struct Mask {
+    uint32x4_t m;
+};
+
+inline VecF splat(float x) { return {vdupq_n_f32(x)}; }
+inline VecF iota()
+{
+    const float lanes[4] = {0.0f, 1.0f, 2.0f, 3.0f};
+    return {vld1q_f32(lanes)};
+}
+inline VecF load(const float* p) { return {vld1q_f32(p)}; }
+inline void store(float* p, VecF a) { vst1q_f32(p, a.v); }
+
+inline VecF operator+(VecF a, VecF b) { return {vaddq_f32(a.v, b.v)}; }
+inline VecF operator-(VecF a, VecF b) { return {vsubq_f32(a.v, b.v)}; }
+inline VecF operator*(VecF a, VecF b) { return {vmulq_f32(a.v, b.v)}; }
+inline VecF operator/(VecF a, VecF b) { return {vdivq_f32(a.v, b.v)}; }
+
+inline VecF fmadd(VecF a, VecF b, VecF c) { return {vfmaq_f32(c.v, a.v, b.v)}; }
+
+inline VecF floor_(VecF a) { return {vrndmq_f32(a.v)}; }
+inline VecF min_(VecF a, VecF b) { return {vminq_f32(a.v, b.v)}; }
+inline VecF max_(VecF a, VecF b) { return {vmaxq_f32(a.v, b.v)}; }
+
+inline Mask cmp_gt(VecF a, VecF b) { return {vcgtq_f32(a.v, b.v)}; }
+inline Mask cmp_ge(VecF a, VecF b) { return {vcgeq_f32(a.v, b.v)}; }
+inline Mask cmp_le(VecF a, VecF b) { return {vcleq_f32(a.v, b.v)}; }
+inline Mask operator&(Mask a, Mask b) { return {vandq_u32(a.m, b.m)}; }
+inline bool none(Mask m) { return vmaxvq_u32(m.m) == 0; }
+inline VecF blend(Mask m, VecF a, VecF b) { return {vbslq_f32(m.m, a.v, b.v)}; }
+
+inline VecI to_int(VecF a) { return {vcvtq_s32_f32(a.v)}; }
+inline VecI splat_i(std::int32_t x) { return {vdupq_n_s32(x)}; }
+inline VecI operator+(VecI a, VecI b) { return {vaddq_s32(a.v, b.v)}; }
+inline VecI load_i(const std::int32_t* p) { return {vld1q_s32(p)}; }
+inline void store_i(std::int32_t* p, VecI a) { vst1q_s32(p, a.v); }
+
+inline VecF gather(const float* base, VecI idx)
+{
+    std::int32_t ix[4];
+    vst1q_s32(ix, idx.v);
+    const float lanes[4] = {base[ix[0]], base[ix[1]], base[ix[2]], base[ix[3]]};
+    return {vld1q_f32(lanes)};
+}
+inline VecI gather_i(const std::int32_t* base, VecI idx)
+{
+    std::int32_t ix[4];
+    vst1q_s32(ix, idx.v);
+    const std::int32_t lanes[4] = {base[ix[0]], base[ix[1]], base[ix[2]], base[ix[3]]};
+    return {vld1q_s32(lanes)};
+}
+
+#else  // scalar fallback
+
+inline constexpr int kLanes = 8;
+inline constexpr const char* backend_name() { return "scalar"; }
+
+struct VecF {
+    float v[kLanes];
+};
+struct VecI {
+    std::int32_t v[kLanes];
+};
+struct Mask {
+    bool m[kLanes];
+};
+
+inline VecF splat(float x)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = x;
+    return r;
+}
+inline VecF iota()
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = static_cast<float>(l);
+    return r;
+}
+inline VecF load(const float* p)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = p[l];
+    return r;
+}
+inline void store(float* p, VecF a)
+{
+    for (int l = 0; l < kLanes; ++l) p[l] = a.v[l];
+}
+
+inline VecF operator+(VecF a, VecF b)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] + b.v[l];
+    return r;
+}
+inline VecF operator-(VecF a, VecF b)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] - b.v[l];
+    return r;
+}
+inline VecF operator*(VecF a, VecF b)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] * b.v[l];
+    return r;
+}
+inline VecF operator/(VecF a, VecF b)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] / b.v[l];
+    return r;
+}
+
+inline VecF fmadd(VecF a, VecF b, VecF c)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] * b.v[l] + c.v[l];
+    return r;
+}
+
+inline VecF floor_(VecF a)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = std::floor(a.v[l]);
+    return r;
+}
+inline VecF min_(VecF a, VecF b)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] < b.v[l] ? a.v[l] : b.v[l];
+    return r;
+}
+inline VecF max_(VecF a, VecF b)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] > b.v[l] ? a.v[l] : b.v[l];
+    return r;
+}
+
+inline Mask cmp_gt(VecF a, VecF b)
+{
+    Mask r;
+    for (int l = 0; l < kLanes; ++l) r.m[l] = a.v[l] > b.v[l];
+    return r;
+}
+inline Mask cmp_ge(VecF a, VecF b)
+{
+    Mask r;
+    for (int l = 0; l < kLanes; ++l) r.m[l] = a.v[l] >= b.v[l];
+    return r;
+}
+inline Mask cmp_le(VecF a, VecF b)
+{
+    Mask r;
+    for (int l = 0; l < kLanes; ++l) r.m[l] = a.v[l] <= b.v[l];
+    return r;
+}
+inline Mask operator&(Mask a, Mask b)
+{
+    Mask r;
+    for (int l = 0; l < kLanes; ++l) r.m[l] = a.m[l] && b.m[l];
+    return r;
+}
+inline bool none(Mask m)
+{
+    for (int l = 0; l < kLanes; ++l)
+        if (m.m[l]) return false;
+    return true;
+}
+inline VecF blend(Mask m, VecF a, VecF b)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = m.m[l] ? a.v[l] : b.v[l];
+    return r;
+}
+
+inline VecI to_int(VecF a)
+{
+    VecI r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = static_cast<std::int32_t>(a.v[l]);
+    return r;
+}
+inline VecI splat_i(std::int32_t x)
+{
+    VecI r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = x;
+    return r;
+}
+inline VecI operator+(VecI a, VecI b)
+{
+    VecI r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] + b.v[l];
+    return r;
+}
+inline VecI load_i(const std::int32_t* p)
+{
+    VecI r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = p[l];
+    return r;
+}
+inline void store_i(std::int32_t* p, VecI a)
+{
+    for (int l = 0; l < kLanes; ++l) p[l] = a.v[l];
+}
+
+inline VecF gather(const float* base, VecI idx)
+{
+    VecF r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = base[idx.v[l]];
+    return r;
+}
+inline VecI gather_i(const std::int32_t* base, VecI idx)
+{
+    VecI r;
+    for (int l = 0; l < kLanes; ++l) r.v[l] = base[idx.v[l]];
+    return r;
+}
+
+#endif
+
+/// Clamp every lane to [lo, hi].
+inline VecF clamp(VecF a, VecF lo, VecF hi) { return min_(max_(a, lo), hi); }
+
+}  // namespace xct::simd

@@ -1,9 +1,14 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
 #include <numbers>
 
+#include "core/mutex.hpp"
 #include "core/names.hpp"
+#include "core/scratch.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace xct::fft {
@@ -21,6 +26,129 @@ bool is_pow2(index_t n)
     return n >= 1 && (n & (n - 1)) == 0;
 }
 
+namespace {
+
+/// Process-wide plan store.  Plans are built outside the lock and
+/// try_emplace'd, so a losing racer just drops its copy; the map holds
+/// unique_ptrs so returned references stay stable across rehashes.
+struct PlanCache {
+    Mutex m;
+    std::map<index_t, std::unique_ptr<Plan>> plans XCT_GUARDED_BY(m);
+};
+
+PlanCache& plan_cache()
+{
+    static PlanCache c;
+    return c;
+}
+
+std::unique_ptr<Plan> build_plan(index_t n)
+{
+    auto plan = std::make_unique<Plan>();
+    plan->n = n;
+    const std::size_t un = static_cast<std::size_t>(n);
+
+    plan->bitrev.resize(un);
+    for (std::size_t i = 0, j = 0; i < un; ++i) {
+        plan->bitrev[i] = static_cast<std::uint32_t>(j);
+        std::size_t bit = un >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+    }
+
+    plan->twiddle_d.resize(un / 2);
+    plan->twiddle_f.resize(un / 2);
+    for (std::size_t k = 0; k < un / 2; ++k) {
+        const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                           static_cast<double>(n);
+        plan->twiddle_d[k] = {std::cos(ang), std::sin(ang)};
+        plan->twiddle_f[k] = {static_cast<float>(plan->twiddle_d[k].real()),
+                              static_cast<float>(plan->twiddle_d[k].imag())};
+    }
+
+    // Stage-major copy: stage `len` owns the len/2 roots e^{-2*pi*i*j/len},
+    // which are the root-table entries at stride n/len laid out densely.
+    for (std::size_t len = 2; len <= un; len <<= 1) {
+        plan->stage_offset.push_back(plan->stage_twiddle_d.size());
+        const std::size_t stride = un / len;
+        for (std::size_t j = 0; j < len / 2; ++j) {
+            plan->stage_twiddle_d.push_back(plan->twiddle_d[j * stride]);
+            plan->stage_twiddle_f.push_back(plan->twiddle_f[j * stride]);
+        }
+    }
+    return plan;
+}
+
+/// Shared butterfly schedule over the plan's stage-major twiddle table.
+/// Two deliberate codegen choices keep this loop vectorisable: butterflies
+/// are written in explicit real/imag arithmetic (std::complex operator*
+/// funnels through the NaN-checking __muldc3 libcall and defeats SIMD) and
+/// each stage reads its twiddles sequentially, with the inverse direction
+/// folded into a sign applied to the imaginary part instead of a
+/// per-butterfly conjugate.
+template <typename T>
+void run_butterflies(std::span<std::complex<T>> data, const Plan& plan,
+                     const std::vector<std::complex<T>>& stage_tw, bool inverse)
+{
+    const std::size_t n = data.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = plan.bitrev[i];
+        if (i < j) std::swap(data[i], data[j]);
+    }
+
+    const T s = inverse ? T(-1) : T(1);
+    std::size_t stage = 0;
+    for (std::size_t len = 2; len <= n; len <<= 1, ++stage) {
+        const std::complex<T>* tw = stage_tw.data() + plan.stage_offset[stage];
+        const std::size_t half = len / 2;
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<T>* a = data.data() + i;
+            std::complex<T>* b = data.data() + i + half;
+            for (std::size_t j = 0; j < half; ++j) {
+                const T wr = tw[j].real();
+                const T wi = s * tw[j].imag();
+                const T ur = a[j].real(), ui = a[j].imag();
+                const T xr = b[j].real(), xi = b[j].imag();
+                const T vr = xr * wr - xi * wi;
+                const T vi = xr * wi + xi * wr;
+                a[j] = {ur + vr, ui + vi};
+                b[j] = {ur - vr, ui - vi};
+            }
+        }
+    }
+
+    if (inverse) {
+        const T inv_n = static_cast<T>(1.0 / static_cast<double>(n));
+        for (auto& x : data) x *= inv_n;
+    }
+}
+
+}  // namespace
+
+const Plan& plan_for(index_t n)
+{
+    require(is_pow2(n), "fft::plan_for: size must be a power of two");
+    static telemetry::Counter& hits = telemetry::registry().counter(names::kMetricFftPlanHits);
+    static telemetry::Counter& misses = telemetry::registry().counter(names::kMetricFftPlanMisses);
+    PlanCache& cache = plan_cache();
+    {
+        MutexLock lock(cache.m);
+        auto it = cache.plans.find(n);
+        if (it != cache.plans.end()) {
+            hits.add(1);
+            return *it->second;
+        }
+    }
+    std::unique_ptr<Plan> built = build_plan(n);
+    MutexLock lock(cache.m);
+    auto [it, inserted] = cache.plans.try_emplace(n, std::move(built));
+    if (inserted)
+        misses.add(1);
+    else
+        hits.add(1);
+    return *it->second;
+}
+
 void transform(std::span<std::complex<double>> data, bool inverse)
 {
     const std::size_t n = data.size();
@@ -32,6 +160,20 @@ void transform(std::span<std::complex<double>> data, bool inverse)
     static telemetry::Counter& transforms = telemetry::registry().counter(names::kMetricFftTransforms);
     transforms.add(1);
 
+    const Plan& plan = plan_for(static_cast<index_t>(n));
+    run_butterflies(data, plan, plan.stage_twiddle_d, inverse);
+}
+
+void transform_reference(std::span<std::complex<double>> data, bool inverse)
+{
+    const std::size_t n = data.size();
+    require(is_pow2(static_cast<index_t>(n)),
+            "fft::transform_reference: size must be a power of two");
+    if (n == 1) return;
+
+    static telemetry::Counter& transforms = telemetry::registry().counter(names::kMetricFftTransforms);
+    transforms.add(1);
+
     // Bit-reversal permutation.
     for (std::size_t i = 1, j = 0; i < n; ++i) {
         std::size_t bit = n >> 1;
@@ -40,7 +182,7 @@ void transform(std::span<std::complex<double>> data, bool inverse)
         if (i < j) std::swap(data[i], data[j]);
     }
 
-    // Iterative Cooley-Tukey butterflies.
+    // Iterative Cooley-Tukey butterflies with per-call twiddle recurrence.
     for (std::size_t len = 2; len <= n; len <<= 1) {
         const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
         const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
@@ -62,6 +204,27 @@ void transform(std::span<std::complex<double>> data, bool inverse)
     }
 }
 
+void transform_f(std::span<std::complex<float>> data, const Plan& plan, bool inverse)
+{
+    require(static_cast<std::size_t>(plan.n) == data.size(),
+            "fft::transform_f: plan size mismatch");
+    if (data.size() == 1) return;
+
+    static telemetry::Counter& transforms =
+        telemetry::registry().counter(names::kMetricFftTransformsF32);
+    transforms.add(1);
+
+    run_butterflies(data, plan, plan.stage_twiddle_f, inverse);
+}
+
+void transform_f(std::span<std::complex<float>> data, bool inverse)
+{
+    require(is_pow2(static_cast<index_t>(data.size())),
+            "fft::transform_f: size must be a power of two");
+    if (data.size() == 1) return;
+    transform_f(data, plan_for(static_cast<index_t>(data.size())), inverse);
+}
+
 std::vector<std::complex<double>> real_forward(std::span<const float> signal, index_t n)
 {
     require(is_pow2(n) && n >= static_cast<index_t>(signal.size()),
@@ -72,7 +235,22 @@ std::vector<std::complex<double>> real_forward(std::span<const float> signal, in
     return buf;
 }
 
+std::vector<std::complex<float>> real_forward_f(std::span<const float> signal, index_t n)
+{
+    const std::vector<std::complex<double>> spec = real_forward(signal, n);
+    std::vector<std::complex<float>> out(spec.size());
+    for (std::size_t i = 0; i < spec.size(); ++i)
+        out[i] = {static_cast<float>(spec[i].real()), static_cast<float>(spec[i].imag())};
+    return out;
+}
+
 void multiply_spectra(std::span<std::complex<double>> a, std::span<const std::complex<double>> b)
+{
+    require(a.size() == b.size(), "fft::multiply_spectra: size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+}
+
+void multiply_spectra(std::span<std::complex<float>> a, std::span<const std::complex<float>> b)
 {
     require(a.size() == b.size(), "fft::multiply_spectra: size mismatch");
     for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
@@ -100,18 +278,83 @@ RowConvolver::RowConvolver(index_t row_len, std::span<const float> kernel, index
     require(offset >= 0 && offset < static_cast<index_t>(kernel.size()),
             "RowConvolver: offset must lie within the kernel");
     padded_ = next_pow2(row_len + static_cast<index_t>(kernel.size()) - 1);
+    plan_ = &plan_for(padded_);
     kernel_spectrum_ = real_forward(kernel, padded_);
+    kernel_spectrum_f_.resize(kernel_spectrum_.size());
+    for (std::size_t i = 0; i < kernel_spectrum_.size(); ++i)
+        kernel_spectrum_f_[i] = {static_cast<float>(kernel_spectrum_[i].real()),
+                                 static_cast<float>(kernel_spectrum_[i].imag())};
 }
 
 void RowConvolver::apply(std::span<float> row) const
 {
     require(static_cast<index_t>(row.size()) == row_len_, "RowConvolver::apply: row length mismatch");
-    std::vector<std::complex<double>> buf(static_cast<std::size_t>(padded_));
+    scratch::Buffer<std::complex<double>> lease(static_cast<std::size_t>(padded_));
+    const std::span<std::complex<double>> buf = lease.span();
     for (index_t i = 0; i < row_len_; ++i)
         buf[static_cast<std::size_t>(i)] = std::complex<double>(row[static_cast<std::size_t>(i)], 0.0);
+    std::fill(buf.begin() + row_len_, buf.end(), std::complex<double>{});
     transform(buf, /*inverse=*/false);
     multiply_spectra(buf, kernel_spectrum_);
     transform(buf, /*inverse=*/true);
+    for (index_t i = 0; i < row_len_; ++i)
+        row[static_cast<std::size_t>(i)] =
+            static_cast<float>(buf[static_cast<std::size_t>(i + offset_)].real());
+}
+
+void RowConvolver::apply_pair_f(std::span<float> a, std::span<float> b) const
+{
+    // Real-pair trick: convolution is linear and the kernel is real, so
+    // filtering IFFT(FFT(a + i*b) * K) yields conv(a) in the real part and
+    // conv(b) in the imaginary part.
+    scratch::Buffer<std::complex<float>> lease(static_cast<std::size_t>(padded_));
+    const std::span<std::complex<float>> buf = lease.span();
+    for (index_t i = 0; i < row_len_; ++i)
+        buf[static_cast<std::size_t>(i)] = std::complex<float>(a[static_cast<std::size_t>(i)],
+                                                               b[static_cast<std::size_t>(i)]);
+    std::fill(buf.begin() + row_len_, buf.end(), std::complex<float>{});
+    transform_f(buf, *plan_, /*inverse=*/false);
+    multiply_spectra(buf, kernel_spectrum_f_);
+    transform_f(buf, *plan_, /*inverse=*/true);
+    for (index_t i = 0; i < row_len_; ++i) {
+        a[static_cast<std::size_t>(i)] = buf[static_cast<std::size_t>(i + offset_)].real();
+        b[static_cast<std::size_t>(i)] = buf[static_cast<std::size_t>(i + offset_)].imag();
+    }
+}
+
+void RowConvolver::apply_batch(std::span<float> rows, index_t nrows) const
+{
+    require(nrows >= 0 && static_cast<index_t>(rows.size()) == nrows * row_len_,
+            "RowConvolver::apply_batch: rows must hold nrows * row_len() samples");
+    const index_t pairs = nrows / 2;
+#pragma omp parallel for schedule(static)
+    for (index_t p = 0; p < pairs; ++p) {
+        const std::size_t at = static_cast<std::size_t>(2 * p * row_len_);
+        apply_pair_f(rows.subspan(at, static_cast<std::size_t>(row_len_)),
+                     rows.subspan(at + static_cast<std::size_t>(row_len_),
+                                  static_cast<std::size_t>(row_len_)));
+    }
+    if (nrows % 2 != 0) {
+        // Odd remainder: one fp32 transform with the imaginary half unused.
+        scratch::Buffer<float> zero_lease(static_cast<std::size_t>(row_len_));
+        const std::span<float> zeros = zero_lease.span();
+        std::fill(zeros.begin(), zeros.end(), 0.0f);
+        apply_pair_f(rows.subspan(static_cast<std::size_t>((nrows - 1) * row_len_),
+                                  static_cast<std::size_t>(row_len_)),
+                     zeros);
+    }
+}
+
+void RowConvolver::apply_reference(std::span<float> row) const
+{
+    require(static_cast<index_t>(row.size()) == row_len_,
+            "RowConvolver::apply_reference: row length mismatch");
+    std::vector<std::complex<double>> buf(static_cast<std::size_t>(padded_));
+    for (index_t i = 0; i < row_len_; ++i)
+        buf[static_cast<std::size_t>(i)] = std::complex<double>(row[static_cast<std::size_t>(i)], 0.0);
+    transform_reference(buf, /*inverse=*/false);
+    multiply_spectra(buf, kernel_spectrum_);
+    transform_reference(buf, /*inverse=*/true);
     for (index_t i = 0; i < row_len_; ++i)
         row[static_cast<std::size_t>(i)] =
             static_cast<float>(buf[static_cast<std::size_t>(i + offset_)].real());

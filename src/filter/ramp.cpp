@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "core/names.hpp"
+#include "core/scratch.hpp"
 #include "fft/fft.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -93,6 +94,14 @@ FilterEngine::FilterEngine(const CbctGeometry& g, Window w, double extra_scale)
             kernel_spectrum_[static_cast<std::size_t>(k)] *= window_gain(w, x);
         }
     }
+
+    // fp32 copy of the (apodised) kernel spectrum + cached plan for the
+    // production single-precision row path.
+    plan_ = &fft::plan_for(padded_);
+    kernel_spectrum_f_.resize(kernel_spectrum_.size());
+    for (std::size_t i = 0; i < kernel_spectrum_.size(); ++i)
+        kernel_spectrum_f_[i] = {static_cast<float>(kernel_spectrum_[i].real()),
+                                 static_cast<float>(kernel_spectrum_[i].imag())};
 }
 
 void FilterEngine::weight_row(std::span<float> row, index_t v_global) const
@@ -112,14 +121,35 @@ void FilterEngine::apply_row(std::span<float> row, index_t v_global) const
     require(static_cast<index_t>(row.size()) == nu_, "FilterEngine: row length != Nu");
     weight_row(row, v_global);
 
-    // Row convolution with the precomputed kernel spectrum.
+    // Row convolution with the precomputed fp32 kernel spectrum, pooled
+    // scratch, cached plan — the production single-precision path.
+    scratch::Buffer<std::complex<float>> lease(static_cast<std::size_t>(padded_));
+    const std::span<std::complex<float>> buf = lease.span();
+    for (index_t i = 0; i < nu_; ++i)
+        buf[static_cast<std::size_t>(i)] =
+            std::complex<float>(row[static_cast<std::size_t>(i)], 0.0f);
+    std::fill(buf.begin() + nu_, buf.end(), std::complex<float>{});
+    fft::transform_f(buf, *plan_, /*inverse=*/false);
+    fft::multiply_spectra(buf, kernel_spectrum_f_);
+    fft::transform_f(buf, *plan_, /*inverse=*/true);
+    for (index_t i = 0; i < nu_; ++i)
+        row[static_cast<std::size_t>(i)] = buf[static_cast<std::size_t>(i + offset_)].real();
+}
+
+void FilterEngine::apply_row_reference(std::span<float> row, index_t v_global) const
+{
+    require(static_cast<index_t>(row.size()) == nu_, "FilterEngine: row length != Nu");
+    weight_row(row, v_global);
+
+    // The pre-vectorisation double path: per-call buffer, reference
+    // transform, full-precision kernel spectrum.
     std::vector<std::complex<double>> buf(static_cast<std::size_t>(padded_));
     for (index_t i = 0; i < nu_; ++i)
         buf[static_cast<std::size_t>(i)] =
             std::complex<double>(row[static_cast<std::size_t>(i)], 0.0);
-    fft::transform(buf, /*inverse=*/false);
+    fft::transform_reference(buf, /*inverse=*/false);
     fft::multiply_spectra(buf, kernel_spectrum_);
-    fft::transform(buf, /*inverse=*/true);
+    fft::transform_reference(buf, /*inverse=*/true);
     for (index_t i = 0; i < nu_; ++i)
         row[static_cast<std::size_t>(i)] =
             static_cast<float>(buf[static_cast<std::size_t>(i + offset_)].real());
@@ -133,19 +163,19 @@ void FilterEngine::apply_row_pair(std::span<float> a, index_t va, std::span<floa
     weight_row(a, va);
     weight_row(b, vb);
 
-    // Pack a + i b, one forward/inverse FFT pair for both rows.
-    std::vector<std::complex<double>> buf(static_cast<std::size_t>(padded_));
+    // Pack a + i b, one fp32 forward/inverse FFT pair for both rows.
+    scratch::Buffer<std::complex<float>> lease(static_cast<std::size_t>(padded_));
+    const std::span<std::complex<float>> buf = lease.span();
     for (index_t i = 0; i < nu_; ++i)
         buf[static_cast<std::size_t>(i)] =
-            std::complex<double>(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
-    fft::transform(buf, /*inverse=*/false);
-    fft::multiply_spectra(buf, kernel_spectrum_);
-    fft::transform(buf, /*inverse=*/true);
+            std::complex<float>(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+    std::fill(buf.begin() + nu_, buf.end(), std::complex<float>{});
+    fft::transform_f(buf, *plan_, /*inverse=*/false);
+    fft::multiply_spectra(buf, kernel_spectrum_f_);
+    fft::transform_f(buf, *plan_, /*inverse=*/true);
     for (index_t i = 0; i < nu_; ++i) {
-        a[static_cast<std::size_t>(i)] =
-            static_cast<float>(buf[static_cast<std::size_t>(i + offset_)].real());
-        b[static_cast<std::size_t>(i)] =
-            static_cast<float>(buf[static_cast<std::size_t>(i + offset_)].imag());
+        a[static_cast<std::size_t>(i)] = buf[static_cast<std::size_t>(i + offset_)].real();
+        b[static_cast<std::size_t>(i)] = buf[static_cast<std::size_t>(i + offset_)].imag();
     }
 }
 

@@ -32,6 +32,10 @@
 #include "core/geometry.hpp"
 #include "core/volume.hpp"
 
+namespace xct::fft {
+struct Plan;
+}
+
 namespace xct::filter {
 
 /// Apodisation window applied on top of the ramp response.
@@ -60,8 +64,16 @@ public:
 
     /// Weight + filter one detector row in place.  `v_global` is the row's
     /// global detector coordinate (needed for the cosine weight when the
-    /// stack holds only a band).
+    /// stack holds only a band).  Production path: single-precision FFT
+    /// against the cached plan, pooled scratch (zero heap allocations when
+    /// warm); agrees with apply_row_reference to fp32 rounding (bound
+    /// documented in test_simd).
     void apply_row(std::span<float> row, index_t v_global) const;
+
+    /// The original double-precision per-row path (per-call buffers,
+    /// reference transform) — the accuracy baseline the fp32 path is
+    /// tested and benchmarked against.
+    void apply_row_reference(std::span<float> row, index_t v_global) const;
 
     /// Weight + filter two rows with ONE complex FFT round-trip: the rows
     /// are packed as re + i*im; because the kernel taps are real, the
@@ -88,7 +100,9 @@ private:
     std::vector<double> pu2_;  ///< (du*(u - cu))^2 per detector column
     double dv_ = 0.0;
     double cv_ = 0.0;
+    const fft::Plan* plan_ = nullptr;  ///< borrowed from the process PlanCache
     std::vector<std::complex<double>> kernel_spectrum_;
+    std::vector<std::complex<float>> kernel_spectrum_f_;
 };
 
 }  // namespace xct::filter

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
 #include "core/mutex.hpp"
 #include "core/names.hpp"
+#include "core/scratch.hpp"
 #include "faults/fault.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -246,11 +248,18 @@ void Communicator::reduce_sum_parts(std::span<const ReducePart> parts, std::span
     st.ia[static_cast<std::size_t>(rank_)] = static_cast<long long>(parts.size());
     sync(st);
     if (rank_ == root) {
-        std::vector<const ReducePart*> all;
+        // Part-pointer staging from the scratch pool — the root resorts
+        // every collective, so this is on the reduce hot path.
+        std::size_t total = 0;
+        for (index_t r = 0; r < st.size; ++r)
+            total += static_cast<std::size_t>(st.ia[static_cast<std::size_t>(r)]);
+        scratch::Buffer<const ReducePart*> all_lease(total);
+        const std::span<const ReducePart*> all = all_lease.span();
+        std::size_t at = 0;
         for (index_t r = 0; r < st.size; ++r) {
             const auto* deposited = static_cast<const ReducePart*>(st.slots[static_cast<std::size_t>(r)]);
             const auto n = static_cast<std::size_t>(st.ia[static_cast<std::size_t>(r)]);
-            for (std::size_t i = 0; i < n; ++i) all.push_back(&deposited[i]);
+            for (std::size_t i = 0; i < n; ++i) all[at++] = &deposited[i];
         }
         std::sort(all.begin(), all.end(),
                   [](const ReducePart* a, const ReducePart* b) { return a->key < b->key; });
@@ -291,15 +300,19 @@ void Communicator::reduce_sum_hierarchical(std::span<const float> send, std::spa
     // scratch and deposit that.
     st.slots[static_cast<std::size_t>(rank_)] = send.data();
     sync(st);
-    std::vector<float> node_sum;
+    // Node-sum staging from the scratch pool; the lease must outlive the
+    // final sync because peers read through the slots2 pointer.
+    std::optional<scratch::Buffer<float>> node_sum;
     if (is_leader) {
-        node_sum.assign(send.size(), 0.0f);
+        node_sum.emplace(send.size());
+        float* sum = node_sum->data();
+        for (std::size_t i = 0; i < send.size(); ++i) sum[i] = 0.0f;
         const index_t node_end = std::min(leader + ranks_per_node, st.size);
         for (index_t r = leader; r < node_end; ++r) {
             const auto* src = static_cast<const float*>(st.slots[static_cast<std::size_t>(r)]);
-            for (std::size_t i = 0; i < node_sum.size(); ++i) node_sum[i] += src[i];
+            for (std::size_t i = 0; i < send.size(); ++i) sum[i] += src[i];
         }
-        st.slots2[static_cast<std::size_t>(rank_)] = node_sum.data();
+        st.slots2[static_cast<std::size_t>(rank_)] = sum;
     }
     sync(st);
 

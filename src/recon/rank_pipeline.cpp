@@ -93,9 +93,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
     auto load_one = [&](index_t idx) {
         pipeline::ScopedSpan span(tl, "load", idx);
         LoadItem item{idx, plans[static_cast<std::size_t>(idx)], std::nullopt};
-        // The first live slab after a restart starts from a cold texture,
-        // so it loads the full row band instead of the differential one.
-        const Range band = (idx == resume) ? item.plan.rows : item.plan.delta;
+        const Range band = item.plan.delta;
         if (!band.empty()) {
             auto attempt = [&] {
                 faults::check(names::kSiteSourceLoad);
@@ -106,6 +104,26 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         }
         return item;
     };
+
+    // A restarted run resumes with a cold texture, so the rows the completed
+    // slabs had staged must be re-loaded, re-filtered and re-uploaded.  This
+    // replays the *original* delta bands one by one rather than loading one
+    // merged catch-up band: the fp32 filter packs two rows per complex
+    // transform, so its rounding depends on how rows were paired within
+    // each band, and only the original banding reproduces the original
+    // run's texture — and therefore the restarted slabs — bitwise
+    // (Resilience.CheckpointRestartMidRunIsBitwiseIdentical).
+    if (resume > 0 && resume < static_cast<index_t>(plans.size())) {
+        for (index_t i = 0; i < resume; ++i) {
+            LoadItem item = load_one(i);
+            if (!item.delta) continue;
+            {
+                pipeline::ScopedSpan span(tl, "filter", i);
+                filter_item(cfg, engine, parker ? &*parker : nullptr, counts, item);
+            }
+            bp.upload_band(*item.delta);
+        }
+    }
     auto bp_one = [&](const LoadItem& item) {
         if (item.delta) bp.upload_band(*item.delta);
         pipeline::ScopedSpan span(tl, "bp", item.idx);

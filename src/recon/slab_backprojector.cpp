@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
-#include "backproj/kernel.hpp"
-
 namespace xct::recon {
+
+namespace {
+backproj::MatrixPack share_pack(const CbctGeometry& g, Range views)
+{
+    const std::vector<Mat34> all = projection_matrices(g);
+    return backproj::MatrixPack(
+        std::span<const Mat34>(all.data() + views.lo, static_cast<std::size_t>(views.length())));
+}
+}
 
 SlabBackprojector::SlabBackprojector(const Config& cfg, index_t h, index_t origin,
                                      index_t max_slab)
@@ -12,7 +19,7 @@ SlabBackprojector::SlabBackprojector(const Config& cfg, index_t h, index_t origi
       device_(cfg.device_capacity, cfg.h2d_gbps, cfg.d2h_gbps),
       tex_(device_, cfg.geometry.nu, cfg.views.length(), h),
       slab_dev_(device_, cfg.geometry.vol.x * cfg.geometry.vol.y * max_slab),
-      mats_all_(projection_matrices(cfg.geometry))
+      pack_(share_pack(cfg.geometry, cfg.views))
 {
     device_.set_retry(cfg.retry);
 }
@@ -66,9 +73,7 @@ void SlabBackprojector::upload_band(const ProjectionStack& band)
 Volume SlabBackprojector::backproject(const SlabPlan& plan)
 {
     Volume slab(Dim3{cfg_.geometry.vol.x, cfg_.geometry.vol.y, plan.slab.length()});
-    const std::span<const Mat34> mats(mats_all_.data() + cfg_.views.lo,
-                                      static_cast<std::size_t>(cfg_.views.length()));
-    backproj::backproject_streaming(tex_, mats, slab,
+    backproj::backproject_streaming(tex_, pack_, slab,
                                     backproj::StreamOffsets{plan.slab.lo, origin_},
                                     cfg_.geometry.nu, cfg_.geometry.nv);
     // Model the sub-volume device->host move (the kernel conceptually

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "backproj/kernel.hpp"
 #include "core/decompose.hpp"
 #include "core/geometry.hpp"
 #include "core/volume.hpp"
@@ -59,7 +60,10 @@ private:
     sim::Device device_;
     sim::Texture3 tex_;
     sim::DeviceBuffer slab_dev_;  ///< models the device-resident sub-volume
-    std::vector<Mat34> mats_all_;
+    /// Float-converted matrices of this engine's view share, built once at
+    /// construction and reused by every backproject() call (previously the
+    /// kernel re-converted the full matrix set per slab x batch).
+    backproj::MatrixPack pack_;
 };
 
 }  // namespace xct::recon

@@ -169,6 +169,12 @@ public:
         return data_[static_cast<std::size_t>(flat)];
     }
 
+    /// Raw device-side view for the vectorised kernel's gathers (flat
+    /// layout [depth][height][width], width fastest).  Callers own the
+    /// clamp/wrap arithmetic fetch() normally provides — the kernel masks
+    /// and clamps indices before gathering (see backproj/kernel.cpp).
+    std::span<const float> device_span() const { return data_; }
+
 private:
     Device* dev_;
     index_t width_, height_, depth_;

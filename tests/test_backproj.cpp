@@ -42,6 +42,13 @@ ProjectionStack random_stack(const CbctGeometry& g, unsigned seed)
     return p;
 }
 
+float max_abs(std::span<const float> v)
+{
+    float m = 0.0f;
+    for (float x : v) m = std::max(m, std::abs(x));
+    return m;
+}
+
 /// Upload full frames into a texture laid out as the streaming kernel
 /// expects (x = u, y = view, z = detector row).
 sim::Texture3 make_texture(sim::Device& dev, const ProjectionStack& p, Range band)
@@ -113,8 +120,32 @@ TEST(Reference, SubPixelInterpolatesBilinearly)
     EXPECT_FLOAT_EQ(sub_pixel(p, 0, 0.5f, 0.5f), 2.5f);
 }
 
-TEST(Streaming, MatchesReferenceOnFullVolume)
+TEST(Streaming, ScalarMatchesReferenceOnFullVolume)
 {
+    // The retained Listing-1 scalar loop keeps the paper's exact 1e-5
+    // agreement with the Algorithm-1 reference (Sec. 6.1).
+    const CbctGeometry g = geo();
+    const ProjectionStack p = random_stack(g, 7);
+    const auto mats = projection_matrices(g);
+
+    Volume ref(g.vol);
+    backproject_reference(p, mats, g, ref);
+
+    sim::Device dev(64u << 20);
+    const sim::Texture3 tex = make_texture(dev, p, Range{0, g.nv});
+    Volume out(g.vol);
+    backproject_streaming_scalar(tex, mats, out, StreamOffsets{0, 0}, g.nu, g.nv);
+
+    for (index_t i = 0; i < out.count(); ++i)
+        ASSERT_NEAR(out.span()[static_cast<std::size_t>(i)],
+                    ref.span()[static_cast<std::size_t>(i)], 1e-5f);
+}
+
+TEST(Streaming, DefaultMatchesReferenceWithinSimdBound)
+{
+    // The vectorised default reorders the per-voxel arithmetic (fma walks
+    // from double row constants), so agreement with the reference is the
+    // documented relative bound, not bitwise.
     const CbctGeometry g = geo();
     const ProjectionStack p = random_stack(g, 7);
     const auto mats = projection_matrices(g);
@@ -127,9 +158,10 @@ TEST(Streaming, MatchesReferenceOnFullVolume)
     Volume out(g.vol);
     backproject_streaming(tex, mats, out, StreamOffsets{0, 0}, g.nu, g.nv);
 
+    const float tol = kSimdVsScalarRelBound * max_abs(ref.span());
     for (index_t i = 0; i < out.count(); ++i)
         ASSERT_NEAR(out.span()[static_cast<std::size_t>(i)],
-                    ref.span()[static_cast<std::size_t>(i)], 1e-5f);
+                    ref.span()[static_cast<std::size_t>(i)], tol);
 }
 
 TEST(Streaming, SlabsWithOffsetsTileTheFullVolume)
@@ -143,6 +175,7 @@ TEST(Streaming, SlabsWithOffsetsTileTheFullVolume)
 
     sim::Device dev(64u << 20);
     const sim::Texture3 tex = make_texture(dev, p, Range{0, g.nv});
+    const float tol = kSimdVsScalarRelBound * max_abs(ref.span());
     const index_t nb = 7;  // deliberately not dividing Nz
     for (index_t k0 = 0; k0 < g.vol.z; k0 += nb) {
         const index_t len = std::min(nb, g.vol.z - k0);
@@ -151,7 +184,7 @@ TEST(Streaming, SlabsWithOffsetsTileTheFullVolume)
         for (index_t k = 0; k < len; ++k)
             for (index_t j = 0; j < g.vol.y; ++j)
                 for (index_t i = 0; i < g.vol.x; ++i)
-                    ASSERT_NEAR(slab.at(i, j, k), ref.at(i, j, k0 + k), 1e-5f)
+                    ASSERT_NEAR(slab.at(i, j, k), ref.at(i, j, k0 + k), tol)
                         << i << "," << j << "," << k0 + k;
     }
 }
@@ -172,9 +205,10 @@ TEST(Streaming, BandRestrictedTextureMatchesFullForItsSlab)
     Volume out(Dim3{g.vol.x, g.vol.y, slab.length()});
     backproject_streaming(tex, mats, out, StreamOffsets{slab.lo, band.lo}, g.nu, g.nv);
 
+    const float tol = kSimdVsScalarRelBound * max_abs(ref.span());
     for (index_t i = 0; i < out.count(); ++i)
         ASSERT_NEAR(out.span()[static_cast<std::size_t>(i)],
-                    ref.span()[static_cast<std::size_t>(i)], 1e-5f);
+                    ref.span()[static_cast<std::size_t>(i)], tol);
 }
 
 TEST(Streaming, CircularDepthReusePreservesResults)
@@ -213,9 +247,10 @@ TEST(Streaming, CircularDepthReusePreservesResults)
 
         Volume ref(Dim3{g.vol.x, g.vol.y, pl.slab.length()});
         backproject_reference(p, mats, ref, pl.slab.lo, g.nu, g.nv);
+        const float tol = kSimdVsScalarRelBound * max_abs(ref.span());
         for (index_t i = 0; i < slab.count(); ++i)
             ASSERT_NEAR(slab.span()[static_cast<std::size_t>(i)],
-                        ref.span()[static_cast<std::size_t>(i)], 1e-5f)
+                        ref.span()[static_cast<std::size_t>(i)], tol)
                 << "slab at " << pl.slab.lo;
     }
 }
@@ -339,9 +374,10 @@ TEST(Streaming, ViewBatchesAccumulate)
             tex, std::span<const Mat34>(mats.data() + views.lo, static_cast<std::size_t>(views.length())),
             acc, StreamOffsets{0, 0}, g.nu, g.nv);
     }
+    const float tol = kSimdVsScalarRelBound * max_abs(ref.span());
     for (index_t i = 0; i < acc.count(); ++i)
         ASSERT_NEAR(acc.span()[static_cast<std::size_t>(i)],
-                    ref.span()[static_cast<std::size_t>(i)], 2e-5f);
+                    ref.span()[static_cast<std::size_t>(i)], tol);
 }
 
 TEST(Streaming, RejectsMismatchedMatrixCount)

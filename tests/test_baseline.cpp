@@ -3,14 +3,24 @@
 // and redundant traffic the paper attributes to them.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <random>
 
+#include "backproj/kernel.hpp"
 #include "backproj/reference.hpp"
 #include "core/decompose.hpp"
 #include "recon/baseline.hpp"
 
 namespace xct::recon {
 namespace {
+
+float max_abs(std::span<const float> s)
+{
+    float m = 0.0f;
+    for (float v : s) m = std::max(m, std::abs(v));
+    return m;
+}
 
 CbctGeometry geo()
 {
@@ -44,12 +54,15 @@ TEST(IfdkStyle, MatchesReference)
     Volume ref(g.vol);
     backproj::backproject_reference(p, mats, g, ref);
 
+    // The drivers run the production (possibly SIMD) streaming kernel, so
+    // the bound is the documented SIMD-vs-scalar envelope, not exactness.
+    const float tol = backproj::kSimdVsScalarRelBound * max_abs(ref.span());
     for (index_t nr : {1, 2, 4}) {
         Volume out(g.vol);
         backproject_ifdk_style(p, mats, g, out, nr, 256u << 20);
         for (index_t i = 0; i < out.count(); ++i)
             ASSERT_NEAR(out.span()[static_cast<std::size_t>(i)],
-                        ref.span()[static_cast<std::size_t>(i)], 2e-5f)
+                        ref.span()[static_cast<std::size_t>(i)], tol)
                 << "nr=" << nr;
     }
 }
@@ -88,9 +101,10 @@ TEST(LuStyle, MatchesReference)
 
     Volume out(g.vol);
     backproject_lu_style(p, mats, g, out, /*chunk_slices=*/5, 256u << 20);
+    const float tol = backproj::kSimdVsScalarRelBound * max_abs(ref.span());
     for (index_t i = 0; i < out.count(); ++i)
         ASSERT_NEAR(out.span()[static_cast<std::size_t>(i)],
-                    ref.span()[static_cast<std::size_t>(i)], 1e-5f);
+                    ref.span()[static_cast<std::size_t>(i)], tol);
 }
 
 TEST(LuStyle, H2dTrafficGrowsWithChunkCount)

@@ -198,5 +198,55 @@ TEST(MultiplySpectra, RejectsSizeMismatch)
     EXPECT_THROW(multiply_spectra(a, b), std::invalid_argument);
 }
 
+TEST(Transform, ReferencePathMatchesNaiveDft)
+{
+    // transform_reference is the retained seed algorithm (per-call twiddle
+    // recurrence); it must stay exact so the planned paths can be bounded
+    // against it.
+    std::mt19937 rng(61);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    std::vector<std::complex<double>> x(64);
+    for (auto& c : x) c = {u(rng), u(rng)};
+    const auto want = naive_dft(x, false);
+    transform_reference(x, false);
+    for (std::size_t k = 0; k < x.size(); ++k) {
+        ASSERT_NEAR(x[k].real(), want[k].real(), 1e-9) << k;
+        ASSERT_NEAR(x[k].imag(), want[k].imag(), 1e-9) << k;
+    }
+}
+
+TEST(Transform, SinglePrecisionMatchesNaiveDft)
+{
+    std::mt19937 rng(62);
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    std::vector<std::complex<float>> f(64);
+    std::vector<std::complex<double>> d(64);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+        f[i] = {u(rng), u(rng)};
+        d[i] = std::complex<double>(f[i]);
+    }
+    const auto want = naive_dft(d, false);
+    transform_f(f, false);
+    for (std::size_t k = 0; k < f.size(); ++k)
+        ASSERT_NEAR(std::abs(std::complex<double>(f[k]) - want[k]), 0.0, 1e-4) << k;
+}
+
+TEST(RealForward, SinglePrecisionIsPerBinRounding)
+{
+    // real_forward_f computes in double and rounds each bin once, so every
+    // bin equals the float-cast of the double spectrum exactly.
+    std::mt19937 rng(63);
+    std::uniform_real_distribution<float> u(-2.0f, 2.0f);
+    std::vector<float> sig(40);
+    for (float& v : sig) v = u(rng);
+    const auto d = real_forward(sig, 64);
+    const auto f = real_forward_f(sig, 64);
+    ASSERT_EQ(d.size(), f.size());
+    for (std::size_t k = 0; k < d.size(); ++k) {
+        ASSERT_EQ(f[k].real(), static_cast<float>(d[k].real())) << k;
+        ASSERT_EQ(f[k].imag(), static_cast<float>(d[k].imag())) << k;
+    }
+}
+
 }  // namespace
 }  // namespace xct::fft

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 
+#include "core/scratch.hpp"
 #include "minimpi/comm.hpp"
 
 namespace xct::minimpi {
@@ -282,6 +283,28 @@ TEST(ReduceSum, SingleRankIsIdentity)
 TEST(Run, RejectsZeroRanks)
 {
     EXPECT_THROW(run(0, [](Communicator&) {}), std::invalid_argument);
+}
+
+TEST(ReduceSum, RepeatedHierarchicalReducesReuseScratchStaging)
+{
+    // Node leaders lease their intra-node sum buffer from the per-thread
+    // scratch pool, so within one communicator session a second reduce of
+    // the same shape allocates nothing (the final sync of each collective
+    // orders every rank's first-call lease before the second call starts).
+    std::uint64_t second = 0;
+    run(4, [&](Communicator& c) {
+        std::vector<float> send(1024, 1.0f);
+        std::vector<float> recv(c.rank() == 0 ? 1024 : 0);
+        c.reduce_sum_hierarchical(send, recv, 0, /*ranks_per_node=*/2);
+        const std::uint64_t e1 = scratch::heap_events();
+        c.reduce_sum_hierarchical(send, recv, 0, /*ranks_per_node=*/2);
+        const std::uint64_t e2 = scratch::heap_events();
+        if (c.rank() == 0) {
+            second = e2 - e1;
+            EXPECT_FLOAT_EQ(recv[0], 4.0f);
+        }
+    });
+    EXPECT_EQ(second, 0u);
 }
 
 class ScalingRanks : public ::testing::TestWithParam<index_t> {};

@@ -1,0 +1,462 @@
+// Performance-layer tests (DESIGN.md §3e): the simd.hpp lane wrapper, the
+// vectorised back-projection kernel vs the retained scalar Listing-1 loop,
+// the fp32 filtering paths vs their double-precision references, the FFT
+// plan cache, and the zero-allocation guarantee of the scratch pools on
+// warm hot paths.
+//
+// Accuracy claims are property-style: randomized geometries (including the
+// Table-4 calibration offsets sigma_u / sigma_v / sigma_cor), randomized
+// sizes, with every bound stated relative to the field maximum and carrying
+// margin over the empirically observed error.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <random>
+#include <vector>
+
+#include "backproj/kernel.hpp"
+#include "backproj/reference.hpp"
+#include "core/decompose.hpp"
+#include "core/scratch.hpp"
+#include "core/simd.hpp"
+#include "fft/fft.hpp"
+#include "filter/ramp.hpp"
+
+namespace xct {
+namespace {
+
+float max_abs(std::span<const float> v)
+{
+    float m = 0.0f;
+    for (float x : v) m = std::max(m, std::abs(x));
+    return m;
+}
+
+// ---- lane wrapper ---------------------------------------------------------
+
+TEST(SimdWrapper, BackendIsReported)
+{
+    EXPECT_GT(simd::kLanes, 0);
+    const std::string name = simd::backend_name();
+    EXPECT_TRUE(name == "avx2" || name == "neon" || name == "scalar") << name;
+}
+
+TEST(SimdWrapper, LoadStoreRoundTrip)
+{
+    std::array<float, simd::kLanes> in{}, out{};
+    for (int i = 0; i < simd::kLanes; ++i) in[static_cast<std::size_t>(i)] = 0.5f * i - 1.0f;
+    simd::store(out.data(), simd::load(in.data()));
+    EXPECT_EQ(in, out);
+}
+
+TEST(SimdWrapper, IotaSplatArithmetic)
+{
+    std::array<float, simd::kLanes> out{};
+    // (iota * 2 + 3) - 1  ->  2i + 2
+    const simd::VecF v = simd::iota() * simd::splat(2.0f) + simd::splat(3.0f) - simd::splat(1.0f);
+    simd::store(out.data(), v);
+    for (int i = 0; i < simd::kLanes; ++i)
+        EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i)], 2.0f * i + 2.0f) << i;
+}
+
+TEST(SimdWrapper, FmaddFloorMinMaxClamp)
+{
+    std::array<float, simd::kLanes> a{}, out{};
+    for (int i = 0; i < simd::kLanes; ++i) a[static_cast<std::size_t>(i)] = 0.75f * i - 2.3f;
+    const simd::VecF va = simd::load(a.data());
+
+    simd::store(out.data(), simd::fmadd(va, simd::splat(2.0f), simd::splat(1.0f)));
+    for (int i = 0; i < simd::kLanes; ++i)
+        EXPECT_NEAR(out[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(i)] * 2.0f + 1.0f,
+                    1e-6f);
+
+    simd::store(out.data(), simd::floor_(va));
+    for (int i = 0; i < simd::kLanes; ++i)
+        EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i)],
+                        std::floor(a[static_cast<std::size_t>(i)]));
+
+    simd::store(out.data(), simd::clamp(va, simd::splat(-1.0f), simd::splat(1.0f)));
+    for (int i = 0; i < simd::kLanes; ++i)
+        EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i)],
+                        std::clamp(a[static_cast<std::size_t>(i)], -1.0f, 1.0f));
+
+    simd::store(out.data(), simd::min_(va, simd::splat(0.0f)));
+    for (int i = 0; i < simd::kLanes; ++i)
+        EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i)],
+                        std::min(a[static_cast<std::size_t>(i)], 0.0f));
+
+    simd::store(out.data(), simd::max_(va, simd::splat(0.0f)));
+    for (int i = 0; i < simd::kLanes; ++i)
+        EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i)],
+                        std::max(a[static_cast<std::size_t>(i)], 0.0f));
+}
+
+TEST(SimdWrapper, CompareBlendNone)
+{
+    std::array<float, simd::kLanes> out{};
+    const simd::VecF v = simd::iota();  // 0..W-1
+    const simd::Mask m = simd::cmp_ge(v, simd::splat(2.0f));
+    simd::store(out.data(), simd::blend(m, simd::splat(1.0f), simd::splat(-1.0f)));
+    for (int i = 0; i < simd::kLanes; ++i)
+        EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i)], i >= 2 ? 1.0f : -1.0f) << i;
+
+    EXPECT_FALSE(simd::none(m));
+    EXPECT_TRUE(simd::none(simd::cmp_gt(v, simd::splat(1e9f))));
+    // Mask conjunction.
+    const simd::Mask both = simd::cmp_ge(v, simd::splat(1.0f)) & simd::cmp_le(v, simd::splat(1.0f));
+    simd::store(out.data(), simd::blend(both, simd::splat(1.0f), simd::splat(0.0f)));
+    for (int i = 0; i < simd::kLanes; ++i)
+        EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(i)], i == 1 ? 1.0f : 0.0f) << i;
+}
+
+TEST(SimdWrapper, ToIntTruncatesTowardZero)
+{
+    std::array<float, simd::kLanes> in{};
+    std::array<std::int32_t, simd::kLanes> out{};
+    for (int i = 0; i < simd::kLanes; ++i) in[static_cast<std::size_t>(i)] = 1.75f * i - 3.4f;
+    simd::store_i(out.data(), simd::to_int(simd::load(in.data())));
+    for (int i = 0; i < simd::kLanes; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                  static_cast<std::int32_t>(in[static_cast<std::size_t>(i)]))
+            << i;
+}
+
+TEST(SimdWrapper, GatherMatchesScalarIndexing)
+{
+    std::vector<float> table(64);
+    std::vector<std::int32_t> itable(64);
+    for (int i = 0; i < 64; ++i) {
+        table[static_cast<std::size_t>(i)] = 3.0f * i + 0.25f;
+        itable[static_cast<std::size_t>(i)] = 7 * i - 5;
+    }
+    std::array<std::int32_t, simd::kLanes> idx{};
+    for (int i = 0; i < simd::kLanes; ++i) idx[static_cast<std::size_t>(i)] = (i * 13 + 7) % 64;
+    const simd::VecI vidx = simd::load_i(idx.data());
+
+    std::array<float, simd::kLanes> got{};
+    simd::store(got.data(), simd::gather(table.data(), vidx));
+    std::array<std::int32_t, simd::kLanes> goti{};
+    simd::store_i(goti.data(), simd::gather_i(itable.data(), vidx));
+    for (int i = 0; i < simd::kLanes; ++i) {
+        EXPECT_FLOAT_EQ(got[static_cast<std::size_t>(i)],
+                        table[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])]);
+        EXPECT_EQ(goti[static_cast<std::size_t>(i)],
+                  itable[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])]);
+    }
+}
+
+// ---- SIMD vs scalar back-projection (randomized property test) ------------
+
+CbctGeometry random_geometry(std::mt19937& rng)
+{
+    std::uniform_real_distribution<double> ud(0.0, 1.0);
+    CbctGeometry g;
+    g.dso = 80.0 + 40.0 * ud(rng);
+    g.dsd = g.dso * (2.2 + 0.8 * ud(rng));
+    g.num_proj = 12 + static_cast<index_t>(ud(rng) * 12.0);
+    g.nu = 32 + 2 * static_cast<index_t>(ud(rng) * 12.0);
+    g.nv = 24 + 2 * static_cast<index_t>(ud(rng) * 10.0);
+    g.du = g.dv = 0.4 + 0.4 * ud(rng);
+    const index_t n = 12 + 2 * static_cast<index_t>(ud(rng) * 8.0);
+    g.vol = {n, n, n};
+    g.dx = g.dy = g.dz =
+        CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, n) * (0.6 + 0.4 * ud(rng));
+    // Table-4 calibration offsets (Fig. 7): detector shifts in +-1.5 px,
+    // rotation-centre shift in +-2 mm.
+    g.sigma_u = 3.0 * ud(rng) - 1.5;
+    g.sigma_v = 3.0 * ud(rng) - 1.5;
+    g.sigma_cor = 4.0 * ud(rng) - 2.0;
+    return g;
+}
+
+ProjectionStack random_stack(const CbctGeometry& g, std::mt19937& rng)
+{
+    ProjectionStack p(g.num_proj, g.nv, g.nu);
+    std::uniform_real_distribution<float> u(0.0f, 1.0f);
+    for (float& v : p.span()) v = u(rng);
+    return p;
+}
+
+sim::Texture3 make_texture(sim::Device& dev, const ProjectionStack& p, Range band)
+{
+    sim::Texture3 tex(dev, p.cols(), p.views(), band.length());
+    std::vector<float> plane(static_cast<std::size_t>(p.cols() * p.views()));
+    for (index_t v = band.lo; v < band.hi; ++v) {
+        for (index_t s = 0; s < p.views(); ++s) {
+            const auto row = p.row(s, v);
+            std::copy(row.begin(), row.end(),
+                      plane.begin() + static_cast<std::ptrdiff_t>(s * p.cols()));
+        }
+        tex.copy_planes(plane, v - band.lo, 1);
+    }
+    return tex;
+}
+
+TEST(SimdBackproj, MatchesScalarAcrossRandomGeometries)
+{
+    std::mt19937 rng(2024);
+    for (int trial = 0; trial < 6; ++trial) {
+        const CbctGeometry g = random_geometry(rng);
+        const ProjectionStack p = random_stack(g, rng);
+        const auto mats = projection_matrices(g);
+        const backproj::MatrixPack pack{std::span<const Mat34>(mats)};
+
+        sim::Device dev(256u << 20);
+        const sim::Texture3 tex = make_texture(dev, p, Range{0, g.nv});
+        Volume scalar(g.vol), vec(g.vol);
+        backproj::backproject_streaming_scalar(tex, pack, scalar, backproj::StreamOffsets{0, 0},
+                                               g.nu, g.nv);
+        backproj::backproject_streaming(tex, pack, vec, backproj::StreamOffsets{0, 0}, g.nu,
+                                        g.nv);
+
+        const float tol = backproj::kSimdVsScalarRelBound * max_abs(scalar.span());
+        ASSERT_GT(tol, 0.0f) << "degenerate trial " << trial;
+        for (index_t i = 0; i < vec.count(); ++i)
+            ASSERT_NEAR(vec.span()[static_cast<std::size_t>(i)],
+                        scalar.span()[static_cast<std::size_t>(i)], tol)
+                << "trial " << trial << " voxel " << i;
+    }
+}
+
+TEST(SimdBackproj, MatchesScalarOnBandRestrictedSlabs)
+{
+    std::mt19937 rng(777);
+    for (int trial = 0; trial < 3; ++trial) {
+        const CbctGeometry g = random_geometry(rng);
+        const ProjectionStack p = random_stack(g, rng);
+        const auto mats = projection_matrices(g);
+        const backproj::MatrixPack pack{std::span<const Mat34>(mats)};
+        const Range slab{g.vol.z / 4, g.vol.z / 4 + g.vol.z / 2};
+        const Range band = compute_ab(g, slab);
+
+        sim::Device dev(256u << 20);
+        const sim::Texture3 tex = make_texture(dev, p, band);
+        const Dim3 sdim{g.vol.x, g.vol.y, slab.length()};
+        Volume scalar(sdim), vec(sdim);
+        const backproj::StreamOffsets off{slab.lo, band.lo};
+        backproj::backproject_streaming_scalar(tex, pack, scalar, off, g.nu, g.nv);
+        backproj::backproject_streaming(tex, pack, vec, off, g.nu, g.nv);
+
+        const float tol = backproj::kSimdVsScalarRelBound * max_abs(scalar.span());
+        for (index_t i = 0; i < vec.count(); ++i)
+            ASSERT_NEAR(vec.span()[static_cast<std::size_t>(i)],
+                        scalar.span()[static_cast<std::size_t>(i)], tol)
+                << "trial " << trial << " voxel " << i;
+    }
+}
+
+// ---- fp32 FFT vs double reference (randomized sizes) ----------------------
+
+TEST(Fp32Fft, MatchesDoubleReferenceAcrossSizes)
+{
+    std::mt19937 rng(99);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    for (index_t n : {8, 32, 128, 512, 2048}) {
+        std::vector<std::complex<double>> d(static_cast<std::size_t>(n));
+        std::vector<std::complex<float>> f(static_cast<std::size_t>(n));
+        for (std::size_t i = 0; i < d.size(); ++i) {
+            d[i] = {u(rng), u(rng)};
+            f[i] = std::complex<float>(d[i]);
+        }
+        fft::transform_reference(d, false);
+        fft::transform_f(f, false);
+        double mag = 0.0;
+        for (const auto& c : d) mag = std::max(mag, std::abs(c));
+        // fp32 round-off grows ~ eps * log2(n); 1e-5 relative carries >10x
+        // margin at n = 2048.
+        const double tol = 1e-5 * mag;
+        for (std::size_t i = 0; i < d.size(); ++i)
+            ASSERT_NEAR(std::abs(std::complex<double>(f[i]) - d[i]), 0.0, tol)
+                << "n=" << n << " bin " << i;
+    }
+}
+
+TEST(Fp32Fft, InverseRoundTripRestoresSignal)
+{
+    std::mt19937 rng(123);
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    for (index_t n : {16, 256, 1024}) {
+        std::vector<std::complex<float>> f(static_cast<std::size_t>(n));
+        for (auto& c : f) c = {u(rng), u(rng)};
+        const auto orig = f;
+        fft::transform_f(f, false);
+        fft::transform_f(f, true);
+        for (std::size_t i = 0; i < f.size(); ++i)
+            ASSERT_NEAR(std::abs(f[i] - orig[i]), 0.0f, 1e-5f) << "n=" << n << " bin " << i;
+    }
+}
+
+TEST(PlanCache, ReturnsStableReferencePerSize)
+{
+    const fft::Plan& a = fft::plan_for(256);
+    const fft::Plan& b = fft::plan_for(256);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.n, 256);
+    EXPECT_EQ(a.bitrev.size(), 256u);
+    EXPECT_EQ(a.twiddle_f.size(), 128u);
+    EXPECT_EQ(a.twiddle_d.size(), 128u);
+    // Stage-major layout: log2(n) stages, sum of len/2 roots = n - 1, and
+    // each stage's table is the strided view of the root table laid dense.
+    EXPECT_EQ(a.stage_offset.size(), 8u);
+    EXPECT_EQ(a.stage_twiddle_f.size(), 255u);
+    EXPECT_EQ(a.stage_twiddle_d.size(), 255u);
+    for (std::size_t stage = 0, len = 2; len <= 256; len <<= 1, ++stage) {
+        const std::size_t stride = 256 / len;
+        for (std::size_t j = 0; j < len / 2; ++j) {
+            ASSERT_EQ(a.stage_twiddle_d[a.stage_offset[stage] + j], a.twiddle_d[j * stride]);
+            ASSERT_EQ(a.stage_twiddle_f[a.stage_offset[stage] + j], a.twiddle_f[j * stride]);
+        }
+    }
+    const fft::Plan& c = fft::plan_for(64);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(PlanCache, PlannedDoubleMatchesReference)
+{
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    std::vector<std::complex<double>> a(512), b(512);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = b[i] = std::complex<double>{u(rng), u(rng)};
+    fft::transform(a, false);
+    fft::transform_reference(b, false);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12) << i;
+}
+
+// ---- fp32 filtering vs double reference -----------------------------------
+
+TEST(Fp32Filter, ApplyRowMatchesReferenceRow)
+{
+    std::mt19937 rng(31);
+    std::uniform_real_distribution<float> u(0.0f, 2.0f);
+    CbctGeometry g;
+    g.dso = 100.0;
+    g.dsd = 250.0;
+    g.num_proj = 48;
+    g.nu = 96;
+    g.nv = 40;
+    g.du = g.dv = 0.5;
+    g.vol = {48, 48, 48};
+    g.dx = g.dy = g.dz = CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, g.vol.x);
+    const filter::FilterEngine eng(g, filter::Window::Hamming);
+
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<float> row(static_cast<std::size_t>(g.nu));
+        for (float& v : row) v = u(rng);
+        std::vector<float> ref = row;
+        const index_t vg = static_cast<index_t>(trial * 5) % g.nv;
+        eng.apply_row(row, vg);
+        eng.apply_row_reference(ref, vg);
+        // fp32 transform vs double reference: bounded by a few ulp of the
+        // padded-row scale; 1e-4 relative to the filtered maximum carries
+        // ~20x margin on this size.
+        const float tol = 1e-4f * std::max(1.0f, max_abs(ref));
+        for (std::size_t i = 0; i < row.size(); ++i)
+            ASSERT_NEAR(row[i], ref[i], tol) << "trial " << trial << " u " << i;
+    }
+}
+
+TEST(Fp32Filter, RowConvolverBatchMatchesDoubleApply)
+{
+    std::mt19937 rng(41);
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    const index_t row_len = 72;
+    const auto taps = filter::ramp_kernel(24, 0.5);
+    const fft::RowConvolver conv(row_len, taps, static_cast<index_t>(taps.size() - 1) / 2);
+
+    const index_t nrows = 5;  // odd: exercises the unpaired remainder row
+    std::vector<float> rows(static_cast<std::size_t>(nrows * row_len));
+    for (float& v : rows) v = u(rng);
+    std::vector<float> ref = rows;
+
+    conv.apply_batch(rows, nrows);
+    for (index_t r = 0; r < nrows; ++r)
+        conv.apply(std::span<float>(ref.data() + r * row_len, static_cast<std::size_t>(row_len)));
+
+    const float tol = 1e-4f * std::max(1.0f, max_abs(ref));
+    for (std::size_t i = 0; i < rows.size(); ++i) ASSERT_NEAR(rows[i], ref[i], tol) << i;
+}
+
+TEST(Fp32Filter, ReferencePathsAgreeBitwiseWithSeedAlgorithm)
+{
+    // apply_reference must remain the seed per-call path: double precision
+    // throughout, so it agrees with convolve_same exactly.
+    std::mt19937 rng(43);
+    std::uniform_real_distribution<float> u(-1.0f, 1.0f);
+    const index_t row_len = 40;
+    const auto taps = filter::ramp_kernel(12, 0.7);
+    const fft::RowConvolver conv(row_len, taps, static_cast<index_t>(taps.size() - 1) / 2);
+    std::vector<float> row(static_cast<std::size_t>(row_len));
+    for (float& v : row) v = u(rng);
+    const std::vector<float> direct =
+        fft::convolve_same(row, taps, static_cast<index_t>(taps.size() - 1) / 2);
+    conv.apply_reference(row);
+    for (std::size_t i = 0; i < row.size(); ++i) ASSERT_FLOAT_EQ(row[i], direct[i]) << i;
+}
+
+// ---- zero-allocation guarantee on warm hot paths --------------------------
+
+TEST(ScratchPool, RowConvolverApplyIsAllocationFreeWhenWarm)
+{
+    const auto taps = filter::ramp_kernel(16, 0.5);
+    const fft::RowConvolver conv(64, taps, 16);
+    std::vector<float> row(64, 1.0f);
+    conv.apply(row);  // warm: populates the thread's free list
+    const std::uint64_t before = scratch::heap_events();
+    for (int i = 0; i < 10; ++i) conv.apply(row);
+    EXPECT_EQ(scratch::heap_events() - before, 0u);
+}
+
+TEST(ScratchPool, KernelInnerLoopIsAllocationFreeWhenWarm)
+{
+    std::mt19937 rng(17);
+    const CbctGeometry g = random_geometry(rng);
+    const ProjectionStack p = random_stack(g, rng);
+    const auto mats = projection_matrices(g);
+    const backproj::MatrixPack pack{std::span<const Mat34>(mats)};
+    sim::Device dev(256u << 20);
+    const sim::Texture3 tex = make_texture(dev, p, Range{0, g.nv});
+    Volume vol(g.vol);
+    backproj::backproject_streaming(tex, pack, vol, backproj::StreamOffsets{0, 0}, g.nu, g.nv);
+    const std::uint64_t before = scratch::heap_events();
+    for (int i = 0; i < 3; ++i)
+        backproj::backproject_streaming(tex, pack, vol, backproj::StreamOffsets{0, 0}, g.nu,
+                                        g.nv);
+    EXPECT_EQ(scratch::heap_events() - before, 0u);
+}
+
+TEST(ScratchPool, FilterEngineApplyIsAllocationFreeWhenWarm)
+{
+    CbctGeometry g;
+    g.dso = 100.0;
+    g.dsd = 250.0;
+    g.num_proj = 32;
+    g.nu = 64;
+    g.nv = 16;
+    g.du = g.dv = 0.5;
+    g.vol = {32, 32, 32};
+    g.dx = g.dy = g.dz = CbctGeometry::natural_pitch(g.du, g.dsd, g.dso, g.nu, g.vol.x);
+    const filter::FilterEngine eng(g);
+    ProjectionStack stack(4, g.nv, g.nu, 1.0f);
+    eng.apply(stack);  // warm every OpenMP worker's pool
+    const std::uint64_t before = scratch::heap_events();
+    for (int i = 0; i < 5; ++i) eng.apply(stack);
+    EXPECT_EQ(scratch::heap_events() - before, 0u);
+}
+
+TEST(ScratchPool, BufferReusesReturnedCapacity)
+{
+    // Lease/return cycles of the same size must hit the free list.
+    { scratch::Buffer<double> warm(333); }
+    const std::uint64_t before = scratch::heap_events();
+    for (int i = 0; i < 20; ++i) { scratch::Buffer<double> b(333); }
+    EXPECT_EQ(scratch::heap_events() - before, 0u);
+    // A larger request than anything pooled is a (counted) heap event.
+    { scratch::Buffer<double> big(100000); }
+    EXPECT_GE(scratch::heap_events() - before, 1u);
+}
+
+}  // namespace
+}  // namespace xct
