@@ -22,9 +22,12 @@
 #include "core/scratch.hpp"
 #include "core/simd.hpp"
 #include "fft/fft.hpp"
+#include "integrity/hash.hpp"
+#include "integrity/integrity.hpp"
 #include "filter/ramp.hpp"
 #include "minimpi/comm.hpp"
 #include "phantom/shepp_logan.hpp"
+#include "recon/fdk.hpp"
 
 namespace {
 using namespace xct;
@@ -367,6 +370,55 @@ void emit_bench_json(const std::string& path)
              {"us_per_transform_planned_f32", bench::json_num(per(t_f32) * 1e6)},
              {"speedup_f32_vs_reference", bench::json_num(t_refr / t_f32)}});
     }
+
+    // Integrity layer (DESIGN.md §3f): raw xxh64 throughput (fast vs the
+    // spec-transcribed reference) and the end-to-end clean-path cost of
+    // --integrity on a single-rank reconstruction.  The acceptance gate is
+    // overhead_percent < 3 — digesting must stay invisible next to the
+    // kernels it protects.
+    {
+        std::vector<float> buf(static_cast<std::size_t>(16) << 20 >> 2);  // 16 MiB
+        std::mt19937 rng(11);
+        std::uniform_real_distribution<float> u(0.0f, 1.0f);
+        for (float& v : buf) v = u(rng);
+        const auto bytes = std::as_bytes(std::span<const float>(buf));
+        const double gib = static_cast<double>(bytes.size()) / (1024.0 * 1024.0 * 1024.0);
+
+        volatile std::uint64_t sink = 0;
+        const double t_fast =
+            seconds_best_of(5, [&] { sink = integrity::digest(bytes); });
+        const double t_refr =
+            seconds_best_of(3, [&] { sink = integrity::digest_reference(bytes); });
+        (void)sink;
+
+        const CbctGeometry g = bench_geo(32);
+        const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+        const auto run_fdk = [&] {
+            recon::PhantomSource src(ph, g);
+            recon::RankConfig cfg;
+            cfg.geometry = g;
+            cfg.batches = 8;
+            benchmark::DoNotOptimize(recon::reconstruct_fdk(cfg, src).volume.span().data());
+        };
+        run_fdk();
+        double t_off = 0.0, t_on = 0.0;
+        {
+            integrity::ScopedEnable off(false);
+            t_off = seconds_best_of(3, run_fdk);
+        }
+        {
+            integrity::ScopedEnable on(true);
+            t_on = seconds_best_of(3, run_fdk);
+        }
+
+        bench::write_json_section(
+            path, "integrity",
+            {{"digest_gib_per_s", bench::json_num(gib / t_fast)},
+             {"digest_reference_gib_per_s", bench::json_num(gib / t_refr)},
+             {"fdk_seconds_integrity_off", bench::json_num(t_off)},
+             {"fdk_seconds_integrity_on", bench::json_num(t_on)},
+             {"overhead_percent", bench::json_num((t_on / t_off - 1.0) * 100.0)}});
+    }
 }
 
 }  // namespace
@@ -378,6 +430,6 @@ int main(int argc, char** argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     emit_bench_json("BENCH_pr4.json");
-    std::printf("BENCH_pr4.json written (backproj / filter / fft sections)\n");
+    std::printf("BENCH_pr4.json written (backproj / filter / fft / integrity sections)\n");
     return 0;
 }

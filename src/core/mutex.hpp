@@ -9,6 +9,7 @@
 // whitelisted exception) and that every Mutex is referenced by at least
 // one XCT_GUARDED_BY / XCT_REQUIRES / XCT_ACQUIRE annotation.
 
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -80,6 +81,13 @@ public:
     void wait(UniqueLock& lk, Pred pred)
     {
         cv_.wait(lk.native(), std::move(pred));
+    }
+    /// Timed wait (integrity::Watchdog's monitor cadence): returns the
+    /// predicate's value after at most `d`.
+    template <typename Rep, typename Period, typename Pred>
+    bool wait_for(UniqueLock& lk, const std::chrono::duration<Rep, Period>& d, Pred pred)
+    {
+        return cv_.wait_for(lk.native(), d, std::move(pred));
     }
     void notify_one() noexcept { cv_.notify_one(); }
     void notify_all() noexcept { cv_.notify_all(); }

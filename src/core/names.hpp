@@ -24,6 +24,7 @@ inline constexpr const char* kCatSim = "sim";
 inline constexpr const char* kCatIo = "io";
 inline constexpr const char* kCatFilter = "filter";
 inline constexpr const char* kCatFaults = "faults";
+inline constexpr const char* kCatIntegrity = "integrity";
 
 // ---- trace span names ---------------------------------------------------
 inline constexpr const char* kSpanReduceSum = "reduce_sum";
@@ -40,6 +41,7 @@ inline constexpr const char* kSpanCkptSave = "ckpt.save";
 inline constexpr const char* kSpanCkptRestore = "ckpt.restore";
 inline constexpr const char* kSpanTakeover = "takeover";
 inline constexpr const char* kSpanPfsPrefix = "pfs.";  ///< + "load" / "store"
+inline constexpr const char* kSpanVerify = "verify";   ///< one digest verification
 
 // ---- metric names (registry counters / gauges / histograms) -------------
 inline constexpr const char* kMetricFaultsInjected = "faults.injected";
@@ -53,6 +55,18 @@ inline constexpr const char* kMetricFaultsCkptRestored = "faults.checkpoint.rest
 inline constexpr const char* kMetricFaultsDegradedRanks = "faults.degraded.ranks";
 inline constexpr const char* kMetricFaultsDegradedTakeovers = "faults.degraded.takeovers";
 inline constexpr const char* kMetricFaultsDegradedSlabs = "faults.degraded.slabs";
+// integrity.* (src/integrity): digests = checksums computed, verified =
+// checks that passed, detected = mismatches caught (by site).
+inline constexpr const char* kMetricIntegrityDigests = "integrity.digests";
+inline constexpr const char* kMetricIntegrityDigestBytes = "integrity.digest.bytes";
+inline constexpr const char* kMetricIntegrityVerified = "integrity.verified";
+inline constexpr const char* kMetricIntegrityDetected = "integrity.detected";
+inline constexpr const char* kMetricIntegrityDetectedPrefix = "integrity.detected.";  ///< + site
+// watchdog.* (src/integrity/watchdog): supervised = sections entered,
+// expired = deadline overruns observed (by section name).
+inline constexpr const char* kMetricWatchdogSupervised = "watchdog.supervised";
+inline constexpr const char* kMetricWatchdogExpired = "watchdog.expired";
+inline constexpr const char* kMetricWatchdogExpiredPrefix = "watchdog.expired.";  ///< + what
 inline constexpr const char* kMetricFftTransforms = "fft.transforms";
 inline constexpr const char* kMetricFftTransformsF32 = "fft.transforms.f32";
 inline constexpr const char* kMetricFftPlanHits = "fft.plan.hits";
@@ -82,5 +96,13 @@ inline constexpr const char* kSiteMinimpiBcast = "minimpi.bcast";
 inline constexpr const char* kSiteMinimpiGather = "minimpi.gather";
 inline constexpr const char* kSiteSourceLoad = "source.load";
 inline constexpr const char* kSiteRankDropout = "rank.dropout";
+inline constexpr const char* kSiteCheckpointLoad = "checkpoint.load";
+inline constexpr const char* kSiteRankStall = "rank.stall";  ///< health-probe stall point
+
+// ---- watchdog-supervised section names (Watchdog::supervise) ------------
+// Expand kMetricWatchdogExpiredPrefix, e.g. "watchdog.expired.source.load".
+inline constexpr const char* kWatchSourceLoad = "source.load";
+inline constexpr const char* kWatchReduce = "reduce";
+inline constexpr const char* kWatchHealthProbe = "health_probe";
 
 }  // namespace xct::names

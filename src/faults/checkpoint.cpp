@@ -3,6 +3,8 @@
 #include <fstream>
 
 #include "core/names.hpp"
+#include "faults/fault.hpp"
+#include "integrity/integrity.hpp"
 #include "io/raw_io.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -35,9 +37,26 @@ void CheckpointStore::advance(index_t next_incomplete)
     std::filesystem::rename(tmp, dir_ / "cursor");
 }
 
+index_t CheckpointStore::validated_cursor() const
+{
+    const index_t c = cursor();
+    for (index_t i = 0; i < c; ++i) {
+        if (!has_slab(i)) continue;
+        try {
+            const io::CheckpointSlab slab = io::read_checkpoint_slab(slab_path(i));
+            if (integrity::digest_of<float>(slab.volume.span()) != slab.digest) return i;
+        } catch (const std::exception&) {
+            // Structurally invalid (truncated, wrong magic/version, size
+            // mismatch): recompute from here.
+            return i;
+        }
+    }
+    return c;
+}
+
 std::filesystem::path CheckpointStore::slab_path(index_t idx) const
 {
-    return dir_ / ("slab_" + std::to_string(idx) + ".xvol");
+    return dir_ / ("slab_" + std::to_string(idx) + ".xckp");
 }
 
 bool CheckpointStore::has_slab(index_t idx) const
@@ -51,7 +70,7 @@ void CheckpointStore::save_slab(index_t idx, const Volume& v)
                                  static_cast<std::uint64_t>(v.count()) * sizeof(float));
     const auto path = slab_path(idx);
     const auto tmp = path.string() + ".tmp";
-    io::write_volume(tmp, v);
+    io::write_checkpoint_slab(tmp, v, integrity::checksum_of<float>(v.span()));
     std::filesystem::rename(tmp, path);
     telemetry::registry().counter(names::kMetricFaultsCkptSaved).add(1);
 }
@@ -59,9 +78,15 @@ void CheckpointStore::save_slab(index_t idx, const Volume& v)
 Volume CheckpointStore::load_slab(index_t idx) const
 {
     telemetry::ScopedTrace trace(names::kCatFaults, names::kSpanCkptRestore, idx);
-    Volume v = io::read_volume(slab_path(idx));
+    io::CheckpointSlab slab = io::read_checkpoint_slab(slab_path(idx));
+    // Corruption point between the (structurally valid) read and the
+    // consumer, then verify against the save-time digest — an injected or
+    // real flip raises IntegrityError, and the restore loop's retry
+    // re-reads the (intact) file.
+    faults::corrupt(names::kSiteCheckpointLoad, std::as_writable_bytes(slab.volume.span()));
+    integrity::verify_of<float>(names::kSiteCheckpointLoad, slab.volume.span(), slab.digest);
     telemetry::registry().counter(names::kMetricFaultsCkptRestored).add(1);
-    return v;
+    return std::move(slab.volume);
 }
 
 }  // namespace xct::faults

@@ -15,9 +15,18 @@
 //
 // Files under the store's directory:
 //   cursor          — ASCII decimal: first incomplete slab index;
-//   slab_<i>.xvol   — the reduced slab volume (io::write_volume format).
+//   slab_<i>.xckp   — the reduced slab in the versioned checkpoint
+//                     container (magic "XCTCKP2" + extents + payload
+//                     xxh64 digest, io::write_checkpoint_slab).
 // Both are written to a temporary name and renamed, so a crash mid-write
 // never corrupts the restart state (the slab is simply recomputed).
+//
+// A checkpoint is itself data at rest and gets the full integrity
+// treatment (DESIGN.md §3f): load_slab structurally validates the file,
+// runs the "checkpoint.load" corruption point and verifies the payload
+// against the save-time digest; validated_cursor() additionally lowers
+// the resume cursor past any present-but-invalid slab so a truncated or
+// bit-flipped checkpoint is recomputed instead of trusted.
 //
 // Telemetry: `faults.checkpoint.saved` / `.restored` counters and
 // "faults/ckpt.save" / "faults/ckpt.restore" trace spans.
@@ -37,6 +46,15 @@ public:
 
     /// First slab index not yet completed (0 when no checkpoint exists).
     index_t cursor() const;
+
+    /// cursor(), lowered past damage: every slab file below the cursor is
+    /// structurally validated and digest-checked, and the first
+    /// present-but-invalid one caps the result — that slab and everything
+    /// after it will be recomputed.  Missing files are fine (non-roots
+    /// own no slabs).  Use this, not cursor(), to pick a resume point;
+    /// the distributed layer must call it *before* the group-wide cursor
+    /// reconciliation so all ranks of a group agree on the lowered value.
+    index_t validated_cursor() const;
 
     /// Record that every slab below `next_incomplete` is done.
     void advance(index_t next_incomplete);

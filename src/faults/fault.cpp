@@ -1,7 +1,11 @@
 #include "faults/fault.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <optional>
+#include <thread>
+#include <vector>
 
 #include "core/mutex.hpp"
 #include "core/names.hpp"
@@ -44,29 +48,45 @@ Engine& engine()
 
 std::atomic<bool> g_enabled{false};
 
-/// Decide (and consume) one call at `site`; nullopt = no fault.
-std::optional<std::uint64_t> fire(const char* site)
+/// A fired fault plus the spec fields its effect needs.
+struct Fired {
+    std::uint64_t call = 0;
+    std::uint64_t seed = 1;
+    index_t flips = 1;
+    double stall_s = 0.0;
+};
+
+/// Decide (and consume) one call at `site`; nullopt = no fault.  Only a
+/// spec whose kind matches participates: a corrupt spec never makes
+/// check() throw and a throw spec never makes corrupt() flip bits, and a
+/// kind-mismatched lookup does not consume a call, so each entry point
+/// sees a private deterministic call sequence for its site.
+std::optional<Fired> fire(const char* site, FaultKind kind)
 {
     Engine& e = engine();
     const index_t rank = telemetry::current_rank();
-    std::uint64_t call = 0;
+    Fired f;
     bool fires = false;
     {
         MutexLock lk(e.m);
         const auto it = e.plan.specs().find(site);
         if (it == e.plan.specs().end()) return std::nullopt;
         const FaultSpec& spec = it->second;
-        call = e.calls[{it->first, rank}]++;
+        if (spec.kind != kind) return std::nullopt;
+        f.call = e.calls[{it->first, rank}]++;
+        f.seed = e.plan.seed();
+        f.flips = spec.flips;
+        f.stall_s = spec.stall_s;
         if (spec.rank >= 0 && spec.rank != rank) return std::nullopt;
         if (spec.after >= 0) {
             const auto first = static_cast<std::uint64_t>(spec.after);
-            fires = call >= first &&
-                    (spec.count < 0 || call < first + static_cast<std::uint64_t>(spec.count));
+            fires = f.call >= first &&
+                    (spec.count < 0 || f.call < first + static_cast<std::uint64_t>(spec.count));
         }
         if (!fires && spec.probability > 0.0) {
             const std::uint64_t h = splitmix64(e.plan.seed() ^ hash_str(it->first) ^
                                                splitmix64(static_cast<std::uint64_t>(rank + 1)) ^
-                                               splitmix64(call * 0x9e3779b97f4a7c15ull));
+                                               splitmix64(f.call * 0x9e3779b97f4a7c15ull));
             const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
             fires = u < spec.probability;
         }
@@ -75,7 +95,7 @@ std::optional<std::uint64_t> fire(const char* site)
     auto& reg = telemetry::registry();
     reg.counter(names::kMetricFaultsInjected).add(1);
     reg.counter(std::string(names::kMetricFaultsInjectedPrefix) + site).add(1);
-    return call;
+    return f;
 }
 
 }  // namespace
@@ -94,6 +114,8 @@ FaultPlan& FaultPlan::add(std::string site, FaultSpec spec)
             "FaultPlan: probability must be in [0, 1]");
     require(spec.probability > 0.0 || spec.after >= 0,
             "FaultPlan: site " + site + " has no trigger (set p or after)");
+    require(spec.flips > 0, "FaultPlan: flips must be positive");
+    require(spec.stall_s >= 0.0, "FaultPlan: delay must be non-negative");
     specs_[std::move(site)] = spec;
     return *this;
 }
@@ -124,7 +146,8 @@ FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed)
                         "FaultPlan::parse: expected key=value, got '" + kv + "'");
                 const std::string key = kv.substr(0, eq);
                 const std::string val = kv.substr(eq + 1);
-                if (key != "p" && key != "after" && key != "count" && key != "rank")
+                if (key != "p" && key != "after" && key != "count" && key != "rank" &&
+                    key != "kind" && key != "flips" && key != "delay")
                     throw std::invalid_argument("FaultPlan::parse: unknown key '" + key + "'");
                 try {
                     if (key == "p") {
@@ -135,6 +158,19 @@ FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed)
                         has_trigger = true;
                     } else if (key == "count") {
                         fs.count = std::stoll(val);
+                    } else if (key == "kind") {
+                        if (val == "throw")
+                            fs.kind = FaultKind::Throw;
+                        else if (val == "corrupt")
+                            fs.kind = FaultKind::Corrupt;
+                        else if (val == "stall")
+                            fs.kind = FaultKind::Stall;
+                        else
+                            throw std::invalid_argument("expected throw|corrupt|stall");
+                    } else if (key == "flips") {
+                        fs.flips = std::stoll(val);
+                    } else if (key == "delay") {
+                        fs.stall_s = std::stod(val);
                     } else {
                         fs.rank = std::stoll(val);
                     }
@@ -172,14 +208,52 @@ bool enabled()
 bool should_fail(const char* site)
 {
     if (!enabled()) return false;
-    return fire(site).has_value();
+    return fire(site, FaultKind::Throw).has_value();
 }
 
 void check(const char* site)
 {
     if (!enabled()) return;
-    if (const auto call = fire(site))
-        throw InjectedFault(site, telemetry::current_rank(), *call);
+    if (const auto f = fire(site, FaultKind::Throw))
+        throw InjectedFault(site, telemetry::current_rank(), f->call);
+}
+
+index_t corrupt(const char* site, std::span<std::byte> buf)
+{
+    if (!enabled() || buf.empty()) return 0;
+    const auto f = fire(site, FaultKind::Corrupt);
+    if (!f) return 0;
+    // Flip `flips` seed-derived bit positions.  Positions are hashed from
+    // (seed, site, rank, call, i) so a given plan poisons exactly the same
+    // bits every run — the detection tests can assert injected == detected
+    // counter equality bit-for-bit reproducibly.
+    const index_t rank = telemetry::current_rank();
+    const std::uint64_t base = f->seed ^ hash_str(site) ^
+                               splitmix64(static_cast<std::uint64_t>(rank + 1)) ^
+                               splitmix64(f->call + 1);
+    // Distinct positions only: two flips landing on the same bit would
+    // cancel out and leave an "injected" corruption nothing could detect.
+    const std::uint64_t nbits = static_cast<std::uint64_t>(buf.size()) * 8u;
+    std::vector<std::uint64_t> used;
+    std::uint64_t ctr = 0;
+    const index_t want = std::min(f->flips, static_cast<index_t>(std::min<std::uint64_t>(
+                                                nbits, static_cast<std::uint64_t>(1) << 20)));
+    while (static_cast<index_t>(used.size()) < want) {
+        const std::uint64_t pos = splitmix64(base + ctr++ * 0x9e3779b97f4a7c15ull) % nbits;
+        if (std::find(used.begin(), used.end(), pos) != used.end()) continue;
+        used.push_back(pos);
+        buf[static_cast<std::size_t>(pos / 8)] ^= static_cast<std::byte>(1u << (pos % 8));
+    }
+    return static_cast<index_t>(used.size());
+}
+
+double stall_point(const char* site)
+{
+    if (!enabled()) return 0.0;
+    const auto f = fire(site, FaultKind::Stall);
+    if (!f || f->stall_s <= 0.0) return 0.0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(f->stall_s));
+    return f->stall_s;
 }
 
 }  // namespace xct::faults

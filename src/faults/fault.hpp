@@ -28,7 +28,9 @@
 // Every fired fault increments telemetry counters `faults.injected` and
 // `faults.injected.<site>` so recovery cost is visible in --metrics.
 
+#include <cstddef>
 #include <map>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -54,6 +56,14 @@ private:
     std::string site_;
 };
 
+/// What a fired fault *does*.  `Throw` is the fail-stop class of PR 2
+/// (check() raises InjectedFault).  `Corrupt` and `Stall` are the silent
+/// classes: a corrupt fault flips seed-derived bits in the consumer's
+/// buffer (no exception — only an integrity check can notice), a stall
+/// fault sleeps inside the call (no exception — only a watchdog deadline
+/// can notice).
+enum class FaultKind { Throw, Corrupt, Stall };
+
 /// Trigger configuration of one site.  Counting is 0-based and per
 /// (site, rank).  Both mechanisms may be combined; the site fires when
 /// either says so.
@@ -62,6 +72,9 @@ struct FaultSpec {
     index_t after = -1;        ///< first failing call index; -1 = disabled
     index_t count = 1;         ///< how many consecutive calls fail from `after`
     index_t rank = -1;         ///< restrict to this telemetry rank; -1 = any
+    FaultKind kind = FaultKind::Throw;
+    index_t flips = 1;     ///< Corrupt: bits flipped per fired call
+    double stall_s = 0.0;  ///< Stall: injected delay per fired call
 };
 
 /// A named set of fault sites plus the seed the probabilistic triggers
@@ -80,9 +93,11 @@ public:
     ///
     ///   "<site>[:key=value[,key=value...]][;<site>...]"
     ///
-    /// with keys `p` (probability), `after`, `count` (-1 = unbounded) and
-    /// `rank`.  A bare "<site>" means after=0,count=1 (fail the first
-    /// call).  Throws std::invalid_argument on malformed input.
+    /// with keys `p` (probability), `after`, `count` (-1 = unbounded),
+    /// `rank`, `kind` (throw|corrupt|stall), `flips` (corrupt: bits per
+    /// fired call) and `delay` (stall: seconds per fired call).  A bare
+    /// "<site>" means after=0,count=1 (fail the first call).  Throws
+    /// std::invalid_argument on malformed input.
     static FaultPlan parse(const std::string& spec, std::uint64_t seed = 1);
 
 private:
@@ -102,10 +117,27 @@ bool enabled();
 
 /// Consume one call at `site` and return whether the plan fires it.
 /// Always false when no plan is installed or the site is not configured.
+/// Only kind=throw specs participate — corrupt/stall specs at the same
+/// site are invisible here (their calls are consumed by corrupt() /
+/// stall_point()).
 bool should_fail(const char* site);
 
 /// should_fail() + throw InjectedFault when it fires.
 void check(const char* site);
+
+/// Consume one call at `site` against a kind=corrupt spec and, when it
+/// fires, flip `spec.flips` seed-derived bit positions inside `buf` —
+/// silently: the caller's data is now wrong and nothing throws.  Returns
+/// the number of bits flipped (0 = did not fire).  An empty buffer does
+/// not consume a call, so `faults.injected.<site>` counts only flips that
+/// actually landed in data an integrity check could catch.
+index_t corrupt(const char* site, std::span<std::byte> buf);
+
+/// Consume one call at `site` against a kind=stall spec and, when it
+/// fires, sleep for spec.stall_s seconds — silently: the call just takes
+/// that much longer, which only a watchdog deadline can notice.  Returns
+/// the injected delay in seconds (0 = did not fire).
+double stall_point(const char* site);
 
 /// RAII plan installation for tests: installs on construction, clears on
 /// destruction.

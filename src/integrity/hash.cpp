@@ -1,0 +1,176 @@
+#include "integrity/hash.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace xct::integrity {
+namespace {
+
+// XXH64 is specified over little-endian lane reads; digest() reads lanes
+// with memcpy (native order), so pin the platform rather than paying a
+// byte swap nobody exercises.
+static_assert(std::endian::native == std::endian::little,
+              "integrity::digest assumes a little-endian target");
+
+// The five XXH64 primes, straight from the specification.
+constexpr std::uint64_t kP1 = 0x9E3779B185EBCA87ull;
+constexpr std::uint64_t kP2 = 0xC2B2AE3D27D4EB4Full;
+constexpr std::uint64_t kP3 = 0x165667B19E3779F9ull;
+constexpr std::uint64_t kP4 = 0x85EBCA77C2B2AE63ull;
+constexpr std::uint64_t kP5 = 0x27D4EB2F165667C5ull;
+
+constexpr std::uint64_t rotl(std::uint64_t x, int r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+std::uint64_t read64(const std::byte* p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+std::uint32_t read32(const std::byte* p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+constexpr std::uint64_t round_step(std::uint64_t acc, std::uint64_t lane)
+{
+    return rotl(acc + lane * kP2, 31) * kP1;
+}
+
+constexpr std::uint64_t merge_round(std::uint64_t h, std::uint64_t acc)
+{
+    return (h ^ round_step(0, acc)) * kP1 + kP4;
+}
+
+constexpr std::uint64_t avalanche(std::uint64_t h)
+{
+    h ^= h >> 33;
+    h *= kP2;
+    h ^= h >> 29;
+    h *= kP3;
+    h ^= h >> 32;
+    return h;
+}
+
+}  // namespace
+
+digest_t digest(std::span<const std::byte> bytes, std::uint64_t seed)
+{
+    const std::byte* p = bytes.data();
+    const std::byte* const end = p + bytes.size();
+    std::uint64_t h;
+
+    if (bytes.size() >= 32) {
+        std::uint64_t a1 = seed + kP1 + kP2;
+        std::uint64_t a2 = seed + kP2;
+        std::uint64_t a3 = seed;
+        std::uint64_t a4 = seed - kP1;
+        do {
+            a1 = round_step(a1, read64(p));
+            a2 = round_step(a2, read64(p + 8));
+            a3 = round_step(a3, read64(p + 16));
+            a4 = round_step(a4, read64(p + 24));
+            p += 32;
+        } while (p + 32 <= end);
+        h = rotl(a1, 1) + rotl(a2, 7) + rotl(a3, 12) + rotl(a4, 18);
+        h = merge_round(h, a1);
+        h = merge_round(h, a2);
+        h = merge_round(h, a3);
+        h = merge_round(h, a4);
+    } else {
+        h = seed + kP5;
+    }
+    h += static_cast<std::uint64_t>(bytes.size());
+
+    while (p + 8 <= end) {
+        h = rotl(h ^ round_step(0, read64(p)), 27) * kP1 + kP4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h = rotl(h ^ (static_cast<std::uint64_t>(read32(p)) * kP1), 23) * kP2 + kP3;
+        p += 4;
+    }
+    while (p < end) {
+        h = rotl(h ^ (static_cast<std::uint64_t>(*p) * kP5), 11) * kP1;
+        ++p;
+    }
+    return avalanche(h);
+}
+
+digest_t digest_reference(std::span<const std::byte> bytes, std::uint64_t seed)
+{
+    // Line-by-line transcription of the XXH64 specification, with all
+    // word reads assembled byte-by-byte (little-endian) and no pointer
+    // arithmetic — deliberately different code from digest() above so the
+    // property suite cross-checks two independent implementations.
+    const std::size_t n = bytes.size();
+    const auto lane64 = [&](std::size_t at) {
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(bytes[at + i]) << (8 * i);
+        return v;
+    };
+    const auto lane32 = [&](std::size_t at) {
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < 4; ++i)
+            v |= static_cast<std::uint64_t>(bytes[at + i]) << (8 * i);
+        return v;
+    };
+
+    std::size_t pos = 0;
+    std::uint64_t h = 0;
+    if (n >= 32) {
+        std::uint64_t acc[4] = {seed + kP1 + kP2, seed + kP2, seed, seed - kP1};
+        while (n - pos >= 32) {
+            for (std::size_t lane = 0; lane < 4; ++lane) {
+                acc[lane] += lane64(pos + 8 * lane) * kP2;
+                acc[lane] = rotl(acc[lane], 31);
+                acc[lane] *= kP1;
+            }
+            pos += 32;
+        }
+        h = rotl(acc[0], 1) + rotl(acc[1], 7) + rotl(acc[2], 12) + rotl(acc[3], 18);
+        for (std::size_t lane = 0; lane < 4; ++lane) {
+            std::uint64_t a = acc[lane];
+            a = rotl(a * kP2, 31) * kP1;
+            h ^= a;
+            h = h * kP1 + kP4;
+        }
+    } else {
+        h = seed + kP5;
+    }
+    h += static_cast<std::uint64_t>(n);
+
+    while (n - pos >= 8) {
+        std::uint64_t k = lane64(pos);
+        k = rotl(k * kP2, 31) * kP1;
+        h ^= k;
+        h = rotl(h, 27) * kP1 + kP4;
+        pos += 8;
+    }
+    if (n - pos >= 4) {
+        h ^= lane32(pos) * kP1;
+        h = rotl(h, 23) * kP2 + kP3;
+        pos += 4;
+    }
+    while (pos < n) {
+        h ^= static_cast<std::uint64_t>(bytes[pos]) * kP5;
+        h = rotl(h, 11) * kP1;
+        ++pos;
+    }
+
+    h ^= h >> 33;
+    h *= kP2;
+    h ^= h >> 29;
+    h *= kP3;
+    h ^= h >> 32;
+    return h;
+}
+
+}  // namespace xct::integrity

@@ -1,0 +1,68 @@
+#include "integrity/integrity.hpp"
+
+#include <atomic>
+
+#include "core/names.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace xct::integrity {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::string hex16(digest_t v)
+{
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+        v >>= 4;
+    }
+    return s;
+}
+
+}  // namespace
+
+IntegrityError::IntegrityError(std::string site, digest_t expected, digest_t actual)
+    : TransientError("integrity check failed at " + site + ": expected xxh64:" + hex16(expected) +
+                     ", got xxh64:" + hex16(actual)),
+      site_(std::move(site))
+{
+}
+
+void set_enabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+digest_t checksum(std::span<const std::byte> bytes)
+{
+    auto& reg = telemetry::registry();
+    reg.counter(names::kMetricIntegrityDigests).add(1);
+    reg.counter(names::kMetricIntegrityDigestBytes).add(static_cast<std::int64_t>(bytes.size()));
+    return digest(bytes);
+}
+
+void verify(const char* site, std::span<const std::byte> bytes, digest_t expected)
+{
+    if (!enabled()) return;
+    telemetry::ScopedTrace span(names::kCatIntegrity, names::kSpanVerify, -1,
+                                static_cast<std::uint64_t>(bytes.size()));
+    const digest_t actual = digest(bytes);
+    auto& reg = telemetry::registry();
+    if (actual == expected) {
+        reg.counter(names::kMetricIntegrityVerified).add(1);
+        return;
+    }
+    reg.counter(names::kMetricIntegrityDetected).add(1);
+    reg.counter(std::string(names::kMetricIntegrityDetectedPrefix) + site).add(1);
+    throw IntegrityError(site, expected, actual);
+}
+
+}  // namespace xct::integrity

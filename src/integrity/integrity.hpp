@@ -1,0 +1,83 @@
+#pragma once
+// End-to-end integrity verification (DESIGN.md §3f).
+//
+// The contract: a producer computes checksum() over the bytes it hands
+// off (or the reader digests them the moment they arrive from a medium
+// that checks itself, e.g. a PFS store's own sidecar); the consumer calls
+// verify() just before it uses them.  Anything that flips a bit in
+// between — DMA glitch, bad DIMM on a forwarding node, truncated write,
+// the fault engine's kind=corrupt plans — makes verify() throw
+// IntegrityError.  IntegrityError derives from faults::TransientError on
+// purpose: the existing retry machinery (faults::with_retry, checkpoint
+// re-compute, degraded reduce re-copy) already knows how to re-fetch a
+// poisoned slab, so detection plugs into recovery with no new control
+// flow at the call sites.
+//
+// Verification is gated on a process-wide flag (CLI --integrity) so the
+// clean path can be benchmarked with and without; digests themselves are
+// cheap enough to stay on (bench/micro_kernels pins overhead < 3%).
+// Counters: integrity.digests / integrity.digest.bytes on checksum(),
+// integrity.verified on each passing check, integrity.detected and
+// integrity.detected.<site> on each caught mismatch.
+
+#include <span>
+#include <string>
+
+#include "faults/fault.hpp"
+#include "integrity/hash.hpp"
+
+namespace xct::integrity {
+
+/// A digest mismatch caught at a consumption point.  TransientError so
+/// faults::with_retry re-fetches the poisoned data transparently.
+class IntegrityError : public faults::TransientError {
+public:
+    IntegrityError(std::string site, digest_t expected, digest_t actual);
+    const std::string& site() const { return site_; }
+
+private:
+    std::string site_;
+};
+
+/// Process-wide verification switch (CLI --integrity).  Digest *compute*
+/// helpers stay live regardless; only verify() consults this.
+void set_enabled(bool on);
+bool enabled();
+
+/// RAII enable for tests: restores the previous state on destruction.
+class ScopedEnable {
+public:
+    explicit ScopedEnable(bool on = true) : prev_(enabled()) { set_enabled(on); }
+    ~ScopedEnable() { set_enabled(prev_); }
+    ScopedEnable(const ScopedEnable&) = delete;
+    ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+private:
+    bool prev_;
+};
+
+/// Digest `bytes`, bumping the integrity.digests / integrity.digest.bytes
+/// counters.  This is the producer-side entry point; use hash.hpp's raw
+/// digest() only where telemetry would be noise (tests, benches).
+digest_t checksum(std::span<const std::byte> bytes);
+
+template <typename T>
+digest_t checksum_of(std::span<const T> data)
+{
+    return checksum(std::as_bytes(data));
+}
+
+/// Re-digest `bytes` and compare against `expected`; throws
+/// IntegrityError on mismatch.  No-op (returns immediately) while
+/// disabled.  `site` names the movement being checked — use the
+/// names::kSite* constants so detection counters line up with the fault
+/// engine's faults.injected.<site> counters.
+void verify(const char* site, std::span<const std::byte> bytes, digest_t expected);
+
+template <typename T>
+void verify_of(const char* site, std::span<const T> data, digest_t expected)
+{
+    verify(site, std::as_bytes(data), expected);
+}
+
+}  // namespace xct::integrity

@@ -1,0 +1,113 @@
+#include "integrity/watchdog.hpp"
+
+#include <algorithm>
+
+#include "core/names.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xct::integrity {
+namespace {
+
+double seconds_between(Watchdog::clock::time_point a, Watchdog::clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+void count_expired(const std::string& what)
+{
+    auto& reg = telemetry::registry();
+    reg.counter(names::kMetricWatchdogExpired).add(1);
+    reg.counter(std::string(names::kMetricWatchdogExpiredPrefix) + what).add(1);
+}
+
+}  // namespace
+
+DeadlineExceeded::DeadlineExceeded(std::string what, double elapsed_s, double timeout_s)
+    : TransientError("watchdog deadline exceeded in " + what + ": " + std::to_string(elapsed_s) +
+                     "s > " + std::to_string(timeout_s) + "s"),
+      section_(std::move(what))
+{
+}
+
+Watchdog::Watchdog(double timeout_s) : timeout_s_(timeout_s)
+{
+    if (enabled()) monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Watchdog::~Watchdog()
+{
+    if (monitor_.joinable()) {
+        {
+            MutexLock lk(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        monitor_.join();
+    }
+}
+
+std::size_t Watchdog::arm(const char* what)
+{
+    telemetry::registry().counter(names::kMetricWatchdogSupervised).add(1);
+    MutexLock lk(m_);
+    std::size_t slot = slots_.size();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].in_use) {
+            slot = i;
+            break;
+        }
+    }
+    if (slot == slots_.size()) slots_.emplace_back();
+    Slot& s = slots_[slot];
+    s.in_use = true;
+    s.reported = false;
+    s.start = clock::now();
+    s.what = what;
+    return slot;
+}
+
+void Watchdog::disarm(std::size_t slot) noexcept
+{
+    MutexLock lk(m_);
+    slots_[slot].in_use = false;
+}
+
+void Watchdog::finish(std::size_t slot, const char* what)
+{
+    bool reported = false;
+    clock::time_point start;
+    {
+        MutexLock lk(m_);
+        reported = slots_[slot].reported;
+        start = slots_[slot].start;
+    }
+    const double elapsed = seconds_between(start, clock::now());
+    if (elapsed <= timeout_s_) return;
+    // The monitor may have flagged this overrun already; only count once.
+    if (!reported) count_expired(what);
+    throw DeadlineExceeded(what, elapsed, timeout_s_);
+}
+
+void Watchdog::monitor_loop()
+{
+    const auto cadence = std::chrono::duration<double>(
+        std::max(timeout_s_ / 4.0, 1e-4));
+    UniqueLock lk(m_);
+    while (true) {
+        cv_.wait_for(lk, cadence, [this] {
+            m_.assert_held();
+            return stop_;
+        });
+        if (stop_) return;
+        const auto now = clock::now();
+        for (Slot& s : slots_) {
+            if (!s.in_use || s.reported) continue;
+            if (seconds_between(s.start, now) > timeout_s_) {
+                s.reported = true;
+                count_expired(s.what);
+            }
+        }
+    }
+}
+
+}  // namespace xct::integrity

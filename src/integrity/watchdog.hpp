@@ -1,0 +1,117 @@
+#pragma once
+// Deadline supervision of pipeline stages and collectives (DESIGN.md §3f).
+//
+// Stalls — a wedged PFS read, a collective stuck behind a dead peer, the
+// fault engine's kind=stall plans — are the failure class retries cannot
+// see: nothing throws, the run just stops making progress.  The Watchdog
+// makes them visible and, for the common case of a *finite* stall,
+// recoverable:
+//
+//   * supervise(what, fn) runs fn and, if it finished but took longer
+//     than the deadline, throws DeadlineExceeded — a TransientError, so a
+//     retry re-runs the stage and the degraded-reduce path can declare
+//     the rank dead exactly as it would for a fail-stop fault;
+//   * a monitor thread scans the in-flight sections every timeout/4 and
+//     bumps watchdog.expired / watchdog.expired.<what> the moment a
+//     section overruns, so a *permanent* hang is at least visible in
+//     --metrics and traces even though no exception can be thrown on the
+//     stuck thread's behalf.
+//
+// That asymmetry is deliberate and honest: converting a permanent hang
+// into control flow would require cancelling the stuck operation, which
+// plain file reads and in-process collectives do not support.  Injected
+// stalls are finite, so the supervise()-side throw is deterministic and
+// the e2e tests drive the full stall → DeadlineExceeded → degraded-reduce
+// recovery (tests/test_faults.cpp).
+//
+// A Watchdog with timeout <= 0 is disabled: supervise() degenerates to a
+// direct call (no clock reads, no monitor thread).
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/mutex.hpp"
+#include "core/types.hpp"
+#include "faults/fault.hpp"
+
+namespace xct::integrity {
+
+/// A supervised section exceeded its deadline (but did finish).
+/// TransientError so the retry / degraded machinery treats a timed-out
+/// stage exactly like a failed one.
+class DeadlineExceeded : public faults::TransientError {
+public:
+    DeadlineExceeded(std::string what, double elapsed_s, double timeout_s);
+    const std::string& section() const { return section_; }
+
+private:
+    std::string section_;
+};
+
+/// Deadline supervisor.  One instance per rank (or per pipeline); cheap
+/// to construct when disabled.
+class Watchdog {
+public:
+    using clock = std::chrono::steady_clock;
+
+    /// timeout_s <= 0 disables supervision entirely.
+    explicit Watchdog(double timeout_s);
+    ~Watchdog();
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    bool enabled() const { return timeout_s_ > 0.0; }
+    double timeout_s() const { return timeout_s_; }
+
+    /// Run fn under the deadline.  If fn returns after more than
+    /// timeout_s seconds, throws DeadlineExceeded (after the monitor has
+    /// already flagged the overrun in watchdog.expired.*).  `what` names
+    /// the section — use the names::kWatch* constants.
+    template <typename F>
+    auto supervise(const char* what, F&& fn) -> decltype(fn())
+    {
+        if (!enabled()) return std::forward<F>(fn)();
+        const std::size_t slot = arm(what);
+        Disarm guard{this, slot};
+        if constexpr (std::is_void_v<decltype(fn())>) {
+            std::forward<F>(fn)();
+            finish(slot, what);
+        } else {
+            auto result = std::forward<F>(fn)();
+            finish(slot, what);
+            return result;
+        }
+    }
+
+private:
+    struct Slot {
+        bool in_use = false;
+        bool reported = false;  ///< monitor already counted the overrun
+        clock::time_point start{};
+        std::string what;
+    };
+    struct Disarm {
+        Watchdog* w;
+        std::size_t slot;
+        ~Disarm() { w->disarm(slot); }
+    };
+
+    std::size_t arm(const char* what);
+    void disarm(std::size_t slot) noexcept;
+    /// Deadline check at section exit; throws DeadlineExceeded on overrun.
+    void finish(std::size_t slot, const char* what);
+    void monitor_loop();
+
+    double timeout_s_ = 0.0;
+    mutable Mutex m_;
+    CondVar cv_;
+    std::vector<Slot> slots_ XCT_GUARDED_BY(m_);
+    bool stop_ XCT_GUARDED_BY(m_) = false;
+    std::thread monitor_;
+};
+
+}  // namespace xct::integrity

@@ -1,6 +1,9 @@
 #include "io/pfs.hpp"
 
+#include <fstream>
+
 #include "core/names.hpp"
+#include "integrity/integrity.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -8,6 +11,68 @@ namespace xct::io {
 
 namespace {
 constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// ---- sidecar digests ------------------------------------------------------
+// Every store writes `<file>.xxh64` holding the payload digest in hex; a
+// full load verifies against it (covers both at-rest corruption of the
+// file and corruption on the load path).  Partial loads
+// (load_stack_rows) cannot use the whole-file sidecar; they digest the
+// band the moment it leaves the read — modelling the storage server's
+// own block checksums — so the verify still covers the transit leg.
+
+std::filesystem::path sidecar_path(const std::filesystem::path& file)
+{
+    return std::filesystem::path(file.string() + ".xxh64");
+}
+
+void write_sidecar(const std::filesystem::path& file, integrity::digest_t d)
+{
+    static constexpr char kDigits[] = "0123456789abcdef";
+    char hex[17];
+    for (int i = 15; i >= 0; --i) {
+        hex[i] = kDigits[d & 0xF];
+        d >>= 4;
+    }
+    hex[16] = '\0';
+    std::ofstream f(sidecar_path(file), std::ios::trunc);
+    f << hex << '\n';
+    require(f.good(), "Pfs: failed to write digest sidecar " + sidecar_path(file).string());
+}
+
+std::optional<integrity::digest_t> read_sidecar(const std::filesystem::path& file)
+{
+    std::ifstream f(sidecar_path(file));
+    if (!f.good()) return std::nullopt;
+    std::string hex;
+    f >> hex;
+    if (hex.size() != 16) return std::nullopt;
+    integrity::digest_t d = 0;
+    for (const char c : hex) {
+        d <<= 4;
+        if (c >= '0' && c <= '9')
+            d |= static_cast<integrity::digest_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            d |= static_cast<integrity::digest_t>(c - 'a' + 10);
+        else
+            return std::nullopt;
+    }
+    return d;
+}
+
+/// Load-side instrumentation: inject any planned transit corruption into
+/// the just-read payload, then verify — against the store-time sidecar
+/// when one exists (at-rest + transit coverage), else against an
+/// immediate post-read digest (transit-only).  Runs inside guarded(), so
+/// an IntegrityError (a TransientError) re-runs the whole read.
+void corrupt_and_verify(const char* site, std::span<float> payload,
+                        std::optional<integrity::digest_t> stored)
+{
+    const bool verifying = integrity::enabled();
+    integrity::digest_t expected = 0;
+    if (verifying) expected = stored ? *stored : integrity::checksum_of<float>(payload);
+    faults::corrupt(site, std::as_writable_bytes(payload));
+    if (verifying) integrity::verify_of<float>(site, payload, expected);
+}
 
 /// Mirror a PFS transfer into the telemetry layer (counters always on; a
 /// modelled-duration "io" span when tracing is enabled, like sim::Device).
@@ -69,34 +134,57 @@ auto Pfs::guarded(const char* site, F&& op) -> decltype(op())
 
 void Pfs::store_volume(const std::string& rel, const Volume& v)
 {
-    guarded(names::kSitePfsStore, [&] { write_volume(resolve(rel), v); });
+    guarded(names::kSitePfsStore, [&] {
+        const auto path = resolve(rel);
+        write_volume(path, v);
+        write_sidecar(path, integrity::checksum_of<float>(v.span()));
+    });
     account_store(static_cast<std::uint64_t>(v.count()) * sizeof(float));
 }
 
 Volume Pfs::load_volume(const std::string& rel)
 {
-    Volume v = guarded(names::kSitePfsLoad, [&] { return read_volume(resolve(rel)); });
+    const auto path = resolve(rel);
+    Volume v = guarded(names::kSitePfsLoad, [&] {
+        Volume loaded = read_volume(path);
+        corrupt_and_verify(names::kSitePfsLoad, loaded.span(), read_sidecar(path));
+        return loaded;
+    });
     account_load(static_cast<std::uint64_t>(v.count()) * sizeof(float));
     return v;
 }
 
 void Pfs::store_stack(const std::string& rel, const ProjectionStack& p)
 {
-    guarded(names::kSitePfsStore, [&] { write_stack(resolve(rel), p); });
+    guarded(names::kSitePfsStore, [&] {
+        const auto path = resolve(rel);
+        write_stack(path, p);
+        write_sidecar(path, integrity::checksum_of<float>(p.span()));
+    });
     account_store(static_cast<std::uint64_t>(p.count()) * sizeof(float));
 }
 
 ProjectionStack Pfs::load_stack(const std::string& rel)
 {
-    ProjectionStack p = guarded(names::kSitePfsLoad, [&] { return read_stack(resolve(rel)); });
+    const auto path = resolve(rel);
+    ProjectionStack p = guarded(names::kSitePfsLoad, [&] {
+        ProjectionStack loaded = read_stack(path);
+        corrupt_and_verify(names::kSitePfsLoad, loaded.span(), read_sidecar(path));
+        return loaded;
+    });
     account_load(static_cast<std::uint64_t>(p.count()) * sizeof(float));
     return p;
 }
 
 ProjectionStack Pfs::load_stack_rows(const std::string& rel, Range views, Range band)
 {
-    ProjectionStack p =
-        guarded(names::kSitePfsLoad, [&] { return read_stack_rows(resolve(rel), views, band); });
+    // Partial read: the whole-file sidecar does not apply — digest the
+    // band as it leaves the read (nullopt -> immediate post-read digest).
+    ProjectionStack p = guarded(names::kSitePfsLoad, [&] {
+        ProjectionStack loaded = read_stack_rows(resolve(rel), views, band);
+        corrupt_and_verify(names::kSitePfsLoad, loaded.span(), std::nullopt);
+        return loaded;
+    });
     account_load(static_cast<std::uint64_t>(p.count()) * sizeof(float));
     return p;
 }

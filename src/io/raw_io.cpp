@@ -10,6 +10,7 @@ namespace {
 
 constexpr std::array<char, 8> kVolMagic{'X', 'C', 'T', 'V', 'O', 'L', '1', '\0'};
 constexpr std::array<char, 8> kStkMagic{'X', 'C', 'T', 'S', 'T', 'K', '1', '\0'};
+constexpr std::array<char, 8> kCkpMagic{'X', 'C', 'T', 'C', 'K', 'P', '2', '\0'};
 
 struct Header {
     std::array<char, 8> magic{};
@@ -18,6 +19,47 @@ struct Header {
     std::array<char, 24> reserved{};
 };
 static_assert(sizeof(Header) == 64);
+
+/// Checkpoint slab header: same 64-byte discipline, with the payload
+/// digest where the stack header keeps its band origin.  The '2' in the
+/// magic is the format version — version-1 slabs (plain write_volume
+/// containers) are rejected on load and simply recomputed.
+struct CkptHeader {
+    std::array<char, 8> magic{};
+    std::int64_t d0 = 0, d1 = 0, d2 = 0;
+    std::uint64_t digest = 0;
+    std::array<char, 24> reserved{};
+};
+static_assert(sizeof(CkptHeader) == 64);
+
+// require() with the failing check's file:line in the message, so a
+// rejected (truncated, size-mismatched, corrupt-header) file points at
+// the exact validation that fired.
+#define XCT_IO_STR2(x) #x
+#define XCT_IO_STR(x) XCT_IO_STR2(x)
+#define XCT_IO_REQUIRE(cond, msg) \
+    require((cond), std::string(__FILE__ ":" XCT_IO_STR(__LINE__) ": ") + (msg))
+
+/// Extents must be positive and small enough that the payload size cannot
+/// overflow (2^20 per axis is far beyond the paper's 4096^3).
+bool sane_extents(std::int64_t a, std::int64_t b, std::int64_t c)
+{
+    constexpr std::int64_t kMax = std::int64_t{1} << 20;
+    return a > 0 && b > 0 && c > 0 && a <= kMax && b <= kMax && c <= kMax;
+}
+
+/// The exact on-disk size a header + payload must have; a shorter file is
+/// truncated, a longer one is not the file the header claims.
+void expect_file_size(const std::filesystem::path& path, std::uint64_t payload_count,
+                      std::size_t elem_size)
+{
+    const std::uint64_t expected = 64u + payload_count * elem_size;
+    const std::uint64_t actual = static_cast<std::uint64_t>(std::filesystem::file_size(path));
+    XCT_IO_REQUIRE(actual == expected,
+                   "io: size mismatch (truncated or foreign file): " + path.string() + " holds " +
+                       std::to_string(actual) + " bytes, header implies " +
+                       std::to_string(expected));
+}
 
 std::ofstream open_out(const std::filesystem::path& path)
 {
@@ -74,11 +116,14 @@ Volume read_volume(const std::filesystem::path& path)
     auto f = open_in(path);
     Header h;
     f.read(reinterpret_cast<char*>(&h), sizeof(h));
-    require(f.good() && h.magic == kVolMagic, "io: not a volume file: " + path.string());
+    XCT_IO_REQUIRE(f.good() && h.magic == kVolMagic, "io: not a volume file: " + path.string());
+    XCT_IO_REQUIRE(sane_extents(h.d0, h.d1, h.d2),
+                   "io: bad volume extents in " + path.string());
     Volume v(Dim3{h.d0, h.d1, h.d2});
+    expect_file_size(path, static_cast<std::uint64_t>(v.count()), sizeof(float));
     f.read(reinterpret_cast<char*>(v.span().data()),
            static_cast<std::streamsize>(v.span().size() * sizeof(float)));
-    require(f.good(), "io: truncated volume file: " + path.string());
+    XCT_IO_REQUIRE(f.good(), "io: truncated volume file: " + path.string());
     return v;
 }
 
@@ -102,11 +147,14 @@ ProjectionStack read_stack(const std::filesystem::path& path)
     auto f = open_in(path);
     Header h;
     f.read(reinterpret_cast<char*>(&h), sizeof(h));
-    require(f.good() && h.magic == kStkMagic, "io: not a stack file: " + path.string());
+    XCT_IO_REQUIRE(f.good() && h.magic == kStkMagic, "io: not a stack file: " + path.string());
+    XCT_IO_REQUIRE(sane_extents(h.d0, h.d1, h.d2) && h.band_lo >= 0,
+                   "io: bad stack extents in " + path.string());
     ProjectionStack p(h.d0, Range{h.band_lo, h.band_lo + h.d1}, h.d2);
+    expect_file_size(path, static_cast<std::uint64_t>(p.count()), sizeof(float));
     f.read(reinterpret_cast<char*>(p.span().data()),
            static_cast<std::streamsize>(p.span().size() * sizeof(float)));
-    require(f.good(), "io: truncated stack file: " + path.string());
+    XCT_IO_REQUIRE(f.good(), "io: truncated stack file: " + path.string());
     return p;
 }
 
@@ -115,7 +163,10 @@ StackInfo stack_info(const std::filesystem::path& path)
     auto f = open_in(path);
     Header h;
     f.read(reinterpret_cast<char*>(&h), sizeof(h));
-    require(f.good() && h.magic == kStkMagic, "io: not a stack file: " + path.string());
+    XCT_IO_REQUIRE(f.good() && h.magic == kStkMagic, "io: not a stack file: " + path.string());
+    XCT_IO_REQUIRE(sane_extents(h.d0, h.d1, h.d2) && h.band_lo >= 0,
+                   "io: bad stack extents in " + path.string());
+    expect_file_size(path, static_cast<std::uint64_t>(h.d0 * h.d1 * h.d2), sizeof(float));
     return StackInfo{h.d0, Range{h.band_lo, h.band_lo + h.d1}, h.d2};
 }
 
@@ -124,7 +175,12 @@ ProjectionStack read_stack_rows(const std::filesystem::path& path, Range views, 
     auto f = open_in(path);
     Header h;
     f.read(reinterpret_cast<char*>(&h), sizeof(h));
-    require(f.good() && h.magic == kStkMagic, "io: not a stack file: " + path.string());
+    XCT_IO_REQUIRE(f.good() && h.magic == kStkMagic, "io: not a stack file: " + path.string());
+    XCT_IO_REQUIRE(sane_extents(h.d0, h.d1, h.d2) && h.band_lo >= 0,
+                   "io: bad stack extents in " + path.string());
+    // Whole-file size check up front: a truncated tail would otherwise
+    // only surface when a late view's seek+read ran off the end.
+    expect_file_size(path, static_cast<std::uint64_t>(h.d0 * h.d1 * h.d2), sizeof(float));
     require(!views.empty() && views.lo >= 0 && views.hi <= h.d0,
             "read_stack_rows: views outside stored range");
     const Range stored{h.band_lo, h.band_lo + h.d1};
@@ -143,8 +199,41 @@ ProjectionStack read_stack_rows(const std::filesystem::path& path, Range views, 
         f.seekg(off);
         f.read(reinterpret_cast<char*>(out.view(s - views.lo).data()),
                static_cast<std::streamsize>(band.length()) * row_bytes);
-        require(f.good(), "read_stack_rows: truncated stack file: " + path.string());
+        XCT_IO_REQUIRE(f.good(), "read_stack_rows: truncated stack file: " + path.string());
     }
+    return out;
+}
+
+void write_checkpoint_slab(const std::filesystem::path& path, const Volume& v,
+                           std::uint64_t payload_digest)
+{
+    auto f = open_out(path);
+    CkptHeader h;
+    h.magic = kCkpMagic;
+    h.d0 = v.size().x;
+    h.d1 = v.size().y;
+    h.d2 = v.size().z;
+    h.digest = payload_digest;
+    f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    f.write(reinterpret_cast<const char*>(v.span().data()),
+            static_cast<std::streamsize>(v.span().size() * sizeof(float)));
+    require(f.good(), "io: checkpoint slab write failed: " + path.string());
+}
+
+CheckpointSlab read_checkpoint_slab(const std::filesystem::path& path)
+{
+    auto f = open_in(path);
+    CkptHeader h;
+    f.read(reinterpret_cast<char*>(&h), sizeof(h));
+    XCT_IO_REQUIRE(f.good() && h.magic == kCkpMagic,
+                   "io: not a version-2 checkpoint slab: " + path.string());
+    XCT_IO_REQUIRE(sane_extents(h.d0, h.d1, h.d2),
+                   "io: bad checkpoint extents in " + path.string());
+    CheckpointSlab out{Volume(Dim3{h.d0, h.d1, h.d2}), h.digest};
+    expect_file_size(path, static_cast<std::uint64_t>(out.volume.count()), sizeof(float));
+    f.read(reinterpret_cast<char*>(out.volume.span().data()),
+           static_cast<std::streamsize>(out.volume.span().size() * sizeof(float)));
+    XCT_IO_REQUIRE(f.good(), "io: truncated checkpoint slab: " + path.string());
     return out;
 }
 

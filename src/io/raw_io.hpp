@@ -5,7 +5,12 @@
 //
 // File format: a 64-byte header (magic, dtype, extents, band origin) then
 // little-endian float32 payload in the container's native layout.
+//
+// Readers validate the header extents and the exact on-disk size before
+// touching the payload: a truncated or size-mismatched file fails with a
+// file:line-bearing error instead of reading short (DESIGN.md §3f).
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
 
@@ -48,5 +53,19 @@ void write_pgm_slice(const std::filesystem::path& path, const Volume& v, index_t
 /// Export one projection (view) of a stack as PGM with the same windowing.
 void write_pgm_view(const std::filesystem::path& path, const ProjectionStack& p, index_t s,
                     float lo = 0.0f, float hi = 0.0f);
+
+/// Versioned checkpoint slab container (faults::CheckpointStore): 64-byte
+/// header — magic "XCTCKP2", extents, payload xxh64 digest — then float
+/// payload.  read_checkpoint_slab validates magic, extents and exact file
+/// size (so a truncated or half-written slab throws instead of being
+/// trusted) and returns the stored digest for the caller to verify
+/// against the payload.
+struct CheckpointSlab {
+    Volume volume;
+    std::uint64_t digest = 0;  ///< payload digest recorded at save time
+};
+void write_checkpoint_slab(const std::filesystem::path& path, const Volume& v,
+                           std::uint64_t payload_digest);
+CheckpointSlab read_checkpoint_slab(const std::filesystem::path& path);
 
 }  // namespace xct::io

@@ -13,6 +13,10 @@ std::vector<SlabFile> discover_slabs(const std::filesystem::path& dir)
     std::vector<SlabFile> slabs;
     for (const auto& entry : std::filesystem::directory_iterator(dir)) {
         if (!entry.is_regular_file()) continue;
+        // Only *.xvol payloads: sscanf matches prefixes, so without this a
+        // digest sidecar like slab_0_4.xvol.xxh64 would parse as a second
+        // slab at the same range.
+        if (entry.path().extension() != ".xvol") continue;
         const std::string name = entry.path().filename().string();
         long long lo = 0, hi = 0;
         if (std::sscanf(name.c_str(), "slab_%lld_%lld.xvol", &lo, &hi) != 2) continue;

@@ -10,6 +10,7 @@
 #include "core/names.hpp"
 #include "core/scratch.hpp"
 #include "faults/fault.hpp"
+#include "integrity/integrity.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -32,6 +33,8 @@ struct CommState {
         ia.resize(static_cast<std::size_t>(n), 0);
         ib.resize(static_cast<std::size_t>(n), 0);
         dv.resize(static_cast<std::size_t>(n), 0.0);
+        du.resize(static_cast<std::size_t>(n), 0);
+        du2.resize(static_cast<std::size_t>(n), 0);
     }
 
     index_t size;
@@ -51,6 +54,7 @@ struct CommState {
     std::vector<const void*> slots2;
     std::vector<long long> ia, ib;
     std::vector<double> dv;
+    std::vector<std::uint64_t> du, du2;  // payload digests (integrity-guarded reduces)
     std::shared_ptr<void> result;  // split() publishes the new communicators here
 
     CollectiveStats stats XCT_GUARDED_BY(m);  // written by one rank per collective
@@ -107,6 +111,40 @@ void account_collective(CommState& st, std::uint64_t CollectiveStats::* calls,
     auto& reg = telemetry::registry();
     reg.counter(std::string(names::kMetricMinimpiPrefix) + op + ".calls").add(1);
     reg.counter(std::string(names::kMetricMinimpiPrefix) + op + "." + bytes_metric).add(amount);
+}
+
+/// Whether the summing reductions must take the guarded (staged-copy)
+/// path: integrity wants every contribution digest-verified, and fault
+/// injection wants a transit buffer it may corrupt without touching the
+/// sender's (retry-intact) data.  Both off — the common case — keeps the
+/// zero-copy direct sum.
+bool guarded_reduce()
+{
+    return integrity::enabled() || faults::enabled();
+}
+
+/// Stage one reduce contribution: copy the sender's (still intact) buffer
+/// into `stage`, run the transit corruption point on the copy, and verify
+/// it against the sender's deposited digest.  A detected flip is repaired
+/// by re-copying from the source — bounded, so a plan that poisons every
+/// copy still fails loudly instead of spinning.  With integrity disabled
+/// the corrupted copy is consumed as-is (silent corruption propagates —
+/// that is the point of the corrupt fault class).
+void stage_verified(const char* site, const float* src, std::span<float> stage,
+                    std::uint64_t expected)
+{
+    constexpr int kMaxCopies = 4;
+    for (int attempt = 0;; ++attempt) {
+        std::copy(src, src + stage.size(), stage.begin());
+        faults::corrupt(site, std::as_writable_bytes(stage));
+        if (!integrity::enabled()) return;
+        try {
+            integrity::verify_of<float>(site, stage, expected);
+            return;
+        } catch (const integrity::IntegrityError&) {
+            if (attempt + 1 >= kMaxCopies) throw;
+        }
+    }
 }
 
 void wake_all(Team& team)
@@ -189,8 +227,12 @@ void Communicator::reduce_sum(std::span<const float> send, std::span<float> recv
         detail::account_collective(st, &CollectiveStats::reduce_calls,
                                    &CollectiveStats::reduce_root_bytes,
                                    detail::ceil_log2(st.size) * payload, "reduce_sum");
+    const bool guarded = detail::guarded_reduce();
     st.slots[static_cast<std::size_t>(rank_)] = send.data();
     st.ia[static_cast<std::size_t>(rank_)] = static_cast<long long>(send.size());
+    if (guarded)
+        st.du[static_cast<std::size_t>(rank_)] =
+            integrity::enabled() ? integrity::checksum_of<float>(send) : 0;
     sync(st);
     if (rank_ == root) {
         require(recv.size() == send.size(), "reduce_sum: recv size mismatch at root");
@@ -198,8 +240,15 @@ void Communicator::reduce_sum(std::span<const float> send, std::span<float> recv
             require(st.ia[static_cast<std::size_t>(r)] == static_cast<long long>(send.size()),
                     "reduce_sum: ranks disagree on buffer size");
         std::fill(recv.begin(), recv.end(), 0.0f);
+        std::optional<scratch::Buffer<float>> stage;
+        if (guarded) stage.emplace(send.size());
         for (index_t r = 0; r < st.size; ++r) {
             const auto* src = static_cast<const float*>(st.slots[static_cast<std::size_t>(r)]);
+            if (guarded) {
+                detail::stage_verified(names::kSiteMinimpiReduceSum, src, stage->span(),
+                                       st.du[static_cast<std::size_t>(r)]);
+                src = stage->data();
+            }
             for (std::size_t i = 0; i < recv.size(); ++i) recv[i] += src[i];
         }
     }
@@ -244,31 +293,59 @@ void Communicator::reduce_sum_parts(std::span<const ReducePart> parts, std::span
                                    &CollectiveStats::parts_root_bytes,
                                    detail::ceil_log2(st.size) * recv.size() * sizeof(float),
                                    "reduce_sum_parts");
+    const bool guarded = detail::guarded_reduce();
     st.slots[static_cast<std::size_t>(rank_)] = parts.data();
     st.ia[static_cast<std::size_t>(rank_)] = static_cast<long long>(parts.size());
+    // Per-part digests live in sender-local scratch (one digest per part,
+    // variable count per rank, so the fixed du vector does not fit); the
+    // lease must outlive the final sync because the root reads through the
+    // slots2 pointer.
+    std::optional<scratch::Buffer<std::uint64_t>> my_digests;
+    if (guarded) {
+        my_digests.emplace(parts.size());
+        for (std::size_t i = 0; i < parts.size(); ++i)
+            my_digests->span()[i] =
+                integrity::enabled() ? integrity::checksum_of<float>(parts[i].data) : 0;
+        st.slots2[static_cast<std::size_t>(rank_)] = my_digests->data();
+    }
     sync(st);
     if (rank_ == root) {
-        // Part-pointer staging from the scratch pool — the root resorts
-        // every collective, so this is on the reduce hot path.
+        // Part staging from the scratch pool — the root resorts every
+        // collective, so this is on the reduce hot path.  Each entry keeps
+        // its sender's deposited digest so the guarded path can verify
+        // contributions after the key sort reorders them.
         std::size_t total = 0;
         for (index_t r = 0; r < st.size; ++r)
             total += static_cast<std::size_t>(st.ia[static_cast<std::size_t>(r)]);
-        scratch::Buffer<const ReducePart*> all_lease(total);
-        const std::span<const ReducePart*> all = all_lease.span();
+        scratch::Buffer<std::pair<const ReducePart*, std::uint64_t>> all_lease(total);
+        const auto all = all_lease.span();
         std::size_t at = 0;
         for (index_t r = 0; r < st.size; ++r) {
             const auto* deposited = static_cast<const ReducePart*>(st.slots[static_cast<std::size_t>(r)]);
+            const auto* digests =
+                guarded ? static_cast<const std::uint64_t*>(st.slots2[static_cast<std::size_t>(r)])
+                        : nullptr;
             const auto n = static_cast<std::size_t>(st.ia[static_cast<std::size_t>(r)]);
-            for (std::size_t i = 0; i < n; ++i) all[at++] = &deposited[i];
+            for (std::size_t i = 0; i < n; ++i)
+                all[at++] = {&deposited[i], digests != nullptr ? digests[i] : 0};
         }
         std::sort(all.begin(), all.end(),
-                  [](const ReducePart* a, const ReducePart* b) { return a->key < b->key; });
+                  [](const auto& a, const auto& b) { return a.first->key < b.first->key; });
         for (std::size_t i = 0; i + 1 < all.size(); ++i)
-            require(all[i]->key != all[i + 1]->key, "reduce_sum_parts: duplicate part key");
+            require(all[i].first->key != all[i + 1].first->key,
+                    "reduce_sum_parts: duplicate part key");
         std::fill(recv.begin(), recv.end(), 0.0f);
-        for (const ReducePart* p : all) {
+        std::optional<scratch::Buffer<float>> stage;
+        if (guarded) stage.emplace(recv.size());
+        for (const auto& [p, digest] : all) {
             require(p->data.size() == recv.size(), "reduce_sum_parts: part size mismatch");
-            for (std::size_t i = 0; i < recv.size(); ++i) recv[i] += p->data[i];
+            const float* src = p->data.data();
+            if (guarded) {
+                detail::stage_verified(names::kSiteMinimpiReduceSumParts, src, stage->span(),
+                                       digest);
+                src = stage->data();
+            }
+            for (std::size_t i = 0; i < recv.size(); ++i) recv[i] += src[i];
         }
     }
     sync(st);
@@ -297,12 +374,20 @@ void Communicator::reduce_sum_hierarchical(std::span<const float> send, std::spa
     const bool is_leader = rank_ == leader;
 
     // Stage 1: everyone deposits; node leaders sum their node into local
-    // scratch and deposit that.
+    // scratch and deposit that.  Both hops are network transit, so both
+    // get the staged-copy corrupt/verify treatment when guarded: members'
+    // contributions verify against du, leaders' node sums against du2.
+    const bool guarded = detail::guarded_reduce();
     st.slots[static_cast<std::size_t>(rank_)] = send.data();
+    if (guarded)
+        st.du[static_cast<std::size_t>(rank_)] =
+            integrity::enabled() ? integrity::checksum_of<float>(send) : 0;
     sync(st);
     // Node-sum staging from the scratch pool; the lease must outlive the
     // final sync because peers read through the slots2 pointer.
     std::optional<scratch::Buffer<float>> node_sum;
+    std::optional<scratch::Buffer<float>> stage;
+    if (guarded && (is_leader || rank_ == root)) stage.emplace(send.size());
     if (is_leader) {
         node_sum.emplace(send.size());
         float* sum = node_sum->data();
@@ -310,9 +395,17 @@ void Communicator::reduce_sum_hierarchical(std::span<const float> send, std::spa
         const index_t node_end = std::min(leader + ranks_per_node, st.size);
         for (index_t r = leader; r < node_end; ++r) {
             const auto* src = static_cast<const float*>(st.slots[static_cast<std::size_t>(r)]);
+            if (guarded) {
+                detail::stage_verified(names::kSiteMinimpiReduceSumHierarchical, src,
+                                       stage->span(), st.du[static_cast<std::size_t>(r)]);
+                src = stage->data();
+            }
             for (std::size_t i = 0; i < send.size(); ++i) sum[i] += src[i];
         }
         st.slots2[static_cast<std::size_t>(rank_)] = sum;
+        if (guarded)
+            st.du2[static_cast<std::size_t>(rank_)] =
+                integrity::enabled() ? integrity::checksum_of<float>(node_sum->span()) : 0;
     }
     sync(st);
 
@@ -322,6 +415,11 @@ void Communicator::reduce_sum_hierarchical(std::span<const float> send, std::spa
         std::fill(recv.begin(), recv.end(), 0.0f);
         for (index_t l = 0; l < st.size; l += ranks_per_node) {
             const auto* src = static_cast<const float*>(st.slots2[static_cast<std::size_t>(l)]);
+            if (guarded) {
+                detail::stage_verified(names::kSiteMinimpiReduceSumHierarchical, src,
+                                       stage->span(), st.du2[static_cast<std::size_t>(l)]);
+                src = stage->data();
+            }
             for (std::size_t i = 0; i < recv.size(); ++i) recv[i] += src[i];
         }
     }

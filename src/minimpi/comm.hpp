@@ -23,6 +23,19 @@
 // the calling rank, which aborts the whole team (fail-loudly) — matching
 // MPI's default error handler.  Degraded-mode recovery is built *above*
 // this layer (recon::distributed) via reduce_sum_parts.
+//
+// Integrity (DESIGN.md §3f): the summing reductions (reduce_sum,
+// reduce_sum_parts, reduce_sum_hierarchical) model the network transit of
+// each contribution.  When integrity verification or fault injection is
+// active, every sender deposits the xxh64 digest of its payload alongside
+// the data pointer; the consumer (group root, or node leader in the
+// hierarchical first stage) stages each contribution into a scratch copy,
+// runs the "minimpi.<op>" corruption point on the copy, and verifies it
+// against the deposited digest before adding it.  A detected flip is
+// repaired by re-copying from the sender's still-intact buffer (bounded
+// retries), and contributions are summed in the original order, so the
+// recovered result is bitwise-identical.  With neither integrity nor
+// faults enabled the reductions keep their zero-copy direct-sum path.
 
 #include <cstdint>
 #include <functional>

@@ -8,6 +8,8 @@
 #include "faults/checkpoint.hpp"
 #include "faults/fault.hpp"
 #include "filter/parker.hpp"
+#include "integrity/integrity.hpp"
+#include "integrity/watchdog.hpp"
 #include "pipeline/timeline.hpp"
 #include "recon/slab_backprojector.hpp"
 #include "telemetry/metrics.hpp"
@@ -62,7 +64,23 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         // Dropout: a rank scheduled to die (site "rank.dropout") finds out
         // here.  Without degraded mode this is fail-loudly — the exception
         // aborts the whole team, MPI's default error handler.
-        const bool i_died = faults::should_fail(names::kSiteRankDropout);
+        bool i_died = faults::should_fail(names::kSiteRankDropout);
+
+        // Stall: a rank wedged at startup (site "rank.stall", kind=stall)
+        // is indistinguishable from a dead one to its peers.  The watchdog
+        // supervises a health probe through the stall point; blowing the
+        // deadline converts the hang into a TransientError, and the rank
+        // declares itself dead before the liveness exchange so the same
+        // degraded-reduce machinery absorbs it.
+        if (!i_died && cfg.watchdog_timeout_s > 0.0) {
+            integrity::Watchdog wd(cfg.watchdog_timeout_s);
+            try {
+                wd.supervise(names::kWatchHealthProbe,
+                             [] { faults::stall_point(names::kSiteRankStall); });
+            } catch (const faults::TransientError&) {
+                i_died = true;
+            }
+        }
         if (i_died && !cfg.degraded_reduce)
             throw faults::InjectedFault("rank.dropout", rank, 0);
 
@@ -116,6 +134,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         rc.threaded = cfg.threaded;
         rc.beer = cfg.beer;
         rc.retry = cfg.retry;
+        rc.watchdog_timeout_s = cfg.watchdog_timeout_s;
 
         // Checkpoint resume must re-enter the per-slab reduce at the same
         // slab on every rank of the group, so reconcile to the group-wide
@@ -126,7 +145,10 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         index_t first_live = 0;
         if (cfg.checkpoint_dir) {
             const auto my_dir = *cfg.checkpoint_dir / ("rank_" + std::to_string(rank));
-            const index_t cursor = faults::CheckpointStore(my_dir).cursor();
+            // Validated, not raw: a damaged slab file lowers this rank's
+            // cursor *before* the group reconciliation, so every rank of
+            // the group re-enters the per-slab reduce at the same index.
+            const index_t cursor = faults::CheckpointStore(my_dir).validated_cursor();
             const index_t group_min =
                 root_alive ? -static_cast<index_t>(gcomm.allreduce_max(-static_cast<double>(cursor)))
                            : 0;
@@ -202,10 +224,22 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                     if (!band.empty()) {
                         auto attempt = [&] {
                             faults::check(names::kSiteSourceLoad);
-                            return t->source->load(t->views, band);
+                            ProjectionStack stack = t->source->load(t->views, band);
+                            // Same digest-corrupt-verify discipline as the
+                            // live pipeline's load stage: the takeover path
+                            // must not become an unverified side door.
+                            const integrity::digest_t d =
+                                integrity::enabled()
+                                    ? integrity::checksum_of<float>(stack.span())
+                                    : 0;
+                            faults::corrupt(names::kSiteSourceLoad,
+                                            std::as_writable_bytes(stack.span()));
+                            integrity::verify_of<float>(names::kSiteSourceLoad, stack.span(), d);
+                            return stack;
                         };
                         ProjectionStack delta =
-                            cfg.retry ? faults::with_retry("source.load", *cfg.retry, attempt)
+                            cfg.retry ? faults::with_retry(names::kSiteSourceLoad, *cfg.retry,
+                                                           attempt)
                                       : attempt();
                         if (t->source->raw_counts()) {
                             require(cfg.beer.has_value(),

@@ -57,6 +57,12 @@ struct DistributedConfig {
     std::optional<faults::RetryPolicy> retry;
     /// Slab-granular checkpoint/restart root (per-rank subdirectories).
     std::optional<std::filesystem::path> checkpoint_dir;
+    /// Watchdog deadline (seconds; <= 0 disables).  Forwarded to every
+    /// rank's pipeline, and additionally arms a pre-flight health probe:
+    /// a rank stalled past the deadline at startup (fault site
+    /// "rank.stall") is declared dead and handled exactly like a dropout,
+    /// so degraded_reduce takes over its view share.
+    double watchdog_timeout_s = 0.0;
 };
 
 struct DistributedResult {

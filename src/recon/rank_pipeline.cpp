@@ -9,6 +9,8 @@
 #include "faults/checkpoint.hpp"
 #include "faults/fault.hpp"
 #include "filter/parker.hpp"
+#include "integrity/integrity.hpp"
+#include "integrity/watchdog.hpp"
 #include "pipeline/queue.hpp"
 #include "recon/slab_backprojector.hpp"
 #include "telemetry/trace.hpp"
@@ -69,22 +71,33 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
 
     RankStats stats;
 
+    // Deadline supervision (--watchdog-timeout): the load and reduce
+    // stages are the ones that block on external progress (storage, the
+    // other ranks of the group) and therefore the ones a stall wedges.
+    integrity::Watchdog wd(cfg.watchdog_timeout_s);
+
     // Slab-granular restart: replay checkpointed slabs (group roots saved
     // them; non-roots have none and only skip), then resume computation at
     // the first incomplete slab.  The resume point must be identical across
     // a reduction group — cfg.checkpoint->resume_limit carries the
-    // group-reconciled minimum.
+    // group-reconciled minimum (already based on validated cursors, so a
+    // damaged slab below the raw cursor is recomputed, not trusted).
     std::optional<faults::CheckpointStore> ckpt;
     index_t resume = 0;
     if (cfg.checkpoint) {
         ckpt.emplace(cfg.checkpoint->dir);
-        resume = std::min(ckpt->cursor(), static_cast<index_t>(plans.size()));
+        resume = std::min(ckpt->validated_cursor(), static_cast<index_t>(plans.size()));
         if (cfg.checkpoint->resume_limit >= 0)
             resume = std::min(resume, cfg.checkpoint->resume_limit);
         for (index_t i = 0; i < resume; ++i) {
             if (!ckpt->has_slab(i)) continue;
             pipeline::ScopedSpan span(tl, "restore", i);
-            const Volume slab = ckpt->load_slab(i);
+            // load_slab runs the checkpoint.load corruption point and
+            // digest verify; a transit flip is transient, so re-read.
+            auto attempt = [&] { return ckpt->load_slab(i); };
+            const Volume slab =
+                cfg.retry ? faults::with_retry(names::kSiteCheckpointLoad, *cfg.retry, attempt)
+                          : attempt();
             store(slab, plans[static_cast<std::size_t>(i)]);
             ++stats.slabs_restored;
         }
@@ -96,8 +109,20 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         const Range band = item.plan.delta;
         if (!band.empty()) {
             auto attempt = [&] {
-                faults::check(names::kSiteSourceLoad);
-                return source.load(cfg.views, band);
+                return wd.supervise(names::kWatchSourceLoad, [&] {
+                    faults::check(names::kSiteSourceLoad);
+                    faults::stall_point(names::kSiteSourceLoad);
+                    ProjectionStack stack = source.load(cfg.views, band);
+                    // Producer-boundary digest, then the transit corruption
+                    // point, then verify — a flip between source and
+                    // consumer is caught here and re-fetched by the retry.
+                    const integrity::digest_t d =
+                        integrity::enabled() ? integrity::checksum_of<float>(stack.span()) : 0;
+                    faults::corrupt(names::kSiteSourceLoad,
+                                    std::as_writable_bytes(stack.span()));
+                    integrity::verify_of<float>(names::kSiteSourceLoad, stack.span(), d);
+                    return stack;
+                });
             };
             item.delta = cfg.retry ? faults::with_retry(names::kSiteSourceLoad, *cfg.retry, attempt)
                                    : attempt();
@@ -131,7 +156,13 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
     };
     auto reduce_one = [&](VolItem& v) {
         pipeline::ScopedSpan span(tl, "mpi", v.idx);
-        const bool is_root = reduce(v.slab, v.plan);
+        // Supervised: a collective stuck past the deadline (stalled peer)
+        // surfaces as DeadlineExceeded instead of wedging the run.  Note
+        // this fail-louds the *team* — mid-collective state cannot be
+        // retried by one rank alone (DESIGN.md §3f).
+        const bool is_root = wd.supervise(names::kWatchReduce, [&] {
+            return reduce(v.slab, v.plan);
+        });
         // Non-roots are done with this slab once the reduce completes.
         if (!is_root && ckpt) ckpt->advance(v.idx + 1);
         return is_root;

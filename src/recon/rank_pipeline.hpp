@@ -64,6 +64,12 @@ struct RankConfig {
     std::optional<faults::RetryPolicy> retry;
     /// Slab-granular checkpoint/restart (nullopt: disabled).
     std::optional<CheckpointConfig> checkpoint;
+    /// Watchdog deadline over the load and reduce stages (seconds; <= 0
+    /// disables).  A supervised stage that finishes past the deadline —
+    /// a stalled read, a collective stuck behind a dead peer, a
+    /// kind=stall fault — throws integrity::DeadlineExceeded, which the
+    /// retry layer treats like any other transient fault.
+    double watchdog_timeout_s = 0.0;
 };
 
 /// Measured per-rank statistics (stage busy times follow Table 5's

@@ -72,17 +72,6 @@ void Device::account_d2h(std::size_t bytes)
     telemetry_transfer("d2h", bytes, seconds);
 }
 
-void Device::gate(const char* site)
-{
-    if (!faults::enabled()) return;
-    auto attempt = [&] { faults::check(site); };
-    if (retry_) {
-        faults::with_retry(site, *retry_, attempt);
-    } else {
-        attempt();
-    }
-}
-
 DeviceBuffer::DeviceBuffer(Device& dev, index_t count) : dev_(&dev)
 {
     require(count > 0, "DeviceBuffer: count must be positive");
@@ -104,8 +93,17 @@ void DeviceBuffer::upload(std::span<const float> src, index_t offset)
 {
     require(offset >= 0 && offset + static_cast<index_t>(src.size()) <= count(),
             "DeviceBuffer::upload: range out of bounds");
-    dev_->gate(names::kSiteSimH2d);
-    std::copy(src.begin(), src.end(), data_.begin() + offset);
+    // Producer-side digest of the host payload, once — retries re-copy
+    // from the same (intact) source, so the expectation is stable.
+    const integrity::digest_t src_digest =
+        integrity::enabled() ? integrity::checksum_of<float>(src) : 0;
+    dev_->transfer(names::kSiteSimH2d, [&] {
+        std::copy(src.begin(), src.end(), data_.begin() + offset);
+        const auto dst = std::span<float>(data_).subspan(static_cast<std::size_t>(offset),
+                                                         src.size());
+        faults::corrupt(names::kSiteSimH2d, std::as_writable_bytes(dst));
+        integrity::verify_of<float>(names::kSiteSimH2d, dst, src_digest);
+    });
     dev_->account_h2d(src.size() * sizeof(float));
 }
 
@@ -113,9 +111,15 @@ void DeviceBuffer::download(std::span<float> dst, index_t offset) const
 {
     require(offset >= 0 && offset + static_cast<index_t>(dst.size()) <= count(),
             "DeviceBuffer::download: range out of bounds");
-    dev_->gate(names::kSiteSimD2h);
-    std::copy(data_.begin() + offset, data_.begin() + offset + static_cast<std::ptrdiff_t>(dst.size()),
-              dst.begin());
+    const auto src = std::span<const float>(data_).subspan(static_cast<std::size_t>(offset),
+                                                           dst.size());
+    const integrity::digest_t src_digest =
+        integrity::enabled() ? integrity::checksum_of<float>(src) : 0;
+    dev_->transfer(names::kSiteSimD2h, [&] {
+        std::copy(src.begin(), src.end(), dst.begin());
+        faults::corrupt(names::kSiteSimD2h, std::as_writable_bytes(dst));
+        integrity::verify_of<float>(names::kSiteSimD2h, std::span<const float>(dst), src_digest);
+    });
     dev_->account_d2h(dst.size() * sizeof(float));
 }
 
@@ -150,8 +154,15 @@ void Texture3::copy_planes(std::span<const float> src, index_t depth_begin, inde
             "Texture3::copy_planes: depth range out of bounds (wrapped copies must be split)");
     require(static_cast<index_t>(src.size()) == nplanes * plane,
             "Texture3::copy_planes: source size mismatch");
-    dev_->gate(names::kSiteSimH2d);
-    std::copy(src.begin(), src.end(), data_.begin() + depth_begin * plane);
+    const integrity::digest_t src_digest =
+        integrity::enabled() ? integrity::checksum_of<float>(src) : 0;
+    dev_->transfer(names::kSiteSimH2d, [&] {
+        std::copy(src.begin(), src.end(), data_.begin() + depth_begin * plane);
+        const auto dst = std::span<float>(data_).subspan(
+            static_cast<std::size_t>(depth_begin * plane), src.size());
+        faults::corrupt(names::kSiteSimH2d, std::as_writable_bytes(dst));
+        integrity::verify_of<float>(names::kSiteSimH2d, dst, src_digest);
+    });
     dev_->account_h2d(src.size() * sizeof(float));
 }
 
@@ -178,14 +189,24 @@ void QuantizedTexture3::copy_planes(std::span<const float> src, index_t depth_be
             "QuantizedTexture3::copy_planes: depth range out of bounds");
     require(static_cast<index_t>(src.size()) == nplanes * plane,
             "QuantizedTexture3::copy_planes: source size mismatch");
-    dev_->gate(names::kSiteSimH2d);
-    const float scale = 255.0f / (hi_ - lo_);
-    for (std::size_t i = 0; i < src.size(); ++i) {
-        float t = (src[i] - lo_) * scale;
-        t = t < 0.0f ? 0.0f : (t > 255.0f ? 255.0f : t);
-        data_[static_cast<std::size_t>(depth_begin * plane) + i] =
-            static_cast<unsigned char>(t + 0.5f);
-    }
+    dev_->transfer(names::kSiteSimH2d, [&] {
+        const float scale = 255.0f / (hi_ - lo_);
+        for (std::size_t i = 0; i < src.size(); ++i) {
+            float t = (src[i] - lo_) * scale;
+            t = t < 0.0f ? 0.0f : (t > 255.0f ? 255.0f : t);
+            data_[static_cast<std::size_t>(depth_begin * plane) + i] =
+                static_cast<unsigned char>(t + 0.5f);
+        }
+        // The stored payload is quantised, so the host fp32 digest cannot
+        // apply; digest the texels as written, then run the corruption
+        // point — transit-only coverage, like partial PFS reads.
+        const auto dst = std::span<unsigned char>(data_).subspan(
+            static_cast<std::size_t>(depth_begin * plane), src.size());
+        const integrity::digest_t texel_digest =
+            integrity::enabled() ? integrity::checksum_of<unsigned char>(dst) : 0;
+        faults::corrupt(names::kSiteSimH2d, std::as_writable_bytes(dst));
+        integrity::verify_of<unsigned char>(names::kSiteSimH2d, dst, texel_digest);
+    });
     dev_->account_h2d(src.size() * sizeof(float));  // host payload is still fp32
 }
 

@@ -23,6 +23,11 @@
 // (sites "sim.h2d" / "sim.d2h"); when a RetryPolicy is attached via
 // set_retry(), transient transfer faults are retried with bounded backoff
 // — the ECC-retry / link-replay behaviour real GPUs provide in hardware.
+// With --integrity on, each transfer also digests its source payload and
+// verifies the device-side copy against it (DESIGN.md §3f): a bit flipped
+// on the link (fault site kind=corrupt, or a real DMA error) raises
+// IntegrityError inside the retried section, so the copy simply re-runs
+// from the still-intact host buffer.
 
 #include <cstddef>
 #include <cstdint>
@@ -34,6 +39,7 @@
 #include "core/check.hpp"
 #include "core/types.hpp"
 #include "faults/retry.hpp"
+#include "integrity/integrity.hpp"
 
 namespace xct::sim {
 
@@ -86,8 +92,24 @@ public:
     void release(std::size_t bytes) noexcept;
     void account_h2d(std::size_t bytes);
     void account_d2h(std::size_t bytes);
-    /// Fault-injection gate run at the start of each transfer.
-    void gate(const char* site);
+
+    /// Run one transfer `op` (the copy + corruption point + verify) under
+    /// the fault gate: throw-class faults fire before the copy, and when a
+    /// RetryPolicy is attached any TransientError — including an
+    /// IntegrityError raised by op's own verify — re-runs the whole copy.
+    template <typename F>
+    void transfer(const char* site, F&& op)
+    {
+        auto attempt = [&] {
+            faults::check(site);
+            op();
+        };
+        if (retry_) {
+            faults::with_retry(site, *retry_, attempt);
+        } else {
+            attempt();
+        }
+    }
 
 private:
     std::size_t capacity_;

@@ -15,12 +15,21 @@ struct Registry {
 struct ScopedTrace {
     ScopedTrace(const char*, const char*, long) {}
 };
+struct Watchdog {
+    template <typename F>
+    void supervise(const char*, F&&) {}
+};
+
+inline long corrupt(const char*, char*) { return 0; }
 
 inline void record(Registry& reg)
 {
     reg.counter("bogus.metric").add(1);             // unregistered metric
     reg.gauge("made.up.gauge").add(2);              // unregistered gauge
     ScopedTrace trace("nocategory", "nospan", 0);   // unregistered category + span
+    corrupt("phantom.site", nullptr);               // unregistered fault site
+    Watchdog wd;
+    wd.supervise("no.such.section", [] {});         // unregistered watchdog section
 }
 
 }  // namespace fixture

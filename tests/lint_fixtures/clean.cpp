@@ -30,6 +30,20 @@ struct Accumulator {
     long total_ XCT_GUARDED_BY(m_) = 0;
 };
 
+struct Watchdog {
+    template <typename F>
+    void supervise(const char*, F&&) {}
+};
+
+inline long corrupt(const char*, char*) { return 0; }
+
+inline void integrity_sites()
+{
+    corrupt("checkpoint.load", nullptr);  // registered fault site
+    Watchdog wd;
+    wd.supervise("health_probe", [] {});  // registered watchdog section
+}
+
 inline float sum_volume(Registry& reg, const std::vector<float>& buf, index_t nx, index_t ny,
                         index_t nz)
 {

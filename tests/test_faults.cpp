@@ -14,9 +14,13 @@
 #include <numeric>
 #include <thread>
 
+#include <fstream>
+
 #include "core/simd.hpp"
 #include "faults/checkpoint.hpp"
 #include "faults/retry.hpp"
+#include "integrity/integrity.hpp"
+#include "integrity/watchdog.hpp"
 #include "io/pfs.hpp"
 #include "recon/distributed.hpp"
 #include "recon/fdk.hpp"
@@ -706,6 +710,364 @@ TEST(Resilience, DistributedCheckpointRestartIsBitwiseIdentical)
     index_t restored = 0;
     for (const auto& st : r.ranks) restored += st.slabs_restored;
     EXPECT_GT(restored, 0);
+}
+
+// ---- integrity: corruption detection and recovery (DESIGN.md §3f) -----
+//
+// Every kind=corrupt plan below uses a bounded after=N,count=M window:
+// the corruption point re-fires on each retry attempt, so an unbounded
+// count=-1 spec would poison every re-read and exhaust the budget.
+
+TEST(IntegrityE2E, PfsLoadCorruptionIsDetectedAndRetriedBitwise)
+{
+    integrity::ScopedEnable on;
+    io::Pfs pfs(scratch("pfs_corrupt"), 10.0, 10.0);
+    pfs.set_retry(quick_retry(4));
+    Volume v(Dim3{6, 5, 4});
+    std::iota(v.span().begin(), v.span().end(), 0.0f);
+    pfs.store_volume("v.xvol", v);
+
+    faults::ScopedPlan install(faults::FaultPlan::parse("pfs.load:kind=corrupt,after=0,count=1"));
+    const std::uint64_t inj = cval("faults.injected.pfs.load");
+    const std::uint64_t det = cval("integrity.detected.pfs.load");
+    const Volume loaded = pfs.load_volume("v.xvol");
+    EXPECT_TRUE(bitwise_equal(loaded, v));
+    EXPECT_EQ(cval("faults.injected.pfs.load") - inj, 1u);
+    EXPECT_EQ(cval("integrity.detected.pfs.load") - det, 1u);
+}
+
+TEST(IntegrityE2E, CorruptionPropagatesSilentlyWithVerificationOff)
+{
+    // The control experiment: with verification off the same flip lands in
+    // the consumer's data and nothing throws — exactly the silent-data-
+    // corruption failure mode the --integrity flag exists to close.
+    integrity::ScopedEnable off(false);
+    io::Pfs pfs(scratch("pfs_silent"), 10.0, 10.0);
+    Volume v(Dim3{4, 4, 4});
+    std::iota(v.span().begin(), v.span().end(), 1.0f);
+    pfs.store_volume("v.xvol", v);
+
+    faults::ScopedPlan install(faults::FaultPlan::parse("pfs.load:kind=corrupt,after=0,count=1"));
+    const std::uint64_t det = cval("integrity.detected");
+    const Volume loaded = pfs.load_volume("v.xvol");
+    EXPECT_FALSE(bitwise_equal(loaded, v));  // the flip went through
+    EXPECT_EQ(cval("integrity.detected"), det);
+}
+
+TEST(IntegrityE2E, SourceLoadCorruptionRecoversBitwise)
+{
+    const CbctGeometry g = geo();
+    const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+    RankConfig cfg;
+    cfg.geometry = g;
+    cfg.batches = 8;
+    PhantomSource clean_src(ph, g);
+    const FdkResult ref = reconstruct_fdk(cfg, clean_src);
+
+    integrity::ScopedEnable on;
+    faults::ScopedPlan install(
+        faults::FaultPlan::parse("source.load:kind=corrupt,after=1,count=2,flips=3"));
+    const std::uint64_t inj = cval("faults.injected.source.load");
+    const std::uint64_t det = cval("integrity.detected.source.load");
+    RankConfig rcfg = cfg;
+    rcfg.retry = quick_retry(4);
+    PhantomSource src(ph, g);
+    const FdkResult r = reconstruct_fdk(rcfg, src);
+    EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
+    EXPECT_EQ(cval("faults.injected.source.load") - inj, 2u);
+    EXPECT_EQ(cval("integrity.detected.source.load") - det, 2u);
+}
+
+TEST(IntegrityE2E, DeviceTransferCorruptionRecoversBitwise)
+{
+    const CbctGeometry g = geo();
+    const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+    RankConfig cfg;
+    cfg.geometry = g;
+    cfg.batches = 8;
+    PhantomSource clean_src(ph, g);
+    const FdkResult ref = reconstruct_fdk(cfg, clean_src);
+
+    integrity::ScopedEnable on;
+    faults::ScopedPlan install(
+        faults::FaultPlan::parse("sim.h2d:kind=corrupt,after=2,count=1"));
+    const std::uint64_t inj = cval("faults.injected.sim.h2d");
+    const std::uint64_t det = cval("integrity.detected.sim.h2d");
+    RankConfig rcfg = cfg;
+    rcfg.retry = quick_retry(4);  // SlabBackprojector forwards to the device
+    PhantomSource src(ph, g);
+    const FdkResult r = reconstruct_fdk(rcfg, src);
+    EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
+    EXPECT_EQ(cval("faults.injected.sim.h2d") - inj, 1u);
+    EXPECT_EQ(cval("integrity.detected.sim.h2d") - det, 1u);
+}
+
+TEST(IntegrityE2E, CheckpointRestoreCorruptionIsReReadBitwise)
+{
+    const CbctGeometry g = geo();
+    const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+    RankConfig cfg;
+    cfg.geometry = g;
+    cfg.batches = 8;
+    PhantomSource clean_src(ph, g);
+    const FdkResult ref = reconstruct_fdk(cfg, clean_src);
+
+    // Run B dies at the 4th slab with checkpointing on (cursor = 3).
+    const auto dir = scratch("ckpt_corrupt");
+    RankConfig bcfg = cfg;
+    bcfg.threaded = false;
+    bcfg.checkpoint = CheckpointConfig{dir, -1};
+    {
+        faults::ScopedPlan install(faults::FaultPlan::parse("source.load:after=3,count=-1"));
+        PhantomSource src(ph, g);
+        EXPECT_THROW(reconstruct_fdk(bcfg, src), faults::InjectedFault);
+    }
+
+    // Run C restores under a bit-flip on one restore read: detection plus
+    // a retry re-read of the (intact) file keeps the replay bitwise.
+    integrity::ScopedEnable on;
+    faults::ScopedPlan install(
+        faults::FaultPlan::parse("checkpoint.load:kind=corrupt,after=1,count=1"));
+    const std::uint64_t inj = cval("faults.injected.checkpoint.load");
+    const std::uint64_t det = cval("integrity.detected.checkpoint.load");
+    RankConfig ccfg = cfg;
+    ccfg.checkpoint = CheckpointConfig{dir, -1};
+    ccfg.retry = quick_retry(4);
+    PhantomSource src(ph, g);
+    const FdkResult r = reconstruct_fdk(ccfg, src);
+    EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
+    EXPECT_EQ(r.stats.slabs_restored, 3);
+    EXPECT_EQ(cval("faults.injected.checkpoint.load") - inj, 1u);
+    EXPECT_EQ(cval("integrity.detected.checkpoint.load") - det, 1u);
+}
+
+TEST(IntegrityE2E, ReduceCorruptionIsReCopiedBitwise)
+{
+    // Corruption in a reduce contribution is repaired *inside* the
+    // collective: the root re-copies from the sender's still-intact slot,
+    // no rank-level retry involved.
+    const CbctGeometry g = geo();
+    const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+    DistributedConfig cfg;
+    cfg.geometry = g;
+    cfg.layout = GroupLayout{2, 2};
+    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const DistributedResult ref = reconstruct_distributed(cfg, factory);
+
+    integrity::ScopedEnable on;
+    faults::ScopedPlan install(
+        faults::FaultPlan::parse("minimpi.reduce_sum:kind=corrupt,after=0,count=1"));
+    const std::uint64_t inj = cval("faults.injected.minimpi.reduce_sum");
+    const std::uint64_t det = cval("integrity.detected.minimpi.reduce_sum");
+    const DistributedResult r = reconstruct_distributed(cfg, factory);
+    EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
+    EXPECT_GT(cval("faults.injected.minimpi.reduce_sum"), inj);
+    EXPECT_EQ(cval("faults.injected.minimpi.reduce_sum") - inj,
+              cval("integrity.detected.minimpi.reduce_sum") - det);
+}
+
+TEST(IntegrityE2E, DegradedReduceCorruptionIsReCopiedBitwise)
+{
+    // Dropout and corruption together: rank 3 dies, a survivor takes over
+    // its share, and the keyed reduce catches a flip in one contribution.
+    const CbctGeometry g = geo();
+    const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+    DistributedConfig cfg;
+    cfg.geometry = g;
+    cfg.layout = GroupLayout{2, 2};
+    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const DistributedResult ref = reconstruct_distributed(cfg, factory);
+
+    integrity::ScopedEnable on;
+    faults::ScopedPlan install(faults::FaultPlan::parse(
+        "rank.dropout:rank=3;minimpi.reduce_sum_parts:kind=corrupt,after=0,count=1"));
+    const std::uint64_t inj = cval("faults.injected.minimpi.reduce_sum_parts");
+    const std::uint64_t det = cval("integrity.detected.minimpi.reduce_sum_parts");
+    DistributedConfig dcfg = cfg;
+    dcfg.degraded_reduce = true;
+    const DistributedResult r = reconstruct_distributed(dcfg, factory);
+    ASSERT_EQ(r.dead, (std::vector<index_t>{3}));
+    EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
+    EXPECT_GT(cval("faults.injected.minimpi.reduce_sum_parts"), inj);
+    EXPECT_EQ(cval("faults.injected.minimpi.reduce_sum_parts") - inj,
+              cval("integrity.detected.minimpi.reduce_sum_parts") - det);
+}
+
+TEST(IntegrityE2E, HierarchicalReduceCorruptionIsReCopiedBitwise)
+{
+    const CbctGeometry g = geo();
+    const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+    DistributedConfig cfg;
+    cfg.geometry = g;
+    cfg.layout = GroupLayout{1, 4};
+    cfg.ranks_per_node = 2;
+    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const DistributedResult ref = reconstruct_distributed(cfg, factory);
+
+    integrity::ScopedEnable on;
+    faults::ScopedPlan install(faults::FaultPlan::parse(
+        "minimpi.reduce_sum_hierarchical:kind=corrupt,after=0,count=1"));
+    const std::uint64_t inj = cval("faults.injected.minimpi.reduce_sum_hierarchical");
+    const std::uint64_t det = cval("integrity.detected.minimpi.reduce_sum_hierarchical");
+    const DistributedResult r = reconstruct_distributed(cfg, factory);
+    EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
+    EXPECT_GT(cval("faults.injected.minimpi.reduce_sum_hierarchical"), inj);
+    EXPECT_EQ(cval("faults.injected.minimpi.reduce_sum_hierarchical") - inj,
+              cval("integrity.detected.minimpi.reduce_sum_hierarchical") - det);
+}
+
+TEST(IntegrityE2E, CleanRunWithVerificationOnDetectsNothingAndMatchesBitwise)
+{
+    // Zero-false-positive guarantee: an unfaulted run with verification on
+    // detects nothing and produces the same bits as one with it off.
+    const CbctGeometry g = geo();
+    const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+    DistributedConfig cfg;
+    cfg.geometry = g;
+    cfg.layout = GroupLayout{2, 2};
+    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const DistributedResult ref = reconstruct_distributed(cfg, factory);
+
+    integrity::ScopedEnable on;
+    const std::uint64_t det = cval("integrity.detected");
+    const std::uint64_t ver = cval("integrity.verified");
+    const DistributedResult r = reconstruct_distributed(cfg, factory);
+    EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
+    EXPECT_EQ(cval("integrity.detected"), det);     // no false positives
+    EXPECT_GT(cval("integrity.verified"), ver);     // ...while actually checking
+}
+
+TEST(IntegrityE2E, AggressiveMultiSiteBitFlipRunDetectsEverything)
+{
+    // The headline experiment: corruption injected at the source reads,
+    // the device uploads and the reduce of a distributed run — every flip
+    // detected (injected == detected per site) and the final volume
+    // bitwise-identical to the unfaulted reference.
+    const CbctGeometry g = geo();
+    const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+    DistributedConfig cfg;
+    cfg.geometry = g;
+    cfg.layout = GroupLayout{2, 2};
+    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const DistributedResult ref = reconstruct_distributed(cfg, factory);
+
+    integrity::ScopedEnable on;
+    faults::ScopedPlan install(faults::FaultPlan::parse(
+        "source.load:kind=corrupt,after=2,count=2,flips=3;"
+        "sim.h2d:kind=corrupt,after=2,count=1;"
+        "minimpi.reduce_sum:kind=corrupt,after=1,count=1"));
+    const char* sites[] = {"source.load", "sim.h2d", "minimpi.reduce_sum"};
+    std::uint64_t inj[3], det[3];
+    for (int i = 0; i < 3; ++i) {
+        inj[i] = cval(std::string("faults.injected.") + sites[i]);
+        det[i] = cval(std::string("integrity.detected.") + sites[i]);
+    }
+    DistributedConfig fcfg = cfg;
+    fcfg.retry = quick_retry(6);
+    const DistributedResult r = reconstruct_distributed(fcfg, factory);
+    EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
+    for (int i = 0; i < 3; ++i) {
+        const std::uint64_t injected = cval(std::string("faults.injected.") + sites[i]) - inj[i];
+        const std::uint64_t detected = cval(std::string("integrity.detected.") + sites[i]) - det[i];
+        EXPECT_GT(injected, 0u) << sites[i];
+        EXPECT_EQ(injected, detected) << sites[i];
+    }
+}
+
+// ---- checkpoint damage: truncation and bit rot -------------------------
+
+TEST(Resilience, TruncatedCheckpointSlabIsRecomputedBitwise)
+{
+    const CbctGeometry g = geo();
+    const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+    RankConfig cfg;
+    cfg.geometry = g;
+    cfg.batches = 8;
+    PhantomSource clean_src(ph, g);
+    const FdkResult ref = reconstruct_fdk(cfg, clean_src);
+
+    const auto dir = scratch("ckpt_trunc");
+    RankConfig bcfg = cfg;
+    bcfg.threaded = false;
+    bcfg.checkpoint = CheckpointConfig{dir, -1};
+    {
+        faults::ScopedPlan install(faults::FaultPlan::parse("source.load:after=3,count=-1"));
+        PhantomSource src(ph, g);
+        EXPECT_THROW(reconstruct_fdk(bcfg, src), faults::InjectedFault);
+    }
+    faults::CheckpointStore store(dir);
+    ASSERT_EQ(store.cursor(), 3);
+
+    // A crash mid-write (simulated by truncating slab 1) must cap the
+    // resume point at the damage even though the raw cursor still says 3.
+    const auto slab1 = dir / "slab_1.xckp";
+    ASSERT_TRUE(std::filesystem::exists(slab1));
+    std::filesystem::resize_file(slab1, std::filesystem::file_size(slab1) / 2);
+    EXPECT_EQ(store.cursor(), 3);
+    EXPECT_EQ(store.validated_cursor(), 1);
+
+    const std::uint64_t restored_before = cval("faults.checkpoint.restored");
+    RankConfig ccfg = cfg;
+    ccfg.checkpoint = CheckpointConfig{dir, -1};
+    PhantomSource src(ph, g);
+    const FdkResult r = reconstruct_fdk(ccfg, src);
+    EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
+    EXPECT_EQ(r.stats.slabs_restored, 1);  // slab 0 replayed; 1+ recomputed
+    EXPECT_EQ(cval("faults.checkpoint.restored") - restored_before, 1u);
+}
+
+TEST(Resilience, BitFlippedCheckpointSlabLowersValidatedCursor)
+{
+    faults::CheckpointStore store(scratch("ckpt_flip"));
+    Volume v(Dim3{5, 4, 3});
+    std::iota(v.span().begin(), v.span().end(), -7.0f);
+    store.save_slab(0, v);
+    store.save_slab(1, v);
+    store.advance(2);
+    EXPECT_EQ(store.validated_cursor(), 2);
+
+    // Flip one payload bit of slab 0 on disk: structurally the file still
+    // parses, only the digest can tell.
+    const auto path = store.dir() / "slab_0.xckp";
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(-1, std::ios::end);
+    char c = 0;
+    f.get(c);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(c ^ 0x10));
+    f.close();
+
+    EXPECT_EQ(store.cursor(), 2);
+    EXPECT_EQ(store.validated_cursor(), 0);
+}
+
+// ---- stalls: watchdog-supervised recovery ------------------------------
+
+TEST(Resilience, StallPastWatchdogDeadlineIsTakenOverBitwise)
+{
+    // Rank 3 wedges at startup (kind=stall, 1 s).  The watchdog's health
+    // probe converts the overrun into a transient fault, the rank is
+    // declared dead, and degraded reduce takes over its view share — the
+    // same recovery as a fail-stop dropout, now reachable from a stall.
+    const CbctGeometry g = geo();
+    const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+    DistributedConfig cfg;
+    cfg.geometry = g;
+    cfg.layout = GroupLayout{2, 2};
+    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const DistributedResult ref = reconstruct_distributed(cfg, factory);
+
+    faults::ScopedPlan install(
+        faults::FaultPlan::parse("rank.stall:kind=stall,delay=1.0,rank=3"));
+    const std::uint64_t expired = cval("watchdog.expired.health_probe");
+    DistributedConfig dcfg = cfg;
+    dcfg.degraded_reduce = true;
+    dcfg.watchdog_timeout_s = 0.25;
+    const DistributedResult r = reconstruct_distributed(dcfg, factory);
+    ASSERT_EQ(r.dead, (std::vector<index_t>{3}));
+    EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
+    EXPECT_GE(cval("watchdog.expired.health_probe") - expired, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,292 @@
+// Integrity subsystem tests (DESIGN.md §3f): the XXH64 implementation is
+// pinned to the official test vectors and cross-checked against the spec
+// transcription on every buffer-length class; checksum/verify wire the
+// telemetry counters the e2e detection tests assert against; the fault
+// engine's corrupt/stall classes are deterministic and invisible to the
+// throw-class entry points; the watchdog converts finite overruns into
+// DeadlineExceeded.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "integrity/hash.hpp"
+#include "integrity/integrity.hpp"
+#include "integrity/watchdog.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xct::integrity {
+namespace {
+
+std::uint64_t cval(const std::string& name)
+{
+    return telemetry::registry().counter(name).value();
+}
+
+std::span<const std::byte> bytes_of(const char* s)
+{
+    return std::as_bytes(std::span<const char>(s, std::strlen(s)));
+}
+
+// ---- XXH64 correctness ------------------------------------------------
+
+TEST(Xxh64, MatchesOfficialTestVectors)
+{
+    // Vectors from the reference implementation (Cyan4973/xxHash).
+    EXPECT_EQ(digest({}), 0xEF46DB3751D8E999ull);
+    EXPECT_EQ(digest(bytes_of("abc")), 0x44BC2CF5AD770999ull);
+    EXPECT_EQ(digest(bytes_of("xxhash")), 3665147885093898016ull);
+    EXPECT_EQ(digest(bytes_of("xxhash"), 20141025), 13067679811253438005ull);
+    EXPECT_EQ(digest(bytes_of("Nobody inspects the spammish repetition")),
+              0xFBCEA83C8A378BF1ull);
+}
+
+TEST(Xxh64, ReferenceMatchesOfficialTestVectors)
+{
+    EXPECT_EQ(digest_reference({}), 0xEF46DB3751D8E999ull);
+    EXPECT_EQ(digest_reference(bytes_of("abc")), 0x44BC2CF5AD770999ull);
+    EXPECT_EQ(digest_reference(bytes_of("xxhash"), 20141025), 13067679811253438005ull);
+}
+
+TEST(Xxh64, FastPathMatchesReferenceOnEveryLengthClass)
+{
+    // Property check across the length classes the implementation
+    // branches on: empty, tail-only (<4, <8, <32), stripe loop, and
+    // stripe + every tail remainder.  Unaligned starts are covered by
+    // hashing at an offset into the buffer.
+    std::mt19937_64 rng(0x9E3779B9u);
+    std::vector<std::size_t> sizes{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 65};
+    for (std::size_t s = 100; s < 2200; s += 397) sizes.push_back(s);
+    for (const std::size_t n : sizes) {
+        std::vector<std::byte> buf(n + 3);
+        for (auto& b : buf) b = static_cast<std::byte>(rng());
+        for (const std::size_t off : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+            const std::span<const std::byte> view(buf.data() + off, n);
+            const std::uint64_t seed = rng();
+            ASSERT_EQ(digest(view, seed), digest_reference(view, seed))
+                << "n=" << n << " off=" << off;
+        }
+    }
+}
+
+TEST(Xxh64, TypedHelperHashesUnderlyingBytes)
+{
+    const std::vector<float> v{1.0f, -2.5f, 3.25f, 0.0f};
+    EXPECT_EQ(digest_of<float>(v), digest(std::as_bytes(std::span<const float>(v))));
+}
+
+// ---- checksum / verify ------------------------------------------------
+
+TEST(Integrity, ChecksumBumpsDigestCounters)
+{
+    const std::vector<float> v(257, 1.5f);
+    const std::uint64_t d0 = cval("integrity.digests");
+    const std::uint64_t b0 = cval("integrity.digest.bytes");
+    checksum_of<float>(v);
+    EXPECT_EQ(cval("integrity.digests"), d0 + 1);
+    EXPECT_EQ(cval("integrity.digest.bytes"), b0 + v.size() * sizeof(float));
+}
+
+TEST(Integrity, VerifyPassesOnIntactDataAndCountsIt)
+{
+    ScopedEnable on;
+    std::vector<float> v(64, 2.0f);
+    const digest_t d = checksum_of<float>(v);
+    const std::uint64_t ok0 = cval("integrity.verified");
+    EXPECT_NO_THROW(verify_of<float>("pfs.load", v, d));
+    EXPECT_EQ(cval("integrity.verified"), ok0 + 1);
+}
+
+TEST(Integrity, VerifyDetectsASingleFlippedBit)
+{
+    ScopedEnable on;
+    std::vector<float> v(64, 2.0f);
+    const digest_t d = checksum_of<float>(v);
+    auto bytes = std::as_writable_bytes(std::span<float>(v));
+    bytes[17] ^= std::byte{0x10};
+    const std::uint64_t det0 = cval("integrity.detected");
+    const std::uint64_t site0 = cval("integrity.detected.pfs.load");
+    EXPECT_THROW(verify_of<float>("pfs.load", v, d), IntegrityError);
+    EXPECT_EQ(cval("integrity.detected"), det0 + 1);
+    EXPECT_EQ(cval("integrity.detected.pfs.load"), site0 + 1);
+    // IntegrityError is transient: the retry layer must catch it.
+    try {
+        verify_of<float>("pfs.load", v, d);
+        FAIL() << "expected IntegrityError";
+    } catch (const faults::TransientError&) {
+    }
+}
+
+TEST(Integrity, VerifyIsANoOpWhileDisabled)
+{
+    ScopedEnable off(false);
+    std::vector<float> v(16, 1.0f);
+    // Wrong digest on purpose: disabled verify must not even look.
+    EXPECT_NO_THROW(verify_of<float>("pfs.load", v, 0xDEADBEEFull));
+}
+
+TEST(Integrity, ScopedEnableRestoresPreviousState)
+{
+    const bool before = enabled();
+    {
+        ScopedEnable on(true);
+        EXPECT_TRUE(enabled());
+        {
+            ScopedEnable off(false);
+            EXPECT_FALSE(enabled());
+        }
+        EXPECT_TRUE(enabled());
+    }
+    EXPECT_EQ(enabled(), before);
+}
+
+// ---- fault classes: corrupt & stall ----------------------------------
+
+TEST(FaultClasses, ParseReadsKindFlipsAndDelay)
+{
+    const auto plan = faults::FaultPlan::parse(
+        "pfs.load:kind=corrupt,flips=3,after=0;source.load:kind=stall,delay=0.25,after=1");
+    const auto& c = plan.specs().at("pfs.load");
+    EXPECT_EQ(c.kind, faults::FaultKind::Corrupt);
+    EXPECT_EQ(c.flips, 3);
+    const auto& s = plan.specs().at("source.load");
+    EXPECT_EQ(s.kind, faults::FaultKind::Stall);
+    EXPECT_DOUBLE_EQ(s.stall_s, 0.25);
+    EXPECT_THROW(faults::FaultPlan::parse("x:kind=explode"), std::invalid_argument);
+    EXPECT_THROW(faults::FaultPlan::parse("x:kind=corrupt,flips=0,after=0"),
+                 std::invalid_argument);
+}
+
+TEST(FaultClasses, CorruptFlipsExactlyTheConfiguredDistinctBits)
+{
+    faults::ScopedPlan install(
+        faults::FaultPlan::parse("pfs.load:kind=corrupt,flips=5,after=0,count=1"));
+    std::vector<std::byte> buf(256, std::byte{0});
+    const index_t flipped = faults::corrupt("pfs.load", buf);
+    EXPECT_EQ(flipped, 5);
+    index_t ones = 0;
+    for (const std::byte b : buf)
+        for (int i = 0; i < 8; ++i) ones += (std::to_integer<unsigned>(b) >> i) & 1u;
+    // Distinct positions: no two flips may cancel.
+    EXPECT_EQ(ones, 5);
+    // count=1: the second call does not fire.
+    EXPECT_EQ(faults::corrupt("pfs.load", buf), 0);
+}
+
+TEST(FaultClasses, CorruptIsDeterministicAcrossRuns)
+{
+    std::vector<std::byte> a(128, std::byte{0}), b(128, std::byte{0});
+    {
+        faults::ScopedPlan install(
+            faults::FaultPlan::parse("sim.h2d:kind=corrupt,flips=4,after=0", 42));
+        faults::corrupt("sim.h2d", a);
+    }
+    {
+        faults::ScopedPlan install(
+            faults::FaultPlan::parse("sim.h2d:kind=corrupt,flips=4,after=0", 42));
+        faults::corrupt("sim.h2d", b);
+    }
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0);
+}
+
+TEST(FaultClasses, EmptyBufferDoesNotConsumeACorruptCall)
+{
+    faults::ScopedPlan install(
+        faults::FaultPlan::parse("pfs.load:kind=corrupt,after=0,count=1"));
+    std::vector<std::byte> empty;
+    EXPECT_EQ(faults::corrupt("pfs.load", empty), 0);  // no data to poison
+    std::vector<std::byte> buf(8, std::byte{0});
+    EXPECT_EQ(faults::corrupt("pfs.load", buf), 1);  // still fires on real data
+}
+
+TEST(FaultClasses, KindsAreInvisibleToOtherEntryPoints)
+{
+    // A corrupt spec never makes check() throw, and a throw spec never
+    // flips bits — each entry point only sees its own kind.
+    faults::ScopedPlan install(faults::FaultPlan::parse(
+        "pfs.load:kind=corrupt,after=0,count=-1;sim.h2d:after=0,count=-1"));
+    EXPECT_NO_THROW(faults::check("pfs.load"));
+    EXPECT_FALSE(faults::should_fail("pfs.load"));
+    std::vector<std::byte> buf(8, std::byte{0xFF});
+    const std::vector<std::byte> orig = buf;
+    EXPECT_EQ(faults::corrupt("sim.h2d", buf), 0);
+    EXPECT_EQ(std::memcmp(buf.data(), orig.data(), buf.size()), 0);
+    EXPECT_EQ(faults::stall_point("sim.h2d"), 0.0);
+}
+
+TEST(FaultClasses, StallPointSleepsForTheConfiguredDelay)
+{
+    faults::ScopedPlan install(
+        faults::FaultPlan::parse("source.load:kind=stall,delay=0.02,after=0,count=1"));
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_DOUBLE_EQ(faults::stall_point("source.load"), 0.02);
+    const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                               .count();
+    EXPECT_GE(elapsed, 0.02);
+    EXPECT_EQ(faults::stall_point("source.load"), 0.0);  // count=1 consumed
+}
+
+// ---- watchdog ---------------------------------------------------------
+
+TEST(WatchdogTest, DisabledSuperviseIsADirectCall)
+{
+    Watchdog wd(0.0);
+    EXPECT_FALSE(wd.enabled());
+    EXPECT_EQ(wd.supervise("source.load", [] { return 41 + 1; }), 42);
+}
+
+TEST(WatchdogTest, FastSectionPassesAndCountsSupervision)
+{
+    Watchdog wd(5.0);
+    const std::uint64_t s0 = cval("watchdog.supervised");
+    EXPECT_EQ(wd.supervise("source.load", [] { return 7; }), 7);
+    int side = 0;
+    wd.supervise("reduce", [&] { side = 3; });  // void form
+    EXPECT_EQ(side, 3);
+    EXPECT_EQ(cval("watchdog.supervised"), s0 + 2);
+}
+
+TEST(WatchdogTest, OverrunThrowsDeadlineExceededAndCountsIt)
+{
+    Watchdog wd(0.005);
+    const std::uint64_t e0 = cval("watchdog.expired");
+    const std::uint64_t es0 = cval("watchdog.expired.health_probe");
+    try {
+        wd.supervise("health_probe", [] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        });
+        FAIL() << "expected DeadlineExceeded";
+    } catch (const DeadlineExceeded& e) {
+        EXPECT_EQ(e.section(), "health_probe");
+    }
+    EXPECT_EQ(cval("watchdog.expired"), e0 + 1);
+    EXPECT_EQ(cval("watchdog.expired.health_probe"), es0 + 1);
+}
+
+TEST(WatchdogTest, DeadlineExceededIsTransient)
+{
+    // The whole recovery story hinges on this inheritance: an overrun must
+    // route through the same catch sites as an injected fault.
+    Watchdog wd(0.001);
+    EXPECT_THROW(wd.supervise("reduce",
+                              [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); }),
+                 faults::TransientError);
+}
+
+TEST(WatchdogTest, InjectedStallTripsTheDeadline)
+{
+    // The e2e composition: kind=stall fault inside a supervised section.
+    faults::ScopedPlan install(
+        faults::FaultPlan::parse("source.load:kind=stall,delay=0.03,after=0,count=1"));
+    Watchdog wd(0.005);
+    EXPECT_THROW(wd.supervise("source.load", [] { faults::stall_point("source.load"); }),
+                 DeadlineExceeded);
+    // The stall was consumed; a re-run (what a retry would do) passes.
+    EXPECT_NO_THROW(wd.supervise("source.load", [] { faults::stall_point("source.load"); }));
+}
+
+}  // namespace
+}  // namespace xct::integrity

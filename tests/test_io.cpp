@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <cstring>
 #include <fstream>
+#include <functional>
 
 #include "io/datasets.hpp"
 #include "io/geometry_io.hpp"
@@ -303,6 +305,100 @@ TEST(GeometryIo, RejectsInvalidGeometry)
 TEST(GeometryIo, MissingFileThrows)
 {
     EXPECT_THROW(read_geometry("/nonexistent/x.geom"), std::invalid_argument);
+}
+
+// ---- structural validation: truncation, size mismatch, checkpoints -----
+// (DESIGN.md §3f: readers reject damaged files with a file:line-bearing
+// error instead of reading short.)
+
+/// The exact error message, for asserting on its file:line prefix.
+std::string thrown_message(const std::function<void()>& fn)
+{
+    try {
+        fn();
+    } catch (const std::exception& e) {
+        return e.what();
+    }
+    return {};
+}
+
+TEST(RawIo, RejectsTruncatedVolumeWithFileLine)
+{
+    const auto dir = tmp_dir();
+    Volume v(Dim3{6, 5, 4});
+    write_volume(dir / "v.xvol", v);
+    const auto path = dir / "v.xvol";
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) - 7);
+    EXPECT_THROW(read_volume(path), std::invalid_argument);
+    const std::string msg = thrown_message([&] { read_volume(path); });
+    EXPECT_NE(msg.find("raw_io.cpp:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("size mismatch"), std::string::npos) << msg;
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RawIo, RejectsOversizedVolume)
+{
+    // Longer-than-header files are just as suspect as truncated ones: the
+    // header no longer describes the payload that follows.
+    const auto dir = tmp_dir();
+    write_volume(dir / "v.xvol", Volume(Dim3{3, 3, 3}));
+    {
+        std::ofstream f(dir / "v.xvol", std::ios::binary | std::ios::app);
+        const float junk = 0.0f;
+        f.write(reinterpret_cast<const char*>(&junk), sizeof junk);
+    }
+    EXPECT_THROW(read_volume(dir / "v.xvol"), std::invalid_argument);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RawIo, RejectsTruncatedStackEvenForPartialReads)
+{
+    // read_stack_rows seeks into the payload, so without the up-front
+    // whole-file size check a truncated tail would only surface for the
+    // unlucky view that straddles the cut.
+    const auto dir = tmp_dir();
+    ProjectionStack p(4, Range{0, 8}, 6);
+    write_stack(dir / "p.xstk", p);
+    const auto path = dir / "p.xstk";
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+    EXPECT_THROW(read_stack(path), std::invalid_argument);
+    EXPECT_THROW(stack_info(path), std::invalid_argument);
+    const std::string msg =
+        thrown_message([&] { read_stack_rows(path, Range{0, 1}, Range{0, 2}); });
+    EXPECT_NE(msg.find("raw_io.cpp:"), std::string::npos) << msg;
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointIo, SlabRoundTripCarriesDigest)
+{
+    const auto dir = tmp_dir();
+    Volume v(Dim3{5, 4, 3});
+    for (index_t i = 0; i < v.count(); ++i)
+        v.span()[static_cast<std::size_t>(i)] = static_cast<float>(i) - 17.5f;
+    write_checkpoint_slab(dir / "s.xckp", v, 0xDEADBEEFCAFEF00Dull);
+    const CheckpointSlab slab = read_checkpoint_slab(dir / "s.xckp");
+    EXPECT_EQ(slab.digest, 0xDEADBEEFCAFEF00Dull);
+    ASSERT_EQ(slab.volume.size(), v.size());
+    EXPECT_EQ(std::memcmp(slab.volume.span().data(), v.span().data(),
+                          static_cast<std::size_t>(v.count()) * sizeof(float)),
+              0);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointIo, RejectsForeignMagicAndTruncation)
+{
+    const auto dir = tmp_dir();
+    // A volume file is not a checkpoint slab (versioned magic differs)...
+    write_volume(dir / "v.xvol", Volume(Dim3{2, 2, 2}));
+    EXPECT_THROW(read_checkpoint_slab(dir / "v.xvol"), std::invalid_argument);
+    // ...and a half-written slab is rejected structurally, before any
+    // digest comparison could even run.
+    write_checkpoint_slab(dir / "s.xckp", Volume(Dim3{4, 4, 4}), 1);
+    std::filesystem::resize_file(dir / "s.xckp",
+                                 std::filesystem::file_size(dir / "s.xckp") - 9);
+    const std::string msg = thrown_message([&] { read_checkpoint_slab(dir / "s.xckp"); });
+    EXPECT_NE(msg.find("raw_io.cpp:"), std::string::npos) << msg;
+    std::filesystem::remove_all(dir);
 }
 
 }  // namespace

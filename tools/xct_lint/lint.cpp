@@ -124,6 +124,11 @@ const std::vector<NamePattern>& name_patterns()
         {"InjectedFault", {1}},
         {"gate", {1}},
         {"guarded", {1}},
+        {"corrupt", {1}},      // faults::corrupt(site, buf)
+        {"stall_point", {1}},  // faults::stall_point(site)
+        {"supervise", {1}},    // Watchdog::supervise(section, fn)
+        {"verify", {1}},       // integrity::verify(site, bytes, digest)
+        {"transfer", {1}},     // sim::Device::transfer(site, op)
     };
     return p;
 }

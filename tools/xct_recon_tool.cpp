@@ -15,10 +15,17 @@
 //
 // Resilience: `--faults "<site>[:k=v,...][;...]"` installs a deterministic
 // fault plan (sites: pfs.load, pfs.store, sim.h2d, sim.d2h, source.load,
-// minimpi.<op>, rank.dropout), `--retry N` retries transient faults up to
+// minimpi.<op>, rank.dropout, checkpoint.load, rank.stall; kinds
+// throw|corrupt|stall), `--retry N` retries transient faults up to
 // N attempts with exponential backoff, `--checkpoint-dir d` enables
 // slab-granular checkpoint/restart, and `--degraded` lets the distributed
 // run survive rank dropouts with an accuracy-identical degraded reduce.
+//
+// Integrity (DESIGN.md §3f): `--integrity` turns on end-to-end digest
+// verification of every bulk data movement — detected corruption raises a
+// transient IntegrityError the --retry machinery repairs — and
+// `--watchdog-timeout S` arms a deadline over the load/reduce stages plus
+// a startup health probe, converting stalls into recoverable faults.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,6 +33,7 @@
 
 #include "cli.hpp"
 #include "faults/fault.hpp"
+#include "integrity/integrity.hpp"
 #include "io/geometry_io.hpp"
 #include "io/raw_io.hpp"
 #include "recon/distributed.hpp"
@@ -51,6 +59,9 @@ int main(int argc, char** argv)
         .option("fault-seed", "1", "seed for probabilistic fault triggers")
         .option("retry", "0", "retry transient faults up to N attempts (0 = fail loudly)")
         .option("checkpoint-dir", "", "slab-granular checkpoint/restart directory")
+        .option("watchdog-timeout", "0",
+                "stage deadline in seconds (0 = off); overruns become transient faults")
+        .flag("integrity", "verify xxh64 digests on every bulk data movement")
         .flag("degraded", "survive rank dropouts via the degraded-mode reduce")
         .flag("sequential", "disable the 5-thread pipeline (debugging)");
     args.parse(argc, argv, "FDK cone-beam reconstruction");
@@ -58,6 +69,8 @@ int main(int argc, char** argv)
     if (args.is_set("faults"))
         faults::set_plan(faults::FaultPlan::parse(
             args.get("faults"), static_cast<std::uint64_t>(args.get_int("fault-seed"))));
+    integrity::set_enabled(args.get_flag("integrity"));
+    const double watchdog_timeout = args.get_double("watchdog-timeout");
     std::optional<faults::RetryPolicy> retry;
     if (args.get_int("retry") > 0) {
         retry.emplace();
@@ -128,6 +141,7 @@ int main(int argc, char** argv)
         cfg.threaded = !args.get_flag("sequential");
         if (gf.raw_counts) cfg.beer = gf.beer;
         cfg.retry = retry;
+        cfg.watchdog_timeout_s = watchdog_timeout;
         if (args.is_set("checkpoint-dir"))
             cfg.checkpoint = recon::CheckpointConfig{args.get("checkpoint-dir"), -1};
         const recon::FdkResult r = recon::reconstruct_fdk(cfg, src);
@@ -146,6 +160,7 @@ int main(int argc, char** argv)
         if (gf.raw_counts) cfg.beer = gf.beer;
         cfg.retry = retry;
         cfg.degraded_reduce = args.get_flag("degraded");
+        cfg.watchdog_timeout_s = watchdog_timeout;
         if (args.is_set("checkpoint-dir")) cfg.checkpoint_dir = args.get("checkpoint-dir");
         const auto factory = [&](index_t) {
             return std::make_unique<recon::MemorySource>(stack, gf.raw_counts);
