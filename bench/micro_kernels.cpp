@@ -19,6 +19,7 @@
 #include "backproj/rtk_style.hpp"
 #include "bench_common.hpp"
 #include "core/decompose.hpp"
+#include "core/names.hpp"
 #include "core/scratch.hpp"
 #include "core/simd.hpp"
 #include "fft/fft.hpp"
@@ -28,6 +29,9 @@
 #include "minimpi/comm.hpp"
 #include "phantom/shepp_logan.hpp"
 #include "recon/fdk.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 using namespace xct;
@@ -373,9 +377,10 @@ void emit_bench_json(const std::string& path)
 
     // Integrity layer (DESIGN.md §3f): raw xxh64 throughput (fast vs the
     // spec-transcribed reference) and the end-to-end clean-path cost of
-    // --integrity on a single-rank reconstruction.  The acceptance gate is
-    // overhead_percent < 3 — digesting must stay invisible next to the
-    // kernels it protects.
+    // --integrity on a single-rank reconstruction.  The design target is
+    // overhead_percent < 3; the differential timing of a ~30 ms run is
+    // noisy, so the bench_gate cap above it only catches digesting
+    // becoming a first-order cost.
     {
         std::vector<float> buf(static_cast<std::size_t>(16) << 20 >> 2);  // 16 MiB
         std::mt19937 rng(11);
@@ -419,6 +424,71 @@ void emit_bench_json(const std::string& path)
              {"fdk_seconds_integrity_on", bench::json_num(t_on)},
              {"overhead_percent", bench::json_num((t_on / t_off - 1.0) * 100.0)}});
     }
+
+    // Flight recorder (DESIGN.md §3g): the warm per-span cost of the
+    // always-on ring, and the derived clean-path overhead on a
+    // single-rank FDK run (spans recorded x per-span cost / wall).  The
+    // acceptance gate is overhead_percent < 2 — always-on must be free.
+    {
+        constexpr int kProbeSpans = 1 << 20;
+        const auto spin = [&] {
+            for (int i = 0; i < kProbeSpans; ++i)
+                telemetry::ScopedTrace span(names::kCatBench, names::kSpanBenchProbe);
+        };
+        spin();  // warm: ring acquired, slots resident
+        const std::uint64_t e0 = scratch::heap_events();
+        const double t_span = seconds_best_of(3, spin) / kProbeSpans;
+        const std::uint64_t warm_heap = scratch::heap_events() - e0;
+
+        const CbctGeometry g = bench_geo(32);
+        const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+        const auto run_fdk = [&] {
+            recon::PhantomSource src(ph, g);
+            recon::RankConfig cfg;
+            cfg.geometry = g;
+            cfg.batches = 8;
+            benchmark::DoNotOptimize(recon::reconstruct_fdk(cfg, src).volume.span().data());
+        };
+        run_fdk();
+        // One rep, so the span-count delta covers exactly the timed run.
+        const std::uint64_t r0 = telemetry::flight::total_records();
+        const double t_fdk = seconds_best_of(1, run_fdk);
+        const double fdk_spans =
+            static_cast<double>(telemetry::flight::total_records() - r0);
+        const double overhead = 100.0 * fdk_spans * t_span / t_fdk;
+        require(overhead < 2.0, "flight recorder overhead exceeds 2% of FDK wall time");
+
+        bench::write_json_section(
+            path, "flight",
+            {{"ns_per_span", bench::json_num(t_span * 1e9)},
+             {"spans_per_s", bench::json_num(1.0 / t_span)},
+             {"warm_heap_events", bench::json_num(static_cast<double>(warm_heap))},
+             {"fdk_spans", bench::json_num(fdk_spans)},
+             {"overhead_percent", bench::json_num(overhead)}});
+    }
+
+    // Bytes moved by the simulated device over a fixed single-rank run —
+    // fully determined by geometry and batching, so the trend gate pins
+    // them exactly: any drift means the pipeline transfers different data.
+    {
+        const CbctGeometry g = bench_geo(32);
+        const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
+        auto& reg = telemetry::registry();
+        const std::uint64_t h0 = reg.counter(names::kMetricSimH2dBytes).value();
+        const std::uint64_t d0 = reg.counter(names::kMetricSimD2hBytes).value();
+        recon::PhantomSource src(ph, g);
+        recon::RankConfig cfg;
+        cfg.geometry = g;
+        cfg.batches = 8;
+        benchmark::DoNotOptimize(recon::reconstruct_fdk(cfg, src).volume.span().data());
+        const std::uint64_t h2d = reg.counter(names::kMetricSimH2dBytes).value() - h0;
+        const std::uint64_t d2h = reg.counter(names::kMetricSimD2hBytes).value() - d0;
+
+        bench::write_json_section(
+            path, "transport",
+            {{"h2d_bytes", bench::json_num(static_cast<double>(h2d))},
+             {"d2h_bytes", bench::json_num(static_cast<double>(d2h))}});
+    }
 }
 
 }  // namespace
@@ -430,6 +500,7 @@ int main(int argc, char** argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     emit_bench_json("BENCH_pr4.json");
-    std::printf("BENCH_pr4.json written (backproj / filter / fft / integrity sections)\n");
+    std::printf("BENCH_pr4.json written (backproj / filter / fft / integrity / flight / "
+                "transport sections)\n");
     return 0;
 }

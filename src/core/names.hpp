@@ -7,7 +7,8 @@
 // a fault plan never fire.  This header is the single source of truth —
 // tools/xct_lint enforces (rule `names`) that every string literal passed
 // to telemetry::Registry::{counter,gauge,histogram}, ScopedTrace,
-// Tracer::record*, faults::{check,should_fail}, sim::Device::gate and
+// Tracer::record*, flight::{record,intern,dump_postmortem},
+// fleet_observe, faults::{check,should_fail}, sim::Device::gate and
 // io::Pfs::guarded either appears verbatim below or extends one of the
 // registered prefixes (entries ending in '.').
 //
@@ -25,6 +26,8 @@ inline constexpr const char* kCatIo = "io";
 inline constexpr const char* kCatFilter = "filter";
 inline constexpr const char* kCatFaults = "faults";
 inline constexpr const char* kCatIntegrity = "integrity";
+inline constexpr const char* kCatFlight = "flight";
+inline constexpr const char* kCatBench = "bench";  ///< micro-bench probe spans
 
 // ---- trace span names ---------------------------------------------------
 inline constexpr const char* kSpanReduceSum = "reduce_sum";
@@ -42,6 +45,8 @@ inline constexpr const char* kSpanCkptRestore = "ckpt.restore";
 inline constexpr const char* kSpanTakeover = "takeover";
 inline constexpr const char* kSpanPfsPrefix = "pfs.";  ///< + "load" / "store"
 inline constexpr const char* kSpanVerify = "verify";   ///< one digest verification
+inline constexpr const char* kSpanFlightDump = "dump";  ///< one post-mortem ring dump
+inline constexpr const char* kSpanBenchProbe = "probe";  ///< flight-overhead probe span
 
 // ---- metric names (registry counters / gauges / histograms) -------------
 inline constexpr const char* kMetricFaultsInjected = "faults.injected";
@@ -81,6 +86,25 @@ inline constexpr const char* kMetricSimPrefix = "sim.";          ///< + dir + ".
 inline constexpr const char* kMetricSimH2dBytes = "sim.h2d.bytes";
 inline constexpr const char* kMetricSimH2dTransfers = "sim.h2d.transfers";
 inline constexpr const char* kMetricSimD2hBytes = "sim.d2h.bytes";
+// flight.* (src/telemetry/flight): always-on post-mortem ring recorder.
+// dumps = post-mortem traces written (by reason: watchdog, integrity,
+// signal, manual), threads = rings ever registered (live + retired).
+inline constexpr const char* kMetricFlightDumps = "flight.dumps";
+inline constexpr const char* kMetricFlightDumpsPrefix = "flight.dumps.";  ///< + reason
+inline constexpr const char* kMetricFlightThreads = "flight.threads";
+// fleet.* (src/telemetry/report): cross-rank aggregation of per-rank
+// stage timings into log-bucketed histograms; report.cpp reads these
+// back out as fleet p50/p95/p99.
+inline constexpr const char* kMetricFleetStagePrefix = "fleet.stage.";  ///< + stage + ".seconds"
+inline constexpr const char* kMetricFleetRanks = "fleet.ranks";  ///< ranks aggregated
+// Pseudo-stage fed to fleet_observe next to the five pipeline stages.
+inline constexpr const char* kStageWall = "wall";  ///< whole-rank wall clock
+
+// ---- flight post-mortem reasons (flight::dump_postmortem) ---------------
+// Expand kMetricFlightDumpsPrefix, e.g. "flight.dumps.watchdog".
+inline constexpr const char* kFlightReasonWatchdog = "watchdog";
+inline constexpr const char* kFlightReasonIntegrity = "integrity";
+inline constexpr const char* kFlightReasonSignal = "signal";
 
 // ---- fault-injection sites (FaultPlan spec keys) ------------------------
 inline constexpr const char* kSitePfsLoad = "pfs.load";

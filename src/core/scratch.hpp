@@ -57,6 +57,14 @@ inline std::uint64_t heap_events()
     return detail::g_heap_events.load(std::memory_order_relaxed);
 }
 
+/// Report a heap allocation made by a subsystem with its own pooling
+/// (e.g. the flight recorder's cold-path ring / intern growth), so the
+/// zero-alloc-when-warm assertion covers it through the same counter.
+inline void note_heap_event()
+{
+    detail::g_heap_events.fetch_add(1, std::memory_order_relaxed);
+}
+
 /// RAII lease of a thread-local pooled buffer of `n` elements of T.
 /// Move-only; releases back to the acquiring thread's pool on destruction.
 template <typename T>

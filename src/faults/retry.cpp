@@ -54,6 +54,11 @@ void on_retry(const char* site, const RetryPolicy& policy, index_t attempt)
     reg.counter(names::kMetricFaultsRetryAttempts).add(1);
     reg.counter(std::string(names::kMetricFaultsRetryPrefix) + site + ".attempts").add(1);
     reg.gauge(names::kMetricFaultsRetryDelaySeconds).add(delay);
+    // Log-bucketed distribution of backoff delays (100 us .. ~1.6 ks):
+    // the gauge above keeps the total, the histogram the tail shape.
+    reg.histogram(names::kMetricFaultsRetryDelaySeconds,
+                  telemetry::exp_bounds(1e-4, 4.0, 12))
+        .observe(delay);
     telemetry::ScopedTrace trace(names::kCatFaults, names::kSpanRetry, attempt);
     std::this_thread::sleep_for(std::chrono::duration<double>(delay));
 }

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "core/names.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -62,6 +63,10 @@ void verify(const char* site, std::span<const std::byte> bytes, digest_t expecte
     }
     reg.counter(names::kMetricIntegrityDetected).add(1);
     reg.counter(std::string(names::kMetricIntegrityDetectedPrefix) + site).add(1);
+    // Detected corruption triggers a post-mortem of the recent past (the
+    // transfer/filter/bp spans leading up to the bad digest) before the
+    // retry machinery repairs and overwrites the evidence.
+    telemetry::flight::dump_postmortem(names::kFlightReasonIntegrity);
     throw IntegrityError(site, expected, actual);
 }
 

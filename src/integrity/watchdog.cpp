@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/names.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace xct::integrity {
@@ -18,6 +19,9 @@ void count_expired(const std::string& what)
     auto& reg = telemetry::registry();
     reg.counter(names::kMetricWatchdogExpired).add(1);
     reg.counter(std::string(names::kMetricWatchdogExpiredPrefix) + what).add(1);
+    // A tripped deadline is exactly the moment the recent past matters:
+    // capture what every thread was doing before recovery rewinds it.
+    telemetry::flight::dump_postmortem(names::kFlightReasonWatchdog);
 }
 
 }  // namespace

@@ -27,6 +27,11 @@ double Timeline::elapsed() const
 
 void Timeline::record(std::string stage, index_t item, double begin, double end)
 {
+    // Always feed the flight recorder: epoch_ is absolute on the same
+    // clock, and the stage names are in the intern fast path, so this is
+    // one lock-free ring store per span.
+    telemetry::flight::record(names::kCatPipeline, telemetry::flight::intern(stage),
+                              epoch_ + begin, epoch_ + end, item);
     // Feed the process-wide telemetry when enabled: the span lands on the
     // tracer's single timebase (epoch_ is absolute, same clock), and the
     // per-stage busy time accumulates in the metrics registry.  Disabled

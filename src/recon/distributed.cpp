@@ -61,6 +61,34 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         const index_t rank = world.rank();
         const index_t group = cfg.layout.group_of(rank);
 
+        // Fleet aggregation (DESIGN.md §3g): every rank — dead ones
+        // included, with zeros — contributes its stage busy seconds to a
+        // final world gather, and rank 0 folds the fleet into the
+        // log-bucketed `fleet.stage.<stage>.seconds` histograms the run
+        // report reads percentiles from.  All ranks must pass through
+        // here or the collective deadlocks, which is why dead ranks call
+        // it on their early-return path.
+        const auto fleet_gather = [&](const RankStats& st) {
+            static constexpr const char* kStages[6] = {"load",   "filter", "bp",
+                                                       "reduce", "store",  "wall"};
+            const std::vector<float> mine = {
+                static_cast<float>(st.t_load),  static_cast<float>(st.t_filter),
+                static_cast<float>(st.t_bp),    static_cast<float>(st.t_reduce),
+                static_cast<float>(st.t_store), static_cast<float>(st.wall)};
+            std::vector<float> all(static_cast<std::size_t>(nranks) * mine.size());
+            world.gather(mine, all, 0);
+            if (rank != 0) return;
+            std::uint64_t contributing = 0;
+            for (index_t r = 0; r < nranks; ++r) {
+                const std::size_t base = static_cast<std::size_t>(r) * mine.size();
+                if (all[base + 5] <= 0.0f) continue;  // dead rank: zeros
+                ++contributing;
+                for (std::size_t s = 0; s < mine.size(); ++s)
+                    telemetry::fleet_observe(kStages[s], static_cast<double>(all[base + s]));
+            }
+            telemetry::registry().counter(names::kMetricFleetRanks).add(contributing);
+        };
+
         // Dropout: a rank scheduled to die (site "rank.dropout") finds out
         // here.  Without degraded mode this is fail-loudly — the exception
         // aborts the whole team, MPI's default error handler.
@@ -75,8 +103,14 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         if (!i_died && cfg.watchdog_timeout_s > 0.0) {
             integrity::Watchdog wd(cfg.watchdog_timeout_s);
             try {
-                wd.supervise(names::kWatchHealthProbe,
-                             [] { faults::stall_point(names::kSiteRankStall); });
+                // The probe is a flight span: healthy ranks' completed
+                // probes are the "recent past" a post-mortem dump shows
+                // when a wedged peer trips the deadline at startup.
+                wd.supervise(names::kWatchHealthProbe, [rank] {
+                    telemetry::ScopedTrace probe(names::kCatIntegrity,
+                                                 names::kWatchHealthProbe, rank);
+                    faults::stall_point(names::kSiteRankStall);
+                });
             } catch (const faults::TransientError&) {
                 i_died = true;
             }
@@ -117,7 +151,10 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
             // stays root.
             const index_t color = i_died ? cfg.layout.num_groups : group;
             gcomm = world.split(color, cfg.layout.rank_in_group(rank));
-            if (i_died) return;
+            if (i_died) {
+                fleet_gather(RankStats{});  // zeros, so the world gather completes
+                return;
+            }
         } else {
             gcomm = world.split(group, cfg.layout.rank_in_group(rank));
         }
@@ -283,6 +320,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         auto source = make_source(rank);
         require(source != nullptr, "reconstruct_distributed: source factory returned null");
         result.ranks[static_cast<std::size_t>(rank)] = run_rank(rc, *source, reduce, store);
+        fleet_gather(result.ranks[static_cast<std::size_t>(rank)]);
     });
     result.wall_seconds = pipeline::now_seconds() - t0;
     return result;

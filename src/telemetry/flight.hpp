@@ -1,0 +1,121 @@
+#pragma once
+// Always-on flight recorder: the last N spans of every thread, for free.
+//
+// The tracer (telemetry/trace.hpp) records everything but only when
+// enabled — a run that crashes without --trace leaves no evidence.  The
+// flight recorder is the complement (DESIGN.md §3g "Performance
+// observatory"): every thread continuously writes its spans into a
+// private fixed-size ring, overwriting the oldest, so the *recent past*
+// of all threads is always available.  When the integrity Watchdog
+// trips, a fault is detected, or a fatal signal fires, the rings are
+// dumped as a Chrome/Perfetto trace — a post-mortem of what every stage
+// was doing in the seconds before the failure.
+//
+// Cost model (the bench integrity/overhead section asserts < 2%):
+//   * recording is lock-free and allocation-free when warm — one ring
+//     slot store (relaxed atomics, single writer) per span; the only
+//     cold paths are first-record-on-a-thread (ring acquisition) and
+//     interning a previously unseen dynamic name;
+//   * rings are recycled through a free list when threads exit, so a
+//     pipeline that spawns stage threads per batch group reuses the same
+//     ~5 rings instead of growing without bound, and a dead thread's
+//     last spans survive until a new thread claims its ring;
+//   * readers (snapshot/dump) never block writers: slot fields are
+//     individually atomic, and a slot overwritten mid-read is detected
+//     via its sequence stamp and dropped.
+//
+// Name lifetime: rings store `const char*`.  Callers pass string
+// literals (ScopedTrace) or intern() dynamic names first; interned
+// pointers live for the process.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace xct::telemetry::flight {
+
+/// Spans retained per thread.  Power of two; at pipeline-span rates
+/// (batches x stages) this holds minutes of recent history per thread.
+inline constexpr std::size_t kRingCapacity = 4096;
+
+/// Maximum post-mortem dumps per process: a crash loop or a watchdog
+/// firing on every batch must not flood the filesystem.
+inline constexpr std::uint64_t kMaxPostmortems = 16;
+
+/// One decoded span from a ring (snapshot form).  Times are absolute
+/// steady-clock seconds (same clock as pipeline::now_seconds).
+struct FlightEvent {
+    const char* cat = nullptr;
+    const char* name = nullptr;
+    index_t rank = 0;
+    index_t lane = 0;  ///< ring id (stable per ring, reused across threads)
+    index_t item = -1;
+    std::uint64_t bytes = 0;
+    double begin = 0.0;
+    double end = 0.0;
+};
+
+/// Absolute steady-clock seconds — the flight timebase.
+double wall_now();
+
+/// Record a completed span into the calling thread's ring.  `cat` and
+/// `name` must outlive the process (string literals, names:: constants,
+/// or intern() results).  Lock-free and allocation-free when warm.
+void record(const char* cat, const char* name, double abs_begin, double abs_end,
+            index_t item = -1, std::uint64_t bytes = 0);
+
+/// Ensure the calling thread's ring exists (the one cold path of
+/// record()).  ScopedTrace calls this at span *begin* so that a
+/// thread's first-ever acquisition is ordered before any rendezvous the
+/// span body performs — heap-event deltas read after a collective then
+/// cannot observe a peer's late first acquisition.
+void warm();
+
+/// Return a process-lifetime pointer for `s`.  Well-known stage names
+/// ("load", "filter", "bp", "mpi", "store", "restore") resolve without
+/// locking or allocation; other strings are interned under a mutex once
+/// and cached for the process.
+const char* intern(const std::string& s);
+
+/// Decode every ring (live and retired), oldest-first within a ring.
+/// Slots overwritten while being read are dropped, not torn.
+std::vector<FlightEvent> snapshot();
+
+/// Number of rings ever created (live + retired).  Test hook: a warm
+/// thread pool must not grow this.
+std::size_t ring_count();
+
+/// Total spans ever recorded across all rings (monotonic, unlike
+/// snapshot() which is bounded by ring capacity).  Bench hook: the delta
+/// across a run times the per-span cost bounds the flight overhead.
+std::uint64_t total_records();
+
+/// Arm automatic post-mortem dumps: watchdog expiry, integrity
+/// detection and fatal signals will write `flight_<reason>_<n>.json`
+/// into `dir` (created if missing).  Armed state is process-wide.
+void arm_postmortem(const std::filesystem::path& dir);
+void disarm_postmortem();
+bool postmortem_armed();
+
+/// If armed, dump all rings as a Perfetto trace named after `reason`
+/// (e.g. "watchdog", "integrity", "signal") and bump `flight.dumps` /
+/// `flight.dumps.<reason>`.  Returns the path written, or an empty path
+/// when disarmed or the kMaxPostmortems budget is spent.  Safe to call
+/// from any thread; concurrent recording continues.
+std::filesystem::path dump_postmortem(const char* reason);
+
+/// Unconditionally write the current rings to `path` as Chrome
+/// trace-event JSON (timebase rebased so the earliest span is t=0).
+void dump(const std::filesystem::path& path);
+
+/// Install handlers for fatal signals (SIGSEGV, SIGABRT, SIGBUS, SIGFPE,
+/// SIGILL) that attempt a post-mortem dump before re-raising with the
+/// default disposition.  Best-effort: the dump path is not strictly
+/// async-signal-safe, which is acceptable for a crashing process.
+void install_signal_handlers();
+
+}  // namespace xct::telemetry::flight

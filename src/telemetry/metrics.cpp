@@ -1,8 +1,28 @@
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "core/names.hpp"
 
 namespace xct::telemetry {
+
+namespace {
+
+std::string format_bounds(const std::vector<double>& bounds)
+{
+    std::string out = "[";
+    char buf[32];
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%g", bounds[i]);
+        if (i) out += ", ";
+        out += buf;
+    }
+    out += "]";
+    return out;
+}
+
+}  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds))
 {
@@ -61,11 +81,58 @@ void merge(MetricsSnapshot& into, const MetricsSnapshot& other)
             it->bounds = h.bounds;
             it->counts.assign(h.counts.size(), 0);
         }
-        require(it->bounds == h.bounds, "merge: histogram bounds mismatch for " + h.name);
+        require(it->bounds == h.bounds, "merge: histogram bounds mismatch for '" + h.name +
+                                            "': into has " + format_bounds(it->bounds) +
+                                            ", other has " + format_bounds(h.bounds));
         for (std::size_t i = 0; i < h.counts.size(); ++i) it->counts[i] += h.counts[i];
         it->count += h.count;
         it->sum += h.sum;
     }
+}
+
+std::vector<double> exp_bounds(double start, double factor, int count)
+{
+    require(start > 0.0 && factor > 1.0 && count >= 1,
+            "exp_bounds: requires start > 0, factor > 1, count >= 1");
+    std::vector<double> bounds(static_cast<std::size_t>(count));
+    double b = start;
+    for (auto& bound : bounds) {
+        bound = b;
+        b *= factor;
+    }
+    return bounds;
+}
+
+double histogram_quantile(const HistogramSample& h, double q)
+{
+    require(q >= 0.0 && q <= 1.0, "histogram_quantile: q must be in [0, 1]");
+    if (h.count == 0 || h.counts.empty()) return 0.0;
+    // The q-th observation by rank (1-based, clamped into range).
+    const double target = std::max(1.0, q * static_cast<double>(h.count));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        const std::uint64_t in_bucket = h.counts[i];
+        if (in_bucket == 0) continue;
+        if (static_cast<double>(cum + in_bucket) >= target) {
+            // Overflow bucket has no upper bound — report the last finite one.
+            if (i >= h.bounds.size()) return h.bounds.empty() ? 0.0 : h.bounds.back();
+            const double hi = h.bounds[i];
+            const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+            const double frac = (target - static_cast<double>(cum)) /
+                                static_cast<double>(in_bucket);
+            return lo + (hi - lo) * std::min(1.0, frac);
+        }
+        cum += in_bucket;
+    }
+    return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+void fleet_observe(const std::string& stage, double seconds)
+{
+    registry()
+        .histogram(names::kMetricFleetStagePrefix + stage + ".seconds",
+                   exp_bounds(1e-3, 2.0, 24))
+        .observe(seconds);
 }
 
 Counter& Registry::counter(const std::string& name)
@@ -92,7 +159,9 @@ Histogram& Registry::histogram(const std::string& name, std::vector<double> boun
         slot = std::make_unique<Histogram>(std::move(bounds));
     else
         require(slot->bounds() == bounds,
-                "Registry::histogram: re-registration with different bounds for " + name);
+                "Registry::histogram: re-registration with different bounds for '" + name +
+                    "': registered " + format_bounds(slot->bounds()) + ", requested " +
+                    format_bounds(bounds));
     return *slot;
 }
 

@@ -111,8 +111,29 @@ struct MetricsSnapshot {
 /// Merge `other` into `into`: counters/gauges/histogram buckets with the
 /// same name are summed, unknown names are inserted (used to aggregate
 /// per-rank snapshots of a distributed run).  Histograms with mismatched
-/// bounds throw std::invalid_argument.
+/// bounds throw std::invalid_argument naming the offending histogram and
+/// listing both bound vectors.
 void merge(MetricsSnapshot& into, const MetricsSnapshot& other);
+
+/// Log-bucketed histogram bounds: `count` ascending upper bounds starting
+/// at `start`, each `factor` times the previous — the standard shape for
+/// latency/seconds histograms whose values span orders of magnitude.
+/// Example: exp_bounds(1e-4, 2.0, 20) covers 100 us .. ~52 s.
+/// Requires start > 0, factor > 1 and count >= 1.
+std::vector<double> exp_bounds(double start, double factor, int count);
+
+/// Quantile estimate (q in [0, 1]) from a histogram sample's cumulative
+/// bucket counts: returns the upper bound of the bucket containing the
+/// q-th observation (bounds.back() for the overflow bucket), linearly
+/// interpolated within the bucket.  Returns 0 for an empty histogram.
+double histogram_quantile(const HistogramSample& h, double q);
+
+/// Fleet aggregation sink: observe one rank's busy seconds for `stage`
+/// into the log-bucketed `fleet.stage.<stage>.seconds` histogram of the
+/// process registry (exp_bounds(1e-3, 2.0, 24): 1 ms .. ~4.6 h).  The
+/// distributed layer feeds this on rank 0 after its final minimpi
+/// gather; report.cpp reads the percentiles back out.
+void fleet_observe(const std::string& stage, double seconds);
 
 /// Name-addressed instrument store.  registration is mutex-protected;
 /// returned references stay valid for the registry's lifetime.

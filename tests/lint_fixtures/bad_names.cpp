@@ -21,6 +21,7 @@ struct Watchdog {
 };
 
 inline long corrupt(const char*, char*) { return 0; }
+inline void record(const char*, const char*, double, double) {}
 
 inline void record(Registry& reg)
 {
@@ -30,6 +31,7 @@ inline void record(Registry& reg)
     corrupt("phantom.site", nullptr);               // unregistered fault site
     Watchdog wd;
     wd.supervise("no.such.section", [] {});         // unregistered watchdog section
+    record("bogus.flightspan", nullptr, 0.0, 1.0);  // unregistered flight span
 }
 
 }  // namespace fixture

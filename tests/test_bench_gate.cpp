@@ -1,0 +1,170 @@
+// Bench-gate tests: BENCH JSON parsing, glob classification, the four
+// metric classes (exact / higher-better / lower-better / cap), missing
+// and novel metrics, tolerance scaling, and the default rule table
+// against realistic section names.
+#include <gtest/gtest.h>
+
+#include "gate.hpp"
+
+namespace xct::bench_gate {
+namespace {
+
+Doc doc(std::string json)
+{
+    return parse(json);
+}
+
+const char* kBaseline = R"({
+  "backproj": {
+    "simd_backend": "avx2",
+    "simd_lanes": 8,
+    "updates_per_s_simd": 2.0e9,
+    "speedup": 4.0,
+    "warm_heap_events": 0
+  },
+  "filter": {
+    "us_per_transform": 12.5
+  },
+  "flight": {
+    "overhead_percent": 0.4
+  },
+  "transport": {
+    "h2d_bytes": 1048576
+  }
+})";
+
+TEST(BenchGateParse, RoundTripsSectionsKeysAndValueTypes)
+{
+    const Doc d = doc(kBaseline);
+    ASSERT_EQ(d.size(), 4u);
+    EXPECT_FALSE(d.at("backproj").at("simd_backend").is_number);
+    EXPECT_EQ(d.at("backproj").at("simd_backend").text, "avx2");
+    EXPECT_TRUE(d.at("backproj").at("updates_per_s_simd").is_number);
+    EXPECT_DOUBLE_EQ(d.at("backproj").at("updates_per_s_simd").number, 2.0e9);
+    EXPECT_DOUBLE_EQ(d.at("transport").at("h2d_bytes").number, 1048576.0);
+}
+
+TEST(BenchGateParse, RejectsMalformedAndOverNestedInput)
+{
+    EXPECT_THROW(doc("not json"), std::invalid_argument);
+    EXPECT_THROW(doc(R"({"a": {"b": {"c": 1}}})"), std::invalid_argument);
+    EXPECT_THROW(doc(R"({"a": {"b": )"), std::invalid_argument);
+    EXPECT_THROW(parse_file("/nonexistent/BENCH.json"), std::invalid_argument);
+}
+
+TEST(BenchGateGlob, MatchesLiteralPrefixSuffixAndInfixStars)
+{
+    EXPECT_TRUE(glob_match("flight.overhead_percent", "flight.overhead_percent"));
+    EXPECT_TRUE(glob_match("*.warm_heap_events", "backproj.warm_heap_events"));
+    EXPECT_TRUE(glob_match("*per_s*", "backproj.updates_per_s_simd"));
+    EXPECT_TRUE(glob_match("*bytes*", "transport.h2d_bytes"));
+    EXPECT_FALSE(glob_match("*.warm_heap_events", "warm_heap_events"));
+    EXPECT_FALSE(glob_match("fft.n", "fft.nn"));
+    EXPECT_TRUE(glob_match("*", "anything.at.all"));
+}
+
+TEST(BenchGate, IdenticalDocumentsPass)
+{
+    const GateResult r = compare(doc(kBaseline), doc(kBaseline), default_rules());
+    EXPECT_TRUE(r.pass);
+    for (const Finding& f : r.findings) EXPECT_FALSE(f.fail) << f.metric << ": " << f.message;
+}
+
+TEST(BenchGate, ThroughputCollapseFailsButNoiseDoesNot)
+{
+    Doc cur = doc(kBaseline);
+    cur["backproj"]["updates_per_s_simd"].number = 1.9e9;  // -5%: within tolerance
+    EXPECT_TRUE(compare(doc(kBaseline), cur, default_rules()).pass);
+    cur["backproj"]["updates_per_s_simd"].number = 0.5e9;  // -75%: collapse
+    const GateResult r = compare(doc(kBaseline), cur, default_rules());
+    EXPECT_FALSE(r.pass);
+    bool flagged = false;
+    for (const Finding& f : r.findings)
+        if (f.metric == "backproj.updates_per_s_simd") flagged = f.fail;
+    EXPECT_TRUE(flagged);
+}
+
+TEST(BenchGate, LatencyRegressionFails)
+{
+    Doc cur = doc(kBaseline);
+    cur["filter"]["us_per_transform"].number = 12.5 * 4.0;  // 4x slower
+    EXPECT_FALSE(compare(doc(kBaseline), cur, default_rules()).pass);
+}
+
+TEST(BenchGate, ExactMetricsPinDeterministicValues)
+{
+    Doc cur = doc(kBaseline);
+    cur["backproj"]["warm_heap_events"].number = 3.0;  // allocation crept in
+    EXPECT_FALSE(compare(doc(kBaseline), cur, default_rules()).pass);
+
+    cur = doc(kBaseline);
+    cur["transport"]["h2d_bytes"].number = 1048580.0;  // pipeline moves different data
+    EXPECT_FALSE(compare(doc(kBaseline), cur, default_rules()).pass);
+
+    cur = doc(kBaseline);
+    cur["backproj"]["simd_lanes"].number = 4.0;  // compiled width changed
+    EXPECT_FALSE(compare(doc(kBaseline), cur, default_rules()).pass);
+
+    // The simd backend string is machine-dependent and deliberately
+    // ungated — changing it alone is a note, not a failure.
+    cur = doc(kBaseline);
+    cur["backproj"]["simd_backend"].text = "scalar";
+    EXPECT_TRUE(compare(doc(kBaseline), cur, default_rules()).pass);
+}
+
+TEST(BenchGate, CapIsAbsoluteNotRelative)
+{
+    // Baseline overhead 0.4%; tripling it stays under the 2% cap...
+    Doc cur = doc(kBaseline);
+    cur["flight"]["overhead_percent"].number = 1.2;
+    EXPECT_TRUE(compare(doc(kBaseline), cur, default_rules()).pass);
+    // ...but crossing the cap fails even if the baseline had been high.
+    cur["flight"]["overhead_percent"].number = 2.5;
+    EXPECT_FALSE(compare(doc(kBaseline), cur, default_rules()).pass);
+}
+
+TEST(BenchGate, MissingMetricFailsAndNewMetricIsANote)
+{
+    Doc cur = doc(kBaseline);
+    cur["filter"].erase("us_per_transform");
+    const GateResult dropped = compare(doc(kBaseline), cur, default_rules());
+    EXPECT_FALSE(dropped.pass);
+
+    cur = doc(kBaseline);
+    cur["filter"]["rows_per_s_new"] = Value{true, 1e6, ""};
+    const GateResult grown = compare(doc(kBaseline), cur, default_rules());
+    EXPECT_TRUE(grown.pass);
+    bool noted = false;
+    for (const Finding& f : grown.findings)
+        if (f.metric == "filter.rows_per_s_new")
+            noted = f.message.find("new metric") != std::string::npos && !f.fail;
+    EXPECT_TRUE(noted);
+}
+
+TEST(BenchGate, ToleranceScaleWidensRelativeRulesOnly)
+{
+    Doc cur = doc(kBaseline);
+    cur["backproj"]["speedup"].number = 4.0 * 0.5;  // -50%: outside 35%
+    EXPECT_FALSE(compare(doc(kBaseline), cur, default_rules()).pass);
+    EXPECT_TRUE(compare(doc(kBaseline), cur, default_rules(), 2.0).pass);
+    // Caps are not scaled: 2.5% overhead fails even at scale 10.
+    cur = doc(kBaseline);
+    cur["flight"]["overhead_percent"].number = 2.5;
+    EXPECT_FALSE(compare(doc(kBaseline), cur, default_rules(), 10.0).pass);
+}
+
+TEST(BenchGate, FormatListsEveryFindingAndTheVerdict)
+{
+    Doc cur = doc(kBaseline);
+    cur["backproj"]["warm_heap_events"].number = 1.0;
+    const GateResult r = compare(doc(kBaseline), cur, default_rules());
+    const std::string text = format(r);
+    EXPECT_NE(text.find("FAIL backproj.warm_heap_events"), std::string::npos);
+    EXPECT_NE(text.find("bench_gate: FAIL"), std::string::npos);
+    EXPECT_NE(format(compare(doc(kBaseline), doc(kBaseline), default_rules()))
+                  .find("bench_gate: PASS"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace xct::bench_gate

@@ -71,8 +71,8 @@ TEST(LintRegistry, ParsesExactAndPrefixEntries)
 TEST(LintFixtures, BadNamesTripsNamesRuleOnly)
 {
     const auto vs = lint_fixture("bad_names.cpp");
-    // counter, gauge, cat, span, fault site, watchdog section
-    EXPECT_EQ(count_rule(vs, "names"), 6) << xct_lint::format(vs);
+    // counter, gauge, cat, span, fault site, watchdog section, flight span
+    EXPECT_EQ(count_rule(vs, "names"), 7) << xct_lint::format(vs);
     EXPECT_EQ(count_rule(vs, "rawmem"), 0) << xct_lint::format(vs);
     EXPECT_EQ(count_rule(vs, "intloop"), 0) << xct_lint::format(vs);
     EXPECT_EQ(count_rule(vs, "mutex"), 0) << xct_lint::format(vs);

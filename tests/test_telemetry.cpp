@@ -152,6 +152,71 @@ TEST(Merge, HistogramBucketsSumAndMismatchThrows)
     EXPECT_THROW(merge(a, c), std::invalid_argument);
 }
 
+TEST(Merge, MismatchErrorNamesTheHistogramAndBothBoundSets)
+{
+    // A fleet aggregation that dies on a mismatch must say which
+    // histogram disagreed and what each side's bounds were.
+    MetricsSnapshot a;
+    a.histograms.push_back({"pipeline.stage.bp.seconds", {1.0, 2.0}, {0, 0, 0}, 0, 0.0});
+    MetricsSnapshot c;
+    c.histograms.push_back({"pipeline.stage.bp.seconds", {9.0}, {0, 0}, 0, 0.0});
+    try {
+        merge(a, c);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("pipeline.stage.bp.seconds"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("[1, 2]"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("[9]"), std::string::npos) << msg;
+    }
+}
+
+TEST(ExpBounds, GeneratesGeometricSeriesAndValidates)
+{
+    const auto b = exp_bounds(1e-3, 2.0, 4);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_DOUBLE_EQ(b[0], 1e-3);
+    EXPECT_DOUBLE_EQ(b[1], 2e-3);
+    EXPECT_DOUBLE_EQ(b[2], 4e-3);
+    EXPECT_DOUBLE_EQ(b[3], 8e-3);
+    EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+    EXPECT_THROW(exp_bounds(0.0, 2.0, 4), std::invalid_argument);
+    EXPECT_THROW(exp_bounds(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(exp_bounds(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinBucketsAndHandlesOverflow)
+{
+    // 10 observations spread as 4 / 4 / 2 over bounds {1, 2, 4}.
+    HistogramSample h{"q", {1.0, 2.0, 4.0}, {4, 4, 2, 0}, 10, 0.0};
+    EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.0), 0.25);  // first observation
+    EXPECT_GT(histogram_quantile(h, 0.5), 1.0);          // 5th obs: second bucket
+    EXPECT_LE(histogram_quantile(h, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 4.0);   // last bucket's bound
+    EXPECT_LE(histogram_quantile(h, 0.25), histogram_quantile(h, 0.75));
+
+    // Observations in the overflow bucket clamp to the last bound.
+    HistogramSample over{"q", {1.0}, {0, 3}, 3, 0.0};
+    EXPECT_DOUBLE_EQ(histogram_quantile(over, 0.99), 1.0);
+
+    HistogramSample empty{"q", {1.0}, {0, 0}, 0, 0.0};
+    EXPECT_DOUBLE_EQ(histogram_quantile(empty, 0.5), 0.0);
+}
+
+TEST(FleetObserve, FillsLogBucketedStageHistograms)
+{
+    fleet_observe("teststage", 0.5);
+    fleet_observe("teststage", 0.002);
+    const MetricsSnapshot snap = registry().snapshot();
+    const auto it = std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                                 [](const HistogramSample& h) {
+                                     return h.name == "fleet.stage.teststage.seconds";
+                                 });
+    ASSERT_NE(it, snap.histograms.end());
+    EXPECT_EQ(it->count, 2u);
+    EXPECT_EQ(it->bounds, exp_bounds(1e-3, 2.0, 24));
+}
+
 TEST(Tracer, DisabledRecordsNothing)
 {
     TracerOff off;

@@ -1,0 +1,276 @@
+#include "gate.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xct::bench_gate {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what)
+{
+    throw std::invalid_argument("bench_gate: malformed BENCH json: " + what);
+}
+
+// Minimal parser for the flat two-level documents bench_common.hpp
+// writes: {"section": {"key": number-or-string, ...}, ...}.
+struct Parser {
+    const std::string& s;
+    std::size_t pos = 0;
+
+    void skip_ws()
+    {
+        while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\n' || s[pos] == '\r' ||
+                                  s[pos] == '\t' || s[pos] == ','))
+            ++pos;
+    }
+
+    char peek()
+    {
+        skip_ws();
+        if (pos >= s.size()) malformed("unexpected end of input");
+        return s[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c) malformed(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    std::string string_lit()
+    {
+        expect('"');
+        std::string out;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\' && pos + 1 < s.size()) ++pos;
+            out.push_back(s[pos]);
+            ++pos;
+        }
+        if (pos >= s.size()) malformed("unterminated string");
+        ++pos;  // closing quote
+        return out;
+    }
+
+    Value value()
+    {
+        Value v;
+        const char c = peek();
+        if (c == '"') {
+            v.text = string_lit();
+            return v;
+        }
+        if (c == '{') malformed("nesting deeper than two levels");
+        std::size_t end = pos;
+        while (end < s.size() && s[end] != ',' && s[end] != '}' && s[end] != '\n') ++end;
+        const std::string tok = s.substr(pos, end - pos);
+        char* stop = nullptr;
+        v.number = std::strtod(tok.c_str(), &stop);
+        if (stop == tok.c_str()) malformed("bad number '" + tok + "'");
+        v.is_number = true;
+        pos = end;
+        return v;
+    }
+};
+
+std::string describe(const Value& v)
+{
+    if (!v.is_number) return "\"" + v.text + "\"";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.8g", v.number);
+    return buf;
+}
+
+void add(GateResult& r, const std::string& metric, bool fail, std::string message)
+{
+    r.findings.push_back(Finding{metric, std::move(message), fail});
+    if (fail) r.pass = false;
+}
+
+}  // namespace
+
+Doc parse(const std::string& json)
+{
+    Doc doc;
+    Parser p{json};
+    p.expect('{');
+    while (p.peek() != '}') {
+        const std::string section = p.string_lit();
+        p.expect(':');
+        p.expect('{');
+        while (p.peek() != '}') {
+            const std::string key = p.string_lit();
+            p.expect(':');
+            doc[section][key] = p.value();
+        }
+        p.expect('}');
+    }
+    p.expect('}');
+    return doc;
+}
+
+Doc parse_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) throw std::invalid_argument("bench_gate: cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+bool glob_match(const std::string& pattern, const std::string& name)
+{
+    // Iterative '*' glob: on mismatch, backtrack to the last star and
+    // retry one character further along the name.
+    std::size_t pi = 0, ni = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (ni < name.size()) {
+        if (pi < pattern.size() && pattern[pi] == '*') {
+            star = pi++;
+            mark = ni;
+        } else if (pi < pattern.size() && pattern[pi] == name[ni]) {
+            ++pi;
+            ++ni;
+        } else if (star != std::string::npos) {
+            pi = star + 1;
+            ni = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (pi < pattern.size() && pattern[pi] == '*') ++pi;
+    return pi == pattern.size();
+}
+
+std::vector<Rule> default_rules()
+{
+    // First match wins — specific caps and exact classes come before the
+    // broad throughput/latency globs.
+    return {
+        // Absolute ceilings: observability must stay cheap regardless of
+        // what the baseline machine measured.  The flight bound is derived
+        // (span count x per-span cost) and stable; the integrity bound is
+        // a differential timing of a ~30 ms run, where scheduler noise
+        // alone spans several points — its cap catches digesting becoming
+        // a first-order cost, not single-digit drift.
+        Rule{"flight.overhead_percent", Class::Cap, 0.0, 2.0},
+        Rule{"integrity.overhead_percent", Class::Cap, 0.0, 15.0},
+        // Deterministic values: identical code => identical numbers.
+        // (simd_backend is deliberately ungated: the dispatch is
+        // machine-dependent, and a lost-vectorisation collapse already
+        // fails the updates_per_s and speedup gates.)
+        Rule{"*.warm_heap_events", Class::Exact, 0.0, 0.0},
+        Rule{"*.simd_lanes", Class::Exact, 0.0, 0.0},
+        Rule{"*.padded_len", Class::Exact, 0.0, 0.0},
+        Rule{"fft.n", Class::Exact, 0.0, 0.0},
+        Rule{"*bytes*", Class::Exact, 0.0, 0.0},
+        Rule{"*.spans", Class::Exact, 0.0, 0.0},
+        // Machine-independent ratios: tighter than raw throughputs.
+        Rule{"*speedup*", Class::HigherBetter, 0.35, 0.0},
+        // Raw throughputs and latencies: CI hardware differs from the
+        // baseline machine, so the tolerance is generous — the gate
+        // catches collapses (vectorisation lost, plan cache broken), not
+        // single-digit noise.  The us/ns latency globs must precede the
+        // throughput glob: "ns_per_span" contains "per_s".
+        Rule{"*.us_per_*", Class::LowerBetter, 1.50, 0.0},
+        Rule{"*.ns_per_*", Class::LowerBetter, 1.50, 0.0},
+        Rule{"*per_s*", Class::HigherBetter, 0.60, 0.0},
+        Rule{"*seconds*", Class::LowerBetter, 1.50, 0.0},
+    };
+}
+
+GateResult compare(const Doc& baseline, const Doc& current, const std::vector<Rule>& rules,
+                   double tolerance_scale)
+{
+    GateResult r;
+    for (const auto& [section, metrics] : baseline) {
+        const auto cur_section = current.find(section);
+        for (const auto& [key, base] : metrics) {
+            const std::string metric = section + "." + key;
+            const Rule* rule = nullptr;
+            for (const Rule& candidate : rules) {
+                if (glob_match(candidate.pattern, metric)) {
+                    rule = &candidate;
+                    break;
+                }
+            }
+            const Value* cur = nullptr;
+            if (cur_section != current.end()) {
+                const auto it = cur_section->second.find(key);
+                if (it != cur_section->second.end()) cur = &it->second;
+            }
+            if (cur == nullptr) {
+                // A vanished measurement is a regression in coverage even
+                // when no rule classes the metric.
+                add(r, metric, true, "missing from current run (baseline " + describe(base) + ")");
+                continue;
+            }
+            if (rule == nullptr) {
+                add(r, metric, false, "unclassified, not gated (current " + describe(*cur) + ")");
+                continue;
+            }
+            if (base.is_number != cur->is_number) {
+                add(r, metric, true,
+                    "type changed: baseline " + describe(base) + ", current " + describe(*cur));
+                continue;
+            }
+            if (rule->cls == Class::Exact) {
+                const bool same = base.is_number ? base.number == cur->number
+                                                 : base.text == cur->text;
+                add(r, metric, !same,
+                    same ? "exact match (" + describe(*cur) + ")"
+                         : "exact metric drifted: baseline " + describe(base) + ", current " +
+                               describe(*cur));
+                continue;
+            }
+            if (!cur->is_number) {
+                add(r, metric, true, "non-numeric value " + describe(*cur) + " for numeric rule");
+                continue;
+            }
+            char buf[160];
+            if (rule->cls == Class::Cap) {
+                const bool ok = cur->number <= rule->cap;
+                std::snprintf(buf, sizeof(buf), "%.8g %s cap %.8g", cur->number,
+                              ok ? "within" : "EXCEEDS", rule->cap);
+                add(r, metric, !ok, buf);
+                continue;
+            }
+            const double tol = rule->tolerance * tolerance_scale;
+            const bool higher = rule->cls == Class::HigherBetter;
+            const double limit =
+                higher ? base.number * (1.0 - tol) : base.number * (1.0 + tol);
+            const bool ok = higher ? cur->number >= limit : cur->number <= limit;
+            std::snprintf(buf, sizeof(buf), "%.8g vs baseline %.8g (%s limit %.8g)%s",
+                          cur->number, base.number, higher ? "min" : "max", limit,
+                          ok ? "" : " REGRESSED");
+            add(r, metric, !ok, buf);
+        }
+    }
+    // Metrics only in the current run are fine (new coverage) but worth
+    // surfacing so the baseline gets refreshed.
+    for (const auto& [section, metrics] : current) {
+        const auto base_section = baseline.find(section);
+        for (const auto& [key, cur] : metrics) {
+            if (base_section != baseline.end() &&
+                base_section->second.find(key) != base_section->second.end())
+                continue;
+            add(r, section + "." + key, false,
+                "new metric, not in baseline (current " + describe(cur) + ")");
+        }
+    }
+    return r;
+}
+
+std::string format(const GateResult& r)
+{
+    std::string out;
+    for (const Finding& f : r.findings)
+        out += std::string(f.fail ? "FAIL " : "ok   ") + f.metric + ": " + f.message + "\n";
+    out += r.pass ? "bench_gate: PASS\n" : "bench_gate: FAIL\n";
+    return out;
+}
+
+}  // namespace xct::bench_gate

@@ -1,0 +1,55 @@
+// bench_gate: fail CI when a BENCH_*.json regresses against the
+// committed baseline.
+//
+//   bench_gate --baseline bench/BENCH_baseline.json --current build/BENCH_pr4.json
+//              [--tolerance-scale 1.0]
+//
+// Exit code 0 when every gated metric holds, 1 on any regression (or a
+// metric vanishing from the current run), 2 on usage/parse errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "gate.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace xct::bench_gate;
+    std::string baseline_path;
+    std::string current_path;
+    double tolerance_scale = 1.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--baseline" && has_value) {
+            baseline_path = argv[++i];
+        } else if (arg == "--current" && has_value) {
+            current_path = argv[++i];
+        } else if (arg == "--tolerance-scale" && has_value) {
+            tolerance_scale = std::strtod(argv[++i], nullptr);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_gate --baseline <json> --current <json> "
+                         "[--tolerance-scale <x>]\n");
+            return 2;
+        }
+    }
+    if (baseline_path.empty() || current_path.empty() || tolerance_scale <= 0.0) {
+        std::fprintf(stderr,
+                     "usage: bench_gate --baseline <json> --current <json> "
+                     "[--tolerance-scale <x>]\n");
+        return 2;
+    }
+    try {
+        const Doc baseline = parse_file(baseline_path);
+        const Doc current = parse_file(current_path);
+        const GateResult result = compare(baseline, current, default_rules(), tolerance_scale);
+        std::fputs(format(result).c_str(), stdout);
+        return result.pass ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_gate: %s\n", e.what());
+        return 2;
+    }
+}

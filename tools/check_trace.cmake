@@ -1,8 +1,10 @@
-# Validates the --trace / --metrics outputs of the tools_recon_trace run
-# (cmake -DTRACE=... -DMETRICS=... -P check_trace.cmake): the Chrome trace
-# must contain spans from several subsystems attributed to more than one
-# rank, and the metrics CSV must carry the expected counters.
-foreach(var TRACE METRICS)
+# Validates the --trace / --metrics / --report outputs of the
+# tools_recon_trace run (cmake -DTRACE=... -DMETRICS=... -DREPORT=... -P
+# check_trace.cmake): the Chrome trace must contain spans from several
+# subsystems attributed to more than one rank, the metrics CSV must carry
+# the expected counters, and the run report must join measured stage
+# times against the perfmodel with per-rank efficiency rows.
+foreach(var TRACE METRICS REPORT)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "check_trace.cmake: -D${var}=<path> is required")
   endif()
@@ -33,4 +35,29 @@ foreach(metric minimpi.reduce_sum.calls sim.h2d.bytes fft.transforms filter.rows
     message(FATAL_ERROR "${METRICS}: missing ${metric}")
   endif()
 endforeach()
-message(STATUS "trace and metrics outputs look well-formed")
+
+file(READ ${REPORT} report)
+if(NOT report MATCHES "\"schema\": \"xct.report.v1\"")
+  message(FATAL_ERROR "${REPORT}: missing report schema marker")
+endif()
+# Every pipeline stage appears as a measured-vs-predicted join.
+foreach(stage load filter bp reduce store)
+  if(NOT report MATCHES "{\"stage\": \"${stage}\", \"measured_s\": ")
+    message(FATAL_ERROR "${REPORT}: missing stage row for ${stage}")
+  endif()
+endforeach()
+foreach(key predicted_s binding_stage straggler_k)
+  if(NOT report MATCHES "\"${key}\"")
+    message(FATAL_ERROR "${REPORT}: missing ${key}")
+  endif()
+endforeach()
+# All four ranks report efficiency, and the fleet percentiles are present.
+foreach(rank 0 1 2 3)
+  if(NOT report MATCHES "{\"rank\": ${rank}, ")
+    message(FATAL_ERROR "${REPORT}: missing rank ${rank} row")
+  endif()
+endforeach()
+if(NOT report MATCHES "\"p99_s\"")
+  message(FATAL_ERROR "${REPORT}: missing fleet percentiles")
+endif()
+message(STATUS "trace, metrics and report outputs look well-formed")

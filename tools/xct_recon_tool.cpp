@@ -12,6 +12,13 @@
 // (pipeline stages, device transfers, minimpi collectives, PFS I/O) into
 // one Chrome trace-event file — open it at ui.perfetto.dev — and
 // `--metrics out.csv` dumps the telemetry metrics registry.
+// `--report out.json` emits the perfmodel-anchored run report (per-stage
+// and per-batch measured vs Eq. 13-17 predictions, per-rank efficiency,
+// straggler flags, fleet percentiles).  The flight recorder is always
+// on: a watchdog trip, a detected integrity fault or a fatal signal
+// writes a post-mortem Perfetto trace into `--flight-dir` (default:
+// alongside --output), and `--flight-dump out.json` dumps the rings
+// unconditionally at exit.
 //
 // Resilience: `--faults "<site>[:k=v,...][;...]"` installs a deterministic
 // fault plan (sites: pfs.load, pfs.store, sim.h2d, sim.d2h, source.load,
@@ -36,9 +43,12 @@
 #include "integrity/integrity.hpp"
 #include "io/geometry_io.hpp"
 #include "io/raw_io.hpp"
+#include "perfmodel/model.hpp"
 #include "recon/distributed.hpp"
 #include "recon/fdk.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/report.hpp"
 
 int main(int argc, char** argv)
 {
@@ -55,6 +65,9 @@ int main(int argc, char** argv)
         .option("slice-pgm", "", "optional PGM preview of the central slice")
         .option("trace", "", "write a Chrome/Perfetto trace-event JSON of the run")
         .option("metrics", "", "write a CSV dump of the telemetry metrics registry")
+        .option("report", "", "write the perfmodel-anchored run report JSON")
+        .option("flight-dir", "", "post-mortem flight-trace directory (default: output dir)")
+        .option("flight-dump", "", "also dump the flight-recorder rings here at exit")
         .option("faults", "", "fault plan: <site>[:k=v,...][;<site>...] (keys p,after,count,rank)")
         .option("fault-seed", "1", "seed for probabilistic fault triggers")
         .option("retry", "0", "retry transient faults up to N attempts (0 = fail loudly)")
@@ -77,6 +90,19 @@ int main(int argc, char** argv)
         retry->max_attempts = args.get_int("retry");
     }
 
+    // Arm the always-on flight recorder's post-mortem path before any
+    // work: watchdog trips, integrity detections and fatal signals dump
+    // the recent past of every thread into flight_<reason>_<n>.json.
+    {
+        std::filesystem::path flight_dir = args.is_set("flight-dir")
+                                               ? std::filesystem::path(args.get("flight-dir"))
+                                               : std::filesystem::path(args.get("output"))
+                                                     .parent_path();
+        if (flight_dir.empty()) flight_dir = ".";
+        telemetry::flight::arm_postmortem(flight_dir);
+        telemetry::flight::install_signal_handlers();
+    }
+
     // Enable span capture before any work so every subsystem's telemetry
     // lands on one timebase; dump_telemetry() runs at every exit path.
     if (args.is_set("trace") || args.is_set("metrics")) telemetry::tracer().enable();
@@ -91,6 +117,46 @@ int main(int argc, char** argv)
                                          telemetry::registry().snapshot());
             std::printf("wrote %s\n", args.get("metrics").c_str());
         }
+        if (args.is_set("flight-dump")) {
+            telemetry::flight::dump(args.get("flight-dump"));
+            std::printf("wrote %s (flight rings; open in ui.perfetto.dev)\n",
+                        args.get("flight-dump").c_str());
+        }
+    };
+
+    // Perfmodel-anchored run report: join the measured per-rank timings
+    // with the Eq. 13-17 projection, calibrated on this machine.
+    const auto write_report = [&args](const CbctGeometry& geom, index_t groups, index_t ranks,
+                                      const std::vector<telemetry::report::RankTimings>& ts) {
+        perfmodel::RunConfig rcfg;
+        rcfg.geometry = geom;
+        rcfg.layout = GroupLayout{groups, ranks};
+        rcfg.batches = args.get_int("batches");
+        perfmodel::MachineParams base;
+        base.bw_h2d_gbps = 12.0;  // the RankConfig PCIe model defaults
+        base.bw_d2h_gbps = 12.0;
+        const perfmodel::MachineParams m = perfmodel::measure_local(base);
+        const telemetry::report::RunReport rep = telemetry::report::build(rcfg, m, ts);
+        telemetry::report::write_json(std::filesystem::path(args.get("report")), rep);
+        std::printf("wrote %s (model: %.3f s, binding stage %s; measured %.3f s, "
+                    "efficiency %.2f)\n",
+                    args.get("report").c_str(), rep.predicted_runtime_s,
+                    rep.binding_stage.c_str(), rep.measured_wall_s, rep.efficiency);
+    };
+    const auto to_timings = [](const recon::RankStats& st, index_t rank, index_t group) {
+        telemetry::report::RankTimings t;
+        t.rank = rank;
+        t.group = group;
+        t.load = st.t_load;
+        t.filter = st.t_filter;
+        t.bp = st.t_bp;
+        t.reduce = st.t_reduce;
+        t.store = st.t_store;
+        t.wall = st.wall;
+        t.spans.reserve(st.spans.size());
+        for (const auto& sp : st.spans)
+            t.spans.push_back({sp.stage, sp.item, sp.end - sp.begin});
+        return t;
     };
 
     const std::filesystem::path in = args.get("input");
@@ -149,6 +215,11 @@ int main(int argc, char** argv)
         std::printf("stages: load %.3f filter %.3f bp %.3f store %.3f | wall %.3f s\n",
                     r.stats.t_load, r.stats.t_filter, r.stats.t_bp, r.stats.t_store,
                     r.stats.wall);
+        if (args.is_set("report")) {
+            const telemetry::report::RankTimings t = to_timings(r.stats, 0, 0);
+            telemetry::report::observe_fleet(t);  // single-rank fleet of one
+            write_report(g, 1, 1, {t});
+        }
     } else {
         recon::DistributedConfig cfg;
         cfg.geometry = g;
@@ -186,6 +257,16 @@ int main(int argc, char** argv)
         std::printf("distributed wall %.3f s across %lld ranks | aggregate overlap %.2f\n",
                     r.wall_seconds, static_cast<long long>(ng * nr),
                     worst_wall > 0.0 ? busy / (static_cast<double>(ng * nr) * worst_wall) : 0.0);
+        if (args.is_set("report")) {
+            // The fleet histograms were filled by the distributed layer's
+            // final minimpi gather; here we only join model vs measured.
+            std::vector<telemetry::report::RankTimings> ts;
+            ts.reserve(r.ranks.size());
+            for (index_t rank = 0; rank < ng * nr; ++rank)
+                ts.push_back(to_timings(r.ranks[static_cast<std::size_t>(rank)], rank,
+                                        cfg.layout.group_of(rank)));
+            write_report(g, ng, nr, ts);
+        }
     }
 
     io::write_volume(args.get("output"), volume);
