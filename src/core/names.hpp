@@ -28,6 +28,7 @@ inline constexpr const char* kCatFaults = "faults";
 inline constexpr const char* kCatIntegrity = "integrity";
 inline constexpr const char* kCatFlight = "flight";
 inline constexpr const char* kCatBench = "bench";  ///< micro-bench probe spans
+inline constexpr const char* kCatSoak = "soak";    ///< fleet soak harness spans
 
 // ---- trace span names ---------------------------------------------------
 inline constexpr const char* kSpanReduceSum = "reduce_sum";
@@ -99,6 +100,16 @@ inline constexpr const char* kMetricFleetStagePrefix = "fleet.stage.";  ///< + s
 inline constexpr const char* kMetricFleetRanks = "fleet.ranks";  ///< ranks aggregated
 // Pseudo-stage fed to fleet_observe next to the five pipeline stages.
 inline constexpr const char* kStageWall = "wall";  ///< whole-rank wall clock
+// soak.* (src/soak): fleet soak harness accounting.  jobs = jobs driven to
+// a terminal state, degraded/wedged split that total; stall twins mirror
+// the injected-vs-watchdog-detected stall model of the event tier; the
+// latency histogram holds per-job event-sim service latencies (seconds).
+inline constexpr const char* kMetricSoakJobs = "soak.jobs";
+inline constexpr const char* kMetricSoakJobsDegraded = "soak.jobs.degraded";
+inline constexpr const char* kMetricSoakJobsWedged = "soak.jobs.wedged";
+inline constexpr const char* kMetricSoakStallInjected = "soak.stall.injected";
+inline constexpr const char* kMetricSoakStallDetected = "soak.stall.detected";
+inline constexpr const char* kMetricSoakLatencySeconds = "soak.job.latency_seconds";
 
 // ---- flight post-mortem reasons (flight::dump_postmortem) ---------------
 // Expand kMetricFlightDumpsPrefix, e.g. "flight.dumps.watchdog".

@@ -38,6 +38,8 @@ struct Engine {
     /// Per (site, rank) call counters — deterministic trigger points
     /// regardless of thread interleaving.
     std::map<std::pair<std::string, index_t>, std::uint64_t> calls XCT_GUARDED_BY(m);
+    /// Multi-job scope (set_job_scope): 0 outside soak-style runs.
+    std::uint64_t job XCT_GUARDED_BY(m) = 0;
 };
 
 Engine& engine()
@@ -84,7 +86,11 @@ std::optional<Fired> fire(const char* site, FaultKind kind)
                     (spec.count < 0 || f.call < first + static_cast<std::uint64_t>(spec.count));
         }
         if (!fires && spec.probability > 0.0) {
-            const std::uint64_t h = splitmix64(e.plan.seed() ^ hash_str(it->first) ^
+            // Scope 0 contributes nothing so single-job plans keep the
+            // exact PR 2 firing pattern; any other scope re-keys every
+            // probabilistic decision per job.
+            const std::uint64_t scope = e.job == 0 ? 0 : splitmix64(e.job);
+            const std::uint64_t h = splitmix64(e.plan.seed() ^ scope ^ hash_str(it->first) ^
                                                splitmix64(static_cast<std::uint64_t>(rank + 1)) ^
                                                splitmix64(f.call * 0x9e3779b97f4a7c15ull));
             const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
@@ -198,6 +204,21 @@ void set_plan(FaultPlan plan)
 void clear_plan()
 {
     set_plan(FaultPlan{});
+}
+
+void set_job_scope(std::uint64_t job)
+{
+    Engine& e = engine();
+    MutexLock lk(e.m);
+    e.job = job;
+    e.calls.clear();
+}
+
+std::uint64_t job_scope()
+{
+    Engine& e = engine();
+    MutexLock lk(e.m);
+    return e.job;
 }
 
 bool enabled()

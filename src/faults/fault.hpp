@@ -109,6 +109,18 @@ private:
 /// Swapping plans mid-run is possible but the counters restart from zero.
 void set_plan(FaultPlan plan);
 
+/// Scope the installed plan to one job of a multi-job run (the soak
+/// harness drives thousands of jobs through one process): resets every
+/// per-(site, rank) call counter and mixes `job` into the probabilistic
+/// trigger hash, so a plan reused across a schedule fires at exactly the
+/// same calls for a given (seed, job) no matter what earlier jobs
+/// consumed.  Scope 0 is the default single-job scope and leaves the
+/// PR 2 trigger arithmetic bit-for-bit unchanged.
+void set_job_scope(std::uint64_t job);
+
+/// The current job scope (0 outside a multi-job run).
+std::uint64_t job_scope();
+
 /// Remove the installed plan (sites stop firing, counters are dropped).
 void clear_plan();
 
@@ -147,6 +159,19 @@ public:
     ~ScopedPlan() { clear_plan(); }
     ScopedPlan(const ScopedPlan&) = delete;
     ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+/// RAII job scoping: enters `job`'s scope on construction, restores the
+/// previous scope (resetting counters again) on destruction.
+class ScopedJob {
+public:
+    explicit ScopedJob(std::uint64_t job) : prev_(job_scope()) { set_job_scope(job); }
+    ~ScopedJob() { set_job_scope(prev_); }
+    ScopedJob(const ScopedJob&) = delete;
+    ScopedJob& operator=(const ScopedJob&) = delete;
+
+private:
+    std::uint64_t prev_;
 };
 
 }  // namespace xct::faults

@@ -133,19 +133,24 @@ Projection project(const RunConfig& cfg, const MachineParams& m)
 
 namespace {
 
+/// Per-(batch, stage) extra service time injected by simulate_faulted.
+using StageDelays = std::vector<std::array<double, 5>>;
+
 /// Pipeline recurrence with bounded queues.  Returns finish[stage][item].
 std::vector<std::array<double, 5>> schedule(const std::vector<BatchTimes>& bt,
-                                            index_t queue_capacity)
+                                            index_t queue_capacity,
+                                            const StageDelays* delays = nullptr)
 {
     const std::size_t n = bt.size();
     const auto service = [&](std::size_t s, std::size_t i) -> double {
         const BatchTimes& t = bt[i];
+        const double extra = delays != nullptr ? (*delays)[i][s] : 0.0;
         switch (s) {
-            case 0: return t.load;
-            case 1: return t.filter;
-            case 2: return t.h2d + t.bp + t.d2h;  // the BP thread owns transfers
-            case 3: return t.reduce;
-            default: return t.store;
+            case 0: return t.load + extra;
+            case 1: return t.filter + extra;
+            case 2: return t.h2d + t.bp + t.d2h + extra;  // the BP thread owns transfers
+            case 3: return t.reduce + extra;
+            default: return t.store + extra;
         }
     };
     std::vector<std::array<double, 5>> start(n), finish(n);
@@ -171,6 +176,32 @@ Projection simulate(const RunConfig& cfg, const MachineParams& m, index_t queue_
     const auto finish = schedule(bt, queue_capacity);
     const double runtime = finish.back()[4];
     return aggregate(cfg, std::move(bt), runtime);
+}
+
+Projection simulate_faulted(const RunConfig& cfg, const MachineParams& m,
+                            const std::vector<SimFault>& events, index_t queue_capacity)
+{
+    require(queue_capacity > 0, "simulate_faulted: queue capacity must be positive");
+    auto bt = batch_times(cfg, m);
+    StageDelays delays(bt.size(), std::array<double, 5>{});
+    for (const SimFault& f : events) {
+        require(f.stage >= 0 && f.stage < 5, "simulate_faulted: stage must be in [0, 5)");
+        require(f.delay_s >= 0.0, "simulate_faulted: delay must be non-negative");
+        const std::size_t b = static_cast<std::size_t>(
+            std::clamp<index_t>(f.batch, 0, static_cast<index_t>(bt.size()) - 1));
+        delays[b][static_cast<std::size_t>(f.stage)] += f.delay_s;
+    }
+    const auto finish = schedule(bt, queue_capacity, &delays);
+    const double runtime = finish.back()[4];
+    return aggregate(cfg, std::move(bt), runtime);
+}
+
+double tail_latency_bound(const RunConfig& cfg, const MachineParams& m, double fault_delay_s,
+                          double slack, index_t queue_capacity)
+{
+    require(fault_delay_s >= 0.0, "tail_latency_bound: fault delay must be non-negative");
+    require(slack >= 1.0, "tail_latency_bound: slack must be >= 1");
+    return simulate(cfg, m, queue_capacity).runtime * slack + fault_delay_s;
 }
 
 std::vector<SimSpan> simulate_spans(const RunConfig& cfg, const MachineParams& m,

@@ -88,6 +88,34 @@ Projection project(const RunConfig& cfg, const MachineParams& m);
 /// curves; `queue_capacity` matches the Fig. 9 FIFO depth).
 Projection simulate(const RunConfig& cfg, const MachineParams& m, index_t queue_capacity = 2);
 
+/// One injected perturbation for the event simulation: `delay_s` of extra
+/// service time at pipeline stage `stage` (0 load, 1 filter, 2 bp — which
+/// owns the h2d/d2h transfers, 3 reduce, 4 store) of batch `batch`.  This
+/// is how the soak harness (src/soak) layers faults onto the event-sim: a
+/// detected corruption costs one re-execution of the poisoned stage, an
+/// injected stall costs its delay, a dropout costs the takeover replay.
+struct SimFault {
+    index_t stage = 0;
+    index_t batch = 0;
+    double delay_s = 0.0;
+};
+
+/// simulate() with fault perturbations folded into the stage service
+/// times before the pipeline recurrence runs — recovery delays propagate
+/// through queue back-pressure exactly like any other slow stage.
+/// Batches out of range are clamped to the last batch.
+Projection simulate_faulted(const RunConfig& cfg, const MachineParams& m,
+                            const std::vector<SimFault>& events, index_t queue_capacity = 2);
+
+/// Perfmodel-derived per-job tail-latency bound: `slack` times the clean
+/// event-sim runtime plus the total injected recovery delay.  Any single
+/// injected delay can extend the critical path by at most its own length,
+/// so a run whose p99 latency exceeds this bound is slower than the model
+/// plus its faults can explain — the soak harness gates on it.
+double tail_latency_bound(const RunConfig& cfg, const MachineParams& m,
+                          double fault_delay_s = 0.0, double slack = 1.25,
+                          index_t queue_capacity = 2);
+
 /// Simulated stage spans of one rank (regenerates Fig. 10 from the model):
 /// returns, per batch, the [begin, end) of each of the five stages.
 struct SimSpan {

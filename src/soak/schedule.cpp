@@ -1,0 +1,167 @@
+#include "soak/schedule.hpp"
+
+#include <algorithm>
+
+#include "core/names.hpp"
+
+namespace xct::soak {
+namespace {
+
+/// splitmix64 — the same mixer the fault engine's Bernoulli triggers use,
+/// so schedule decisions inherit its avalanche properties.
+std::uint64_t splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/// Deterministic decision stream: draw `salt`-th value of job (seed,
+/// epoch, job).  Every schedule choice gets its own salt so adding a new
+/// decision never perturbs the existing ones.
+std::uint64_t draw(std::uint64_t seed, index_t epoch, index_t job, std::uint64_t salt)
+{
+    return splitmix64(splitmix64(seed) ^ splitmix64(static_cast<std::uint64_t>(epoch) + 1) ^
+                      splitmix64(static_cast<std::uint64_t>(job) * 0x9e3779b97f4a7c15ull) ^
+                      splitmix64(salt + 0x517cc1b727220a95ull));
+}
+
+double uniform(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const std::vector<std::string>& evaluation_datasets()
+{
+    static const std::vector<std::string> four = {"tomo_00027", "tomo_00028", "tomo_00029",
+                                                  "tomo_00030"};
+    return four;
+}
+
+const std::vector<const char*>& corrupt_sites()
+{
+    static const std::vector<const char*> sites = {
+        names::kSiteSourceLoad, names::kSitePfsLoad, names::kSitePfsStore,
+        names::kSiteSimH2d,     names::kSiteSimD2h,  names::kSiteMinimpiReduceSum,
+    };
+    return sites;
+}
+
+faults::FaultPlan JobSpec::plan() const
+{
+    faults::FaultPlan p(seed);
+    for (const PlannedFault& f : faults) {
+        faults::FaultSpec spec;
+        spec.after = 0;
+        spec.count = 1;
+        spec.rank = f.rank;
+        spec.kind = f.kind;
+        if (f.kind == faults::FaultKind::Stall) spec.stall_s = f.delay_s;
+        p.add(f.site, spec);
+    }
+    if (dropout) {
+        faults::FaultSpec spec;
+        spec.after = 0;
+        spec.count = 1;
+        spec.rank = dropout_rank;
+        p.add(names::kSiteRankDropout, spec);
+    }
+    return p;
+}
+
+std::vector<JobSpec> make_schedule(const ScheduleConfig& cfg)
+{
+    require(cfg.fleet_ranks >= 4, "make_schedule: fleet must have >= 4 ranks");
+    require(cfg.epochs > 0, "make_schedule: epochs must be positive");
+    require(cfg.fault_rate >= 0.0 && cfg.fault_rate <= 1.0,
+            "make_schedule: fault_rate must be in [0, 1]");
+    require(cfg.stall_delay_s >= 0.0, "make_schedule: stall delay must be non-negative");
+    const index_t per_epoch =
+        cfg.jobs_per_epoch > 0 ? cfg.jobs_per_epoch : std::max<index_t>(4, cfg.fleet_ranks / 8);
+
+    std::vector<JobSpec> jobs;
+    jobs.reserve(static_cast<std::size_t>(per_epoch * cfg.epochs));
+    index_t id = 0;
+    for (index_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        for (index_t j = 0; j < per_epoch; ++j, ++id) {
+            JobSpec job;
+            job.id = id;
+            job.epoch = epoch;
+            // Job scope seeds must be unique per job or the fault engine
+            // would fire identically for two jobs sharing a plan shape.
+            job.seed = draw(cfg.seed, epoch, id, 0) | 1ull;
+
+            const auto& sets = evaluation_datasets();
+            job.dataset = sets[static_cast<std::size_t>(draw(cfg.seed, epoch, id, 1) %
+                                                        sets.size())];
+
+            // Rank arrangement: N_r in {2,4,8,...}, N_g in {1,2,4}, capped
+            // so one job never exceeds half the fleet (the scheduler needs
+            // room to overlap jobs, like the paper's shared-cluster runs).
+            const index_t cap = std::max<index_t>(4, std::min<index_t>(cfg.fleet_ranks / 2, 512));
+            index_t nr = index_t{2} << (draw(cfg.seed, epoch, id, 2) % 4);  // 2..16
+            index_t ng = index_t{1} << (draw(cfg.seed, epoch, id, 3) % 3);  // 1..4
+            while (ng * nr > cap) (ng > 1 ? ng : nr) /= 2;
+            job.layout = GroupLayout{ng, nr};
+
+            // Problem size: deeper scales = smaller problems; mixed so the
+            // fleet sees short and long jobs concurrently (tail realism).
+            static const double scales[] = {32.0, 48.0, 64.0, 96.0};
+            job.scale = scales[draw(cfg.seed, epoch, id, 4) % 4];
+            static const index_t batch_choices[] = {4, 8, 16};
+            job.batches = batch_choices[draw(cfg.seed, epoch, id, 5) % 3];
+
+            if (uniform(draw(cfg.seed, epoch, id, 6)) < cfg.fault_rate) {
+                // 1..3 corruptions at distinct sites, each pinned to a
+                // seed-derived (rank, batch).
+                const auto& sites = corrupt_sites();
+                const std::size_t nfaults =
+                    1 + static_cast<std::size_t>(draw(cfg.seed, epoch, id, 7) % 3);
+                std::vector<std::size_t> picked;
+                std::uint64_t salt = 8;
+                while (picked.size() < nfaults) {
+                    const std::size_t s =
+                        static_cast<std::size_t>(draw(cfg.seed, epoch, id, salt++) % sites.size());
+                    if (std::find(picked.begin(), picked.end(), s) != picked.end()) continue;
+                    picked.push_back(s);
+                    PlannedFault f;
+                    f.site = sites[s];
+                    f.kind = faults::FaultKind::Corrupt;
+                    f.rank = static_cast<index_t>(draw(cfg.seed, epoch, id, salt++) %
+                                                  static_cast<std::uint64_t>(job.nranks()));
+                    f.batch = static_cast<index_t>(draw(cfg.seed, epoch, id, salt++) %
+                                                   static_cast<std::uint64_t>(job.batches));
+                    job.faults.push_back(std::move(f));
+                }
+                // ~1/3 of faulted jobs also stall one rank past the
+                // watchdog deadline (detected, latency-costed).
+                if (cfg.stall_delay_s > 0.0 && draw(cfg.seed, epoch, id, 30) % 3 == 0) {
+                    PlannedFault f;
+                    f.site = names::kSiteRankStall;
+                    f.kind = faults::FaultKind::Stall;
+                    f.rank = static_cast<index_t>(draw(cfg.seed, epoch, id, 31) %
+                                                  static_cast<std::uint64_t>(job.nranks()));
+                    f.batch = 0;  // the stall lands on the load stage
+                    f.delay_s = cfg.stall_delay_s;
+                    job.faults.push_back(std::move(f));
+                }
+                // ~1/4 of faulted jobs lose a rank outright and finish
+                // degraded; never the group root of group 0 to keep the
+                // takeover shape simple (any survivor takes the share).
+                if (draw(cfg.seed, epoch, id, 32) % 4 == 0 && job.nranks() > 2) {
+                    job.dropout = true;
+                    job.dropout_rank =
+                        1 + static_cast<index_t>(draw(cfg.seed, epoch, id, 33) %
+                                                 static_cast<std::uint64_t>(job.nranks() - 1));
+                }
+            }
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+}  // namespace xct::soak

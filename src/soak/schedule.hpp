@@ -1,0 +1,80 @@
+#pragma once
+// Seed-deterministic mixed-workload soak schedule (DESIGN.md §3h).
+//
+// A soak run drives a simulated fleet of ranks through many concurrent
+// reconstruction jobs whose shapes are drawn from the paper's evaluation
+// datasets (Sec. 6.1) at varying N_g / N_r / N_c, with corrupt / stall /
+// dropout faults active on a seed-derived subset of jobs.  Everything
+// here is a pure function of (seed, epoch, job index): two runs with the
+// same seed produce byte-identical schedules, so the soak invariants can
+// be replay-tested in ctest (tests/test_soak.cpp) and regressions bisect
+// to one seed.
+//
+// Fault sites are chosen *distinct per job* because a FaultPlan keys
+// specs by site; the concrete PlannedFault list and the FaultPlan built
+// from it coincide by construction, which is what lets the event tier
+// replay every planned injection through the real faults:: engine and
+// assert injected == detected per site against the real telemetry
+// counters rather than against its own bookkeeping.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/decompose.hpp"
+#include "faults/fault.hpp"
+
+namespace xct::soak {
+
+/// The four tomobank evaluation datasets job shapes are drawn from
+/// (tomo_00027..tomo_00030 — the Sec. 6.1 sets with Table-4 calibration
+/// offsets; the two micro-CT sets are shape outliers kept for benches).
+const std::vector<std::string>& evaluation_datasets();
+
+/// The corrupt-able fault sites with an integrity.detected.<site> twin —
+/// the set the injected == detected invariant quantifies over.
+const std::vector<const char*>& corrupt_sites();
+
+/// One concrete injection the event tier replays through the fault
+/// engine (corrupt) or models analytically (stall, dropout).
+struct PlannedFault {
+    std::string site;  ///< names::kSite* constant
+    faults::FaultKind kind = faults::FaultKind::Corrupt;
+    index_t rank = 0;      ///< job-local rank the spec is pinned to
+    index_t batch = 0;     ///< batch whose stage absorbs the recovery delay
+    double delay_s = 0.0;  ///< stall length / modelled takeover cost
+};
+
+/// One job of the soak schedule.
+struct JobSpec {
+    index_t id = 0;     ///< global job index (stable across epochs)
+    index_t epoch = 0;  ///< epoch this job belongs to
+    std::string dataset;
+    double scale = 64.0;  ///< resolution divisor fed to Dataset::scaled
+    GroupLayout layout;   ///< N_g groups x N_r ranks
+    index_t batches = 8;  ///< N_c
+    std::uint64_t seed = 1;  ///< fault-engine job scope + plan seed
+    std::vector<PlannedFault> faults;
+    bool dropout = false;      ///< one rank drops out (degraded-done path)
+    index_t dropout_rank = 0;  ///< job-local rank that dies
+
+    index_t nranks() const { return layout.nranks(); }
+    /// Concrete FaultPlan: one spec per planned fault's (distinct) site,
+    /// pinned to its rank, firing on the first call.
+    faults::FaultPlan plan() const;
+};
+
+/// Schedule generation knobs (the xct_soak CLI surface).
+struct ScheduleConfig {
+    index_t fleet_ranks = 64;    ///< simulated fleet width
+    index_t epochs = 1;          ///< schedule repetitions with fresh seeds
+    index_t jobs_per_epoch = 0;  ///< 0: fleet_ranks / 8, floor 4
+    std::uint64_t seed = 1;
+    double fault_rate = 0.6;      ///< fraction of jobs carrying faults
+    double stall_delay_s = 0.05;  ///< modelled stall length (event tier)
+};
+
+/// The full deterministic schedule, epoch-major and FIFO-ordered.
+std::vector<JobSpec> make_schedule(const ScheduleConfig& cfg);
+
+}  // namespace xct::soak

@@ -32,6 +32,7 @@ inline void record(Registry& reg)
     Watchdog wd;
     wd.supervise("no.such.section", [] {});         // unregistered watchdog section
     record("bogus.flightspan", nullptr, 0.0, 1.0);  // unregistered flight span
+    reg.counter("soak.bogus.jobs").add(1);          // unregistered soak metric
 }
 
 }  // namespace fixture

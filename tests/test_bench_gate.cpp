@@ -153,6 +153,75 @@ TEST(BenchGate, ToleranceScaleWidensRelativeRulesOnly)
     EXPECT_FALSE(compare(doc(kBaseline), cur, default_rules(), 10.0).pass);
 }
 
+const char* kSoakBaseline = R"({
+  "soak": {
+    "detection_ratio": 1,
+    "sites_match": 1,
+    "wedged_jobs": 0,
+    "live_bitwise_identical": 1,
+    "p99_vs_predicted": 0.97,
+    "jobs_per_hour": 1000.0,
+    "latency_p99_s": 0.05
+  },
+  "filter": {
+    "us_per_transform": 12.5
+  }
+})";
+
+TEST(BenchGateSoak, InvariantMetricsAreExact)
+{
+    // A missed detection, a wedged job or a live-tier mismatch must fail
+    // even when the drift is "small" — these are invariants, not trends.
+    for (const char* key : {"detection_ratio", "sites_match", "live_bitwise_identical"}) {
+        Doc cur = doc(kSoakBaseline);
+        cur["soak"][key].number = 0.999;
+        EXPECT_FALSE(compare(doc(kSoakBaseline), cur, default_rules(), 10.0).pass) << key;
+    }
+    Doc cur = doc(kSoakBaseline);
+    cur["soak"]["wedged_jobs"].number = 1.0;
+    EXPECT_FALSE(compare(doc(kSoakBaseline), cur, default_rules(), 10.0).pass);
+}
+
+TEST(BenchGateSoak, TailRatioIsCappedAtTheBoundAndThroughputIsRelative)
+{
+    // The p99/bound ratio has an absolute ceiling of 1.0: the bound IS
+    // the budget, regardless of what the baseline machine recorded.
+    Doc cur = doc(kSoakBaseline);
+    cur["soak"]["p99_vs_predicted"].number = 1.01;
+    EXPECT_FALSE(compare(doc(kSoakBaseline), cur, default_rules(), 10.0).pass);
+    cur["soak"]["p99_vs_predicted"].number = 0.999;
+    EXPECT_TRUE(compare(doc(kSoakBaseline), cur, default_rules()).pass);
+    // Throughput: a 20% dip passes (schedule rebalance), a collapse fails.
+    cur = doc(kSoakBaseline);
+    cur["soak"]["jobs_per_hour"].number = 800.0;
+    EXPECT_TRUE(compare(doc(kSoakBaseline), cur, default_rules()).pass);
+    cur["soak"]["jobs_per_hour"].number = 100.0;
+    EXPECT_FALSE(compare(doc(kSoakBaseline), cur, default_rules()).pass);
+    // Latency percentiles ride the generous lower-better class.
+    cur = doc(kSoakBaseline);
+    cur["soak"]["latency_p99_s"].number = 0.05 * 4.0;
+    EXPECT_FALSE(compare(doc(kSoakBaseline), cur, default_rules()).pass);
+}
+
+TEST(BenchGateSoak, FilterSectionsRestrictsBothDocuments)
+{
+    // The soak-smoke gate checks only the `soak` section: a regression in
+    // another section is invisible, a soak regression still fails.
+    Doc base = doc(kSoakBaseline);
+    Doc cur = doc(kSoakBaseline);
+    cur["filter"]["us_per_transform"].number = 1e6;
+    EXPECT_FALSE(compare(base, cur, default_rules()).pass);
+    EXPECT_TRUE(compare(filter_sections(base, {"soak"}), filter_sections(cur, {"soak"}),
+                        default_rules())
+                    .pass);
+    cur["soak"]["wedged_jobs"].number = 2.0;
+    EXPECT_FALSE(compare(filter_sections(base, {"soak"}), filter_sections(cur, {"soak"}),
+                         default_rules())
+                     .pass);
+    // Unknown section names simply produce an empty document.
+    EXPECT_TRUE(filter_sections(base, {"no_such_section"}).empty());
+}
+
 TEST(BenchGate, FormatListsEveryFindingAndTheVerdict)
 {
     Doc cur = doc(kBaseline);

@@ -71,8 +71,9 @@ TEST(LintRegistry, ParsesExactAndPrefixEntries)
 TEST(LintFixtures, BadNamesTripsNamesRuleOnly)
 {
     const auto vs = lint_fixture("bad_names.cpp");
-    // counter, gauge, cat, span, fault site, watchdog section, flight span
-    EXPECT_EQ(count_rule(vs, "names"), 7) << xct_lint::format(vs);
+    // counter, gauge, cat, span, fault site, watchdog section, flight
+    // span, soak metric
+    EXPECT_EQ(count_rule(vs, "names"), 8) << xct_lint::format(vs);
     EXPECT_EQ(count_rule(vs, "rawmem"), 0) << xct_lint::format(vs);
     EXPECT_EQ(count_rule(vs, "intloop"), 0) << xct_lint::format(vs);
     EXPECT_EQ(count_rule(vs, "mutex"), 0) << xct_lint::format(vs);

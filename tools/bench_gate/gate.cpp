@@ -168,6 +168,19 @@ std::vector<Rule> default_rules()
         Rule{"fft.n", Class::Exact, 0.0, 0.0},
         Rule{"*bytes*", Class::Exact, 0.0, 0.0},
         Rule{"*.spans", Class::Exact, 0.0, 0.0},
+        // Soak invariants (tools/xct_soak): detection ratio, wedged-job
+        // count, per-site match and live bitwise identity are exact by
+        // construction (the harness is deterministic in the seed); the
+        // tail ratio is capped at the perfmodel bound itself; throughput
+        // is virtual-time yet gated generously so schedule rebalances
+        // do not trip CI while a scheduling collapse does.
+        Rule{"soak.detection_ratio", Class::Exact, 0.0, 0.0},
+        Rule{"soak.sites_match", Class::Exact, 0.0, 0.0},
+        Rule{"soak.wedged_jobs", Class::Exact, 0.0, 0.0},
+        Rule{"soak.live_bitwise_identical", Class::Exact, 0.0, 0.0},
+        Rule{"soak.p99_vs_predicted", Class::Cap, 0.0, 1.0},
+        Rule{"soak.jobs_per_hour", Class::HigherBetter, 0.60, 0.0},
+        Rule{"soak.latency_*", Class::LowerBetter, 1.50, 0.0},
         // Machine-independent ratios: tighter than raw throughputs.
         Rule{"*speedup*", Class::HigherBetter, 0.35, 0.0},
         // Raw throughputs and latencies: CI hardware differs from the
@@ -180,6 +193,16 @@ std::vector<Rule> default_rules()
         Rule{"*per_s*", Class::HigherBetter, 0.60, 0.0},
         Rule{"*seconds*", Class::LowerBetter, 1.50, 0.0},
     };
+}
+
+Doc filter_sections(const Doc& doc, const std::vector<std::string>& sections)
+{
+    Doc out;
+    for (const std::string& s : sections) {
+        const auto it = doc.find(s);
+        if (it != doc.end()) out.insert(*it);
+    }
+    return out;
 }
 
 GateResult compare(const Doc& baseline, const Doc& current, const std::vector<Rule>& rules,

@@ -62,6 +62,10 @@ struct Rule {
 /// The repo's metric classes (documented above; first match wins).
 std::vector<Rule> default_rules();
 
+/// Restrict a document to the named sections (the soak-smoke gate checks
+/// only the `soak` section of BENCH_soak.json against the baseline).
+Doc filter_sections(const Doc& doc, const std::vector<std::string>& sections);
+
 /// '*'-glob match (any character sequence, including '.').
 bool glob_match(const std::string& pattern, const std::string& name);
 

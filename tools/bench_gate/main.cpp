@@ -2,7 +2,11 @@
 // committed baseline.
 //
 //   bench_gate --baseline bench/BENCH_baseline.json --current build/BENCH_pr4.json
-//              [--tolerance-scale 1.0]
+//              [--tolerance-scale 1.0] [--sections soak,filter]
+//
+// --sections restricts the comparison to the named (comma-separated)
+// sections of both documents — the soak-smoke CI job gates only the
+// `soak` section of a fresh BENCH_soak.json against the baseline.
 //
 // Exit code 0 when every gated metric holds, 1 on any regression (or a
 // metric vanishing from the current run), 2 on usage/parse errors.
@@ -11,6 +15,7 @@
 #include <cstdlib>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "gate.hpp"
 
@@ -19,6 +24,7 @@ int main(int argc, char** argv)
     using namespace xct::bench_gate;
     std::string baseline_path;
     std::string current_path;
+    std::vector<std::string> sections;
     double tolerance_scale = 1.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -29,22 +35,37 @@ int main(int argc, char** argv)
             current_path = argv[++i];
         } else if (arg == "--tolerance-scale" && has_value) {
             tolerance_scale = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--sections" && has_value) {
+            std::string list = argv[++i];
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                const std::size_t comma = list.find(',', start);
+                const std::string name = list.substr(
+                    start, comma == std::string::npos ? std::string::npos : comma - start);
+                if (!name.empty()) sections.push_back(name);
+                if (comma == std::string::npos) break;
+                start = comma + 1;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: bench_gate --baseline <json> --current <json> "
-                         "[--tolerance-scale <x>]\n");
+                         "[--tolerance-scale <x>] [--sections a,b]\n");
             return 2;
         }
     }
     if (baseline_path.empty() || current_path.empty() || tolerance_scale <= 0.0) {
         std::fprintf(stderr,
                      "usage: bench_gate --baseline <json> --current <json> "
-                     "[--tolerance-scale <x>]\n");
+                     "[--tolerance-scale <x>] [--sections a,b]\n");
         return 2;
     }
     try {
-        const Doc baseline = parse_file(baseline_path);
-        const Doc current = parse_file(current_path);
+        Doc baseline = parse_file(baseline_path);
+        Doc current = parse_file(current_path);
+        if (!sections.empty()) {
+            baseline = filter_sections(baseline, sections);
+            current = filter_sections(current, sections);
+        }
         const GateResult result = compare(baseline, current, default_rules(), tolerance_scale);
         std::fputs(format(result).c_str(), stdout);
         return result.pass ? 0 : 1;

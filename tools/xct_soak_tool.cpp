@@ -1,0 +1,96 @@
+// xct_soak — fleet-level soak harness (DESIGN.md §3h).
+//
+// Drives a seed-deterministic mixed-workload schedule (jobs drawn from
+// the four evaluation datasets at varying N_g / N_r / N_c) through the
+// soak harness: a 10k-rank-capable event tier layered on
+// perfmodel::simulate_faulted with the real faults:: / integrity::
+// machinery handling every planned corruption, plus a small live tier on
+// real minimpi pipelines that bit-compares the recovered volume.  After
+// the run the four fleet invariants are checked; any violation prints to
+// stderr and exits nonzero, which is what CI's soak-smoke gate consumes.
+//
+//   xct_soak --ranks 10000 --epochs 3 --seed 7 --out BENCH_soak.json
+//   xct_soak --ranks 64 --replay-check        # run twice, diff summaries
+
+#include <cstdio>
+#include <string>
+
+#include "cli.hpp"
+#include "soak/soak.hpp"
+
+int main(int argc, char** argv)
+{
+    using namespace xct;
+
+    cli::Args args;
+    args.option("ranks", "64", "simulated fleet width")
+        .option("epochs", "1", "schedule epochs")
+        .option("jobs-per-epoch", "0", "jobs per epoch (0: ranks/8, floor 4)")
+        .option("seed", "1", "schedule + fault seed")
+        .option("fault-rate", "0.6", "fraction of jobs carrying faults")
+        .option("out", "", "write BENCH_soak.json here")
+        .flag("append", "merge --out into an existing BENCH file")
+        .flag("event-only", "skip the live minimpi tier")
+        .flag("replay-check", "run the schedule twice; fail unless the "
+                              "deterministic summaries are identical")
+        .flag("quiet", "suppress the per-run summary");
+    args.parse(argc, argv, "fleet soak harness: mixed workload + fault plans + invariants");
+
+    soak::SoakConfig cfg;
+    cfg.schedule.fleet_ranks = args.get_int("ranks");
+    cfg.schedule.epochs = args.get_int("epochs");
+    cfg.schedule.jobs_per_epoch = args.get_int("jobs-per-epoch");
+    cfg.schedule.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    cfg.schedule.fault_rate = args.get_double("fault-rate");
+    cfg.live = !args.get_flag("event-only");
+
+    const soak::SoakSummary s = soak::run(cfg);
+
+    if (!args.get_flag("quiet")) {
+        std::printf("soak: %lld jobs on %lld ranks x %lld epoch(s)  [%.2fs wall]\n",
+                    static_cast<long long>(s.jobs), static_cast<long long>(s.fleet_ranks),
+                    static_cast<long long>(s.epochs), s.harness_wall_s);
+        std::printf("  jobs: %lld done, %lld degraded, %lld wedged  |  %.1f jobs/hour "
+                    "(virtual makespan %.1fs)\n",
+                    static_cast<long long>(s.jobs - s.degraded - s.wedged),
+                    static_cast<long long>(s.degraded), static_cast<long long>(s.wedged),
+                    s.jobs_per_hour, s.makespan_s);
+        std::printf("  corruptions: %llu injected, %llu detected (%s)\n",
+                    static_cast<unsigned long long>(s.injected),
+                    static_cast<unsigned long long>(s.detected),
+                    s.sites_match ? "all sites matched" : "SITE MISMATCH");
+        std::printf("  stalls: %llu injected, %llu watchdog-detected\n",
+                    static_cast<unsigned long long>(s.stall_injected),
+                    static_cast<unsigned long long>(s.stall_detected));
+        std::printf("  latency: p50 %.3fs  p95 %.3fs  p99 %.3fs  |  p99/bound %.3f\n",
+                    s.latency_p50_s, s.latency_p95_s, s.latency_p99_s, s.p99_vs_predicted);
+        if (s.live_jobs > 0)
+            std::printf("  live tier: %lld job(s), recovered volume %s  [%.2fs wall]\n",
+                        static_cast<long long>(s.live_jobs),
+                        s.live_bitwise_identical ? "bitwise identical" : "DIFFERS", s.live_wall_s);
+    }
+
+    if (args.get_flag("replay-check")) {
+        soak::SoakConfig again = cfg;
+        again.live = false;  // the live tier re-runs real pipelines; the
+                             // determinism contract is on the event tier
+        soak::SoakConfig first = cfg;
+        first.live = false;
+        const std::string a = soak::deterministic_json(soak::run(first));
+        const std::string b = soak::deterministic_json(soak::run(again));
+        if (a != b) {
+            std::fprintf(stderr, "replay-check: summaries differ for seed %llu\n  1st: %s\n"
+                                 "  2nd: %s\n",
+                         static_cast<unsigned long long>(cfg.schedule.seed), a.c_str(), b.c_str());
+            return 1;
+        }
+        if (!args.get_flag("quiet")) std::printf("  replay-check: identical summaries\n");
+    }
+
+    if (args.is_set("out")) soak::write_bench_json(args.get("out"), s, !args.get_flag("append"));
+
+    const auto violations = soak::check_invariants(s);
+    for (const std::string& v : violations)
+        std::fprintf(stderr, "soak invariant violated: %s\n", v.c_str());
+    return violations.empty() ? 0 : 1;
+}
