@@ -72,7 +72,7 @@ int main()
         cfg.geometry = g;
         cfg.layout = GroupLayout{ranks > 1 ? ranks / 2 : 1, ranks > 1 ? 2 : 1};
         cfg.batches = 4;
-        const auto factory = [&](index_t) { return std::make_unique<recon::PhantomSource>(head, g); };
+        const auto factory = [&](RankId) { return std::make_unique<recon::PhantomSource>(head, g); };
         const recon::DistributedResult r = recon::reconstruct_distributed(cfg, factory);
         double mib = 0.0;
         for (const auto& s : r.ranks) mib += bench::mib(s.h2d.bytes);
@@ -80,8 +80,11 @@ int main()
         if (ranks == 1) mib1 = mib;
         std::printf("%-8lld %-16lld %-16lld %-10.2f (1/%.1f of 1-rank)\n",
                     static_cast<long long>(ranks),
-                    static_cast<long long>(cfg.layout.views_of_rank(0, g.num_proj).length()),
-                    static_cast<long long>(cfg.layout.slices_of_group(0, g.vol.z).length()), mib,
+                    static_cast<long long>(
+                        cfg.layout.views_of_rank(RankId{0}, g.num_proj).length()),
+                    static_cast<long long>(
+                        cfg.layout.slices_of_group(GroupId{0}, g.vol.z).length()),
+                    mib,
                     mib1 / mib);
     }
     bench::note("per-rank work and input traffic divide ~1/N — the law behind Fig. 13; the");

@@ -33,7 +33,7 @@ int main()
     cfg.geometry = g;
     cfg.layout = GroupLayout{1, 4};
     cfg.batches = 8;
-    const auto factory = [&](index_t) { return std::make_unique<recon::PhantomSource>(head, g); };
+    const auto factory = [&](RankId) { return std::make_unique<recon::PhantomSource>(head, g); };
     const recon::DistributedResult r = recon::reconstruct_distributed(cfg, factory);
 
     // Single-rank reference.

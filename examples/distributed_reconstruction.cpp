@@ -42,7 +42,7 @@ int main(int argc, char** argv)
     cfg.batches = 4;
     cfg.ranks_per_node = nr > 1 ? 2 : 0;  // hierarchical node-leader reduce
 
-    const auto factory = [&](index_t) { return std::make_unique<recon::PhantomSource>(head, g); };
+    const auto factory = [&](RankId) { return std::make_unique<recon::PhantomSource>(head, g); };
 
     // Stored slabs land in a bandwidth-accounted PFS directory.
     io::Pfs pfs(std::filesystem::temp_directory_path() / "xct_distributed_example",

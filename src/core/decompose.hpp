@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/geometry.hpp"
+#include "core/ids.hpp"
 #include "core/types.hpp"
 
 namespace xct {
@@ -83,19 +84,20 @@ struct GroupLayout {
     index_t ranks_per_group = 1;  ///< Nr
 
     index_t nranks() const { return num_groups * ranks_per_group; }
-    index_t group_of(index_t rank) const { return rank / ranks_per_group; }
-    index_t rank_in_group(index_t rank) const { return rank % ranks_per_group; }
+    GroupId group_of(RankId rank) const { return GroupId{rank.value() / ranks_per_group}; }
+    /// Position of `rank` within its group (the reduction key order).
+    index_t rank_in_group(RankId rank) const { return rank.value() % ranks_per_group; }
     /// Root (world) rank of a group: its first rank.
-    index_t group_root(index_t group) const { return group * ranks_per_group; }
+    RankId group_root(GroupId group) const { return RankId{group.value() * ranks_per_group}; }
 
     /// Output slices owned by `group` (Eq. 10 generalised to Nz not
     /// divisible by Ng).
-    Range slices_of_group(index_t group, index_t nz) const
+    Range slices_of_group(GroupId group, index_t nz) const
     {
-        return split_even(nz, num_groups, group);
+        return split_even(nz, num_groups, group.value());
     }
     /// Views processed by `rank` (the Np split of Sec. 3.1.3).
-    Range views_of_rank(index_t rank, index_t np) const
+    Range views_of_rank(RankId rank, index_t np) const
     {
         return split_even(np, ranks_per_group, rank_in_group(rank));
     }

@@ -1,0 +1,71 @@
+#pragma once
+// Strong-typed decomposition ids.
+//
+// The paper's decomposition is index arithmetic all the way down —
+// group_of(rank), views_of_rank(rank, np), slices_of_group(group, nz) —
+// and every raw index_t rank/group/view/slab/job value threaded through
+// a call chain is a chance to swap two arguments, compile silently and
+// reconstruct a wrong-but-plausible volume.  These wrappers make each id
+// space a distinct type: construction is explicit, there is no implicit
+// cross-conversion, and arithmetic happens on .value() where the caller
+// can see it.  Zero-cost: one index_t, trivially copyable, constexpr.
+//
+// The xct_lint `ids` rule closes the loop by rejecting raw index_t/int
+// declarations *named* rank/group/view/slab/job outside this header and
+// the minimpi boundary (a faithful MPI simulator speaks raw world ranks,
+// as MPI itself does).
+
+#include <ostream>
+
+#include "core/types.hpp"
+
+namespace xct {
+
+/// Phantom-tagged integer id.  `Tag` only disambiguates the type; the
+/// representation is a bare index_t.
+template <typename Tag>
+class StrongId {
+public:
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(index_t v) : v_(v) {}
+
+    constexpr index_t value() const { return v_; }
+
+    constexpr bool operator==(const StrongId&) const = default;
+    constexpr auto operator<=>(const StrongId&) const = default;
+
+    /// Pre-increment so typed ids can drive canonical iteration loops:
+    /// `for (RankId r{0}; r.value() < nranks; ++r)`.
+    constexpr StrongId& operator++()
+    {
+        ++v_;
+        return *this;
+    }
+
+private:
+    index_t v_ = 0;
+};
+
+/// Diagnostics / gtest failure messages print the underlying value.
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id)
+{
+    return os << id.value();
+}
+
+struct RankTag {};
+struct GroupTag {};
+struct ViewTag {};
+struct SlabTag {};
+struct JobTag {};
+
+using RankId = StrongId<RankTag>;    ///< minimpi world rank
+using GroupId = StrongId<GroupTag>;  ///< MPI_Comm_split group (Ng axis)
+using ViewId = StrongId<ViewTag>;    ///< global projection/view index (Np axis)
+using SlabId = StrongId<SlabTag>;    ///< slab index within a group's slice range
+using JobId = StrongId<JobTag>;      ///< soak-schedule / multi-job engine job
+
+/// FaultSpec wildcard: "restrict to no particular rank".
+inline constexpr RankId kAnyRank{-1};
+
+}  // namespace xct

@@ -1,0 +1,177 @@
+#include "core/lockorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
+
+namespace xct::lockorder {
+namespace {
+
+/// One witnessed acquisition order: the thread held `from` when it
+/// acquired `to`.  Nodes are mutex names, so the graph is bounded by the
+/// number of distinct Mutex construction sites, not mutex instances.
+struct Edge {
+    std::string from;
+    std::string to;
+};
+
+// The per-thread held-stack is a POD fixed-size array, NOT a vector: it
+// is consulted from other thread_local destructors (telemetry's flight
+// ring locks a Mutex on thread exit), and a thread_local with a
+// destructor may already be dead by then — glibc runs TLS destructors in
+// registration order, and writing into a destroyed vector corrupts the
+// heap.  A POD array has no destructor, so it stays valid for the whole
+// thread lifetime.  Nesting deeper than kMaxHeld is not recorded.
+struct Held {
+    const void* m;
+    const char* name;
+};
+
+constexpr int kMaxHeld = 64;
+thread_local Held t_held[kMaxHeld];
+thread_local int t_depth = 0;
+
+struct Global {
+    std::mutex m;
+    std::vector<Edge> edges;
+    bool exit_hook_installed = false;
+};
+
+Global& global()
+{
+    static Global g;
+    return g;
+}
+
+void atexit_report()
+{
+    report_at_exit();
+}
+
+}  // namespace
+
+void on_acquire(const void* m, const char* name)
+{
+    const char* to = name != nullptr ? name : "mutex";
+    if (t_depth > 0) {
+        Global& g = global();
+        std::lock_guard<std::mutex> lk(g.m);
+        for (int i = 0; i < t_depth; ++i) {
+            // Compare by content, not pointer: the same literal can have a
+            // distinct address per translation unit.
+            if (std::strcmp(t_held[i].name, to) == 0)
+                continue;  // same-name self edges over-report only
+            const bool dup = std::any_of(g.edges.begin(), g.edges.end(), [&](const Edge& e) {
+                return e.from == t_held[i].name && e.to == to;
+            });
+            if (!dup) g.edges.push_back(Edge{t_held[i].name, to});
+        }
+        if (!g.exit_hook_installed) {
+            g.exit_hook_installed = true;
+            std::atexit(atexit_report);
+        }
+    }
+    if (t_depth < kMaxHeld) t_held[t_depth++] = Held{m, to};
+}
+
+void on_release(const void* m)
+{
+    for (int i = t_depth - 1; i >= 0; --i)
+        if (t_held[i].m == m) {
+            for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
+            --t_depth;
+            return;
+        }
+}
+
+std::size_t edge_count()
+{
+    Global& g = global();
+    std::lock_guard<std::mutex> lk(g.m);
+    return g.edges.size();
+}
+
+std::vector<std::string> cycles()
+{
+    Global& g = global();
+    std::vector<Edge> edges;
+    {
+        std::lock_guard<std::mutex> lk(g.m);
+        edges = g.edges;
+    }
+    std::vector<std::string> nodes;
+    for (const auto& e : edges)
+        for (const auto& n : {e.from, e.to})
+            if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) nodes.push_back(n);
+    std::sort(nodes.begin(), nodes.end());
+
+    std::vector<std::string> out;
+    std::vector<std::string> seen_keys;
+    // Iterative DFS per start node; colours: 0 white, 1 on stack, 2 done.
+    std::vector<int> color(nodes.size(), 0);
+    const auto id_of = [&](const std::string& n) {
+        return static_cast<std::size_t>(
+            std::find(nodes.begin(), nodes.end(), n) - nodes.begin());
+    };
+    std::vector<std::size_t> stack;
+    const std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+        color[u] = 1;
+        stack.push_back(u);
+        for (const auto& e : edges) {
+            if (id_of(e.from) != u) continue;
+            const std::size_t v = id_of(e.to);
+            if (color[v] == 1) {
+                auto it = std::find(stack.begin(), stack.end(), v);
+                std::vector<std::string> cyc;
+                for (; it != stack.end(); ++it) cyc.push_back(nodes[*it]);
+                std::vector<std::string> key = cyc;
+                std::sort(key.begin(), key.end());
+                std::string keystr;
+                for (const auto& k : key) keystr += k + "|";
+                if (std::find(seen_keys.begin(), seen_keys.end(), keystr) == seen_keys.end()) {
+                    seen_keys.push_back(keystr);
+                    std::string path;
+                    for (const auto& n : cyc) path += n + " -> ";
+                    out.push_back(path + nodes[v]);
+                }
+            } else if (color[v] == 0) {
+                dfs(v);
+            }
+        }
+        stack.pop_back();
+        color[u] = 2;
+    };
+    for (std::size_t u = 0; u < nodes.size(); ++u)
+        if (color[u] == 0) dfs(u);
+    return out;
+}
+
+void reset()
+{
+    Global& g = global();
+    std::lock_guard<std::mutex> lk(g.m);
+    g.edges.clear();
+}
+
+bool report_at_exit()
+{
+    const auto cyc = cycles();
+    if (cyc.empty()) return false;
+    std::fprintf(stderr,
+                 "xct lock-order witness: %zu cycle(s) in the acquisition graph "
+                 "(%zu edges witnessed):\n",
+                 cyc.size(), edge_count());
+    for (const auto& c : cyc) std::fprintf(stderr, "  %s\n", c.c_str());
+    std::fprintf(stderr,
+                 "a thread holding the first mutex of a cycle can deadlock against a "
+                 "thread holding the last; fix the acquisition order.\n");
+    // CI teeth: the lock-order leg exports XCT_LOCK_ORDER_FATAL so a
+    // witnessed cycle fails the run even when every assertion passed.
+    if (std::getenv("XCT_LOCK_ORDER_FATAL") != nullptr) std::_Exit(99);
+    return true;
+}
+
+}  // namespace xct::lockorder

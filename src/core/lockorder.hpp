@@ -1,0 +1,60 @@
+#pragma once
+// Runtime lock-order witness (DESIGN.md §3i) — the dynamic half of the
+// deadlock-freedom story.  The static `lockorder` lint rule proves the
+// *textually visible* nesting acyclic; this witness records the orders a
+// real execution actually takes, including ones assembled across call
+// boundaries the token scanner cannot see (lock in caller, lock in
+// callee).
+//
+// Mechanism (a deliberately small lockdep): every instrumented Mutex
+// acquisition pushes onto a thread-local held-stack and inserts one
+// directed edge (held -> acquired) per mutex currently held by the same
+// thread into a process-global edge set.  Edges accumulate by mutex
+// *name* (the Mutex(const char*) constructor argument), so the graph
+// stays small and stable across object lifetimes; two anonymous mutexes
+// share the "mutex" node, which can only over-report — never miss — a
+// cycle.  `cycles()` runs DFS over the accumulated graph; a report is
+// printed to stderr at process exit when any cycle was witnessed.
+//
+// The hooks compile in only under -DXCT_LOCK_ORDER=1 (CMake option
+// XCT_LOCK_ORDER); the default build pays nothing.  This translation
+// unit itself synchronises with a raw std::mutex — instrumenting the
+// instrument would recurse — and is whitelisted by the lint's mutex
+// rule for exactly that reason.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xct::lockorder {
+
+/// Record that the calling thread acquired `m` (named `name`) while
+/// holding whatever is on its held-stack.  Called by the Mutex/UniqueLock
+/// hooks; tests may call it directly to exercise the graph logic.
+void on_acquire(const void* m, const char* name);
+
+/// Pop `m` from the calling thread's held-stack (it need not be the top:
+/// unlock order is not acquisition order).
+void on_release(const void* m);
+
+/// Number of distinct witnessed edges (name -> name) so far.
+std::size_t edge_count();
+
+/// Every distinct cycle in the witnessed graph, rendered "a -> b -> a".
+/// Empty means every witnessed acquisition order is consistent.
+std::vector<std::string> cycles();
+
+/// Forget all edges and names (held-stacks are per-thread and survive;
+/// tests that intentionally witness a cycle call this afterwards so the
+/// exit report stays clean).
+void reset();
+
+/// Print the cycle report to stderr if any cycle was witnessed; returns
+/// true when cycles exist.  Installed via atexit on first on_acquire.
+/// When the XCT_LOCK_ORDER_FATAL environment variable is set, a report
+/// with cycles terminates the process with exit code 99 — the CI leg
+/// exports it so a witnessed inversion fails the run even though every
+/// test assertion passed.
+bool report_at_exit();
+
+}  // namespace xct::lockorder

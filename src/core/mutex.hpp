@@ -17,18 +17,61 @@
 
 #include "core/thread_annotations.hpp"
 
+// Runtime lock-order witness (CMake option XCT_LOCK_ORDER): every
+// acquisition through these wrappers records held->acquired edges into a
+// process-global graph whose cycles are reported at exit — the dynamic
+// complement of the static `lockorder` lint rule.  Off (the default),
+// the wrappers compile to exactly the std types.
+#if defined(XCT_LOCK_ORDER) && XCT_LOCK_ORDER
+#include "core/lockorder.hpp"
+#define XCT_LO_ACQUIRE(m, name) ::xct::lockorder::on_acquire((m), (name))
+#define XCT_LO_RELEASE(m) ::xct::lockorder::on_release((m))
+#else
+#define XCT_LO_ACQUIRE(m, name) ((void)0)
+#define XCT_LO_RELEASE(m) ((void)0)
+#endif
+
 namespace xct {
 
 /// Annotated std::mutex.  Lock through MutexLock / UniqueLock; the raw
-/// lock()/unlock() exist for the wrappers and for adopting APIs.
+/// lock()/unlock() exist for the wrappers and for adopting APIs.  The
+/// named constructor labels this mutex's node in the lock-order witness
+/// graph; anonymous mutexes share the "mutex" node (which can only
+/// over-report a cycle, never miss one).
 class XCT_CAPABILITY("mutex") Mutex {
 public:
     Mutex() = default;
+    explicit Mutex(const char* name)
+    {
+#if defined(XCT_LOCK_ORDER) && XCT_LOCK_ORDER
+        name_ = name;
+#else
+        (void)name;
+#endif
+    }
     Mutex(const Mutex&) = delete;
     Mutex& operator=(const Mutex&) = delete;
 
-    void lock() XCT_ACQUIRE() { m_.lock(); }
-    void unlock() XCT_RELEASE() { m_.unlock(); }
+    void lock() XCT_ACQUIRE()
+    {
+        m_.lock();
+        XCT_LO_ACQUIRE(this, order_name());
+    }
+    void unlock() XCT_RELEASE()
+    {
+        XCT_LO_RELEASE(this);
+        m_.unlock();
+    }
+
+    /// Witness-graph node label ("mutex" when anonymous or witness off).
+    const char* order_name() const
+    {
+#if defined(XCT_LOCK_ORDER) && XCT_LOCK_ORDER
+        return name_;
+#else
+        return "mutex";
+#endif
+    }
 
     /// Tell the analysis this capability is held — for condition-variable
     /// wait predicates, which run under the lock but are analysed as
@@ -40,6 +83,9 @@ public:
 
 private:
     std::mutex m_;
+#if defined(XCT_LOCK_ORDER) && XCT_LOCK_ORDER
+    const char* name_ = "mutex";
+#endif
 };
 
 /// RAII lock for the plain critical-section case (std::lock_guard).
@@ -55,10 +101,24 @@ private:
 };
 
 /// RAII lock that a CondVar can temporarily release (std::unique_lock).
+/// Acquires through the NATIVE std::mutex (so CondVar::wait can release
+/// it), which bypasses Mutex::lock — the witness hooks therefore live
+/// here too, or UniqueLock acquisitions would be invisible to the graph.
 class XCT_SCOPED_CAPABILITY UniqueLock {
 public:
-    explicit UniqueLock(Mutex& m) XCT_ACQUIRE(m) : lk_(m.native()) {}
-    ~UniqueLock() XCT_RELEASE() {}
+    explicit UniqueLock(Mutex& m) XCT_ACQUIRE(m) : lk_(m.native())
+    {
+        XCT_LO_ACQUIRE(&m, m.order_name());
+#if defined(XCT_LOCK_ORDER) && XCT_LOCK_ORDER
+        mu_ = &m;
+#endif
+    }
+    ~UniqueLock() XCT_RELEASE()
+    {
+#if defined(XCT_LOCK_ORDER) && XCT_LOCK_ORDER
+        XCT_LO_RELEASE(mu_);
+#endif
+    }
     UniqueLock(const UniqueLock&) = delete;
     UniqueLock& operator=(const UniqueLock&) = delete;
 
@@ -66,6 +126,9 @@ public:
 
 private:
     std::unique_lock<std::mutex> lk_;
+#if defined(XCT_LOCK_ORDER) && XCT_LOCK_ORDER
+    Mutex* mu_ = nullptr;
+#endif
 };
 
 /// Condition variable paired with Mutex/UniqueLock.  Wait predicates run
@@ -127,7 +190,7 @@ public:
     }
 
 private:
-    mutable Mutex m_;
+    mutable Mutex m_{"core.first_error"};
     std::exception_ptr first_ XCT_GUARDED_BY(m_);
 };
 

@@ -28,7 +28,6 @@ inline constexpr const char* kCatFaults = "faults";
 inline constexpr const char* kCatIntegrity = "integrity";
 inline constexpr const char* kCatFlight = "flight";
 inline constexpr const char* kCatBench = "bench";  ///< micro-bench probe spans
-inline constexpr const char* kCatSoak = "soak";    ///< fleet soak harness spans
 
 // ---- trace span names ---------------------------------------------------
 inline constexpr const char* kSpanReduceSum = "reduce_sum";
@@ -37,8 +36,6 @@ inline constexpr const char* kSpanReduceSumParts = "reduce_sum_parts";
 inline constexpr const char* kSpanReduceSumHierarchical = "reduce_sum_hierarchical";
 inline constexpr const char* kSpanBcast = "bcast";
 inline constexpr const char* kSpanGather = "gather";
-inline constexpr const char* kSpanH2d = "h2d";  ///< also the sim.* metric infix
-inline constexpr const char* kSpanD2h = "d2h";  ///< also the sim.* metric infix
 inline constexpr const char* kSpanFilterApply = "apply";
 inline constexpr const char* kSpanRetry = "retry";
 inline constexpr const char* kSpanCkptSave = "ckpt.save";

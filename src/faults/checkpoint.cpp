@@ -41,9 +41,9 @@ index_t CheckpointStore::validated_cursor() const
 {
     const index_t c = cursor();
     for (index_t i = 0; i < c; ++i) {
-        if (!has_slab(i)) continue;
+        if (!has_slab(SlabId{i})) continue;
         try {
-            const io::CheckpointSlab slab = io::read_checkpoint_slab(slab_path(i));
+            const io::CheckpointSlab slab = io::read_checkpoint_slab(slab_path(SlabId{i}));
             if (integrity::digest_of<float>(slab.volume.span()) != slab.digest) return i;
         } catch (const std::exception&) {
             // Structurally invalid (truncated, wrong magic/version, size
@@ -54,19 +54,19 @@ index_t CheckpointStore::validated_cursor() const
     return c;
 }
 
-std::filesystem::path CheckpointStore::slab_path(index_t idx) const
+std::filesystem::path CheckpointStore::slab_path(SlabId idx) const
 {
-    return dir_ / ("slab_" + std::to_string(idx) + ".xckp");
+    return dir_ / ("slab_" + std::to_string(idx.value()) + ".xckp");
 }
 
-bool CheckpointStore::has_slab(index_t idx) const
+bool CheckpointStore::has_slab(SlabId idx) const
 {
     return std::filesystem::exists(slab_path(idx));
 }
 
-void CheckpointStore::save_slab(index_t idx, const Volume& v)
+void CheckpointStore::save_slab(SlabId idx, const Volume& v)
 {
-    telemetry::ScopedTrace trace(names::kCatFaults, names::kSpanCkptSave, idx,
+    telemetry::ScopedTrace trace(names::kCatFaults, names::kSpanCkptSave, idx.value(),
                                  static_cast<std::uint64_t>(v.count()) * sizeof(float));
     const auto path = slab_path(idx);
     const auto tmp = path.string() + ".tmp";
@@ -75,9 +75,9 @@ void CheckpointStore::save_slab(index_t idx, const Volume& v)
     telemetry::registry().counter(names::kMetricFaultsCkptSaved).add(1);
 }
 
-Volume CheckpointStore::load_slab(index_t idx) const
+Volume CheckpointStore::load_slab(SlabId idx) const
 {
-    telemetry::ScopedTrace trace(names::kCatFaults, names::kSpanCkptRestore, idx);
+    telemetry::ScopedTrace trace(names::kCatFaults, names::kSpanCkptRestore, idx.value());
     io::CheckpointSlab slab = io::read_checkpoint_slab(slab_path(idx));
     // Corruption point between the (structurally valid) read and the
     // consumer, then verify against the save-time digest — an injected or

@@ -33,6 +33,7 @@
 
 #include <filesystem>
 
+#include "core/ids.hpp"
 #include "core/volume.hpp"
 
 namespace xct::faults {
@@ -59,12 +60,12 @@ public:
     /// Record that every slab below `next_incomplete` is done.
     void advance(index_t next_incomplete);
 
-    bool has_slab(index_t idx) const;
-    void save_slab(index_t idx, const Volume& v);
-    Volume load_slab(index_t idx) const;
+    bool has_slab(SlabId idx) const;
+    void save_slab(SlabId idx, const Volume& v);
+    Volume load_slab(SlabId idx) const;
 
 private:
-    std::filesystem::path slab_path(index_t idx) const;
+    std::filesystem::path slab_path(SlabId idx) const;
 
     std::filesystem::path dir_;
 };

@@ -33,11 +33,11 @@ std::uint64_t hash_str(const std::string& s)
 }
 
 struct Engine {
-    Mutex m;
+    Mutex m{"faults.engine"};
     FaultPlan plan XCT_GUARDED_BY(m);
     /// Per (site, rank) call counters — deterministic trigger points
     /// regardless of thread interleaving.
-    std::map<std::pair<std::string, index_t>, std::uint64_t> calls XCT_GUARDED_BY(m);
+    std::map<std::pair<std::string, RankId>, std::uint64_t> calls XCT_GUARDED_BY(m);
     /// Multi-job scope (set_job_scope): 0 outside soak-style runs.
     std::uint64_t job XCT_GUARDED_BY(m) = 0;
 };
@@ -66,7 +66,7 @@ struct Fired {
 std::optional<Fired> fire(const char* site, FaultKind kind)
 {
     Engine& e = engine();
-    const index_t rank = telemetry::current_rank();
+    const RankId rank = telemetry::current_rank();
     Fired f;
     bool fires = false;
     {
@@ -79,7 +79,7 @@ std::optional<Fired> fire(const char* site, FaultKind kind)
         f.seed = e.plan.seed();
         f.flips = spec.flips;
         f.stall_s = spec.stall_s;
-        if (spec.rank >= 0 && spec.rank != rank) return std::nullopt;
+        if (spec.rank != kAnyRank && spec.rank != rank) return std::nullopt;
         if (spec.after >= 0) {
             const auto first = static_cast<std::uint64_t>(spec.after);
             fires = f.call >= first &&
@@ -90,9 +90,10 @@ std::optional<Fired> fire(const char* site, FaultKind kind)
             // exact PR 2 firing pattern; any other scope re-keys every
             // probabilistic decision per job.
             const std::uint64_t scope = e.job == 0 ? 0 : splitmix64(e.job);
-            const std::uint64_t h = splitmix64(e.plan.seed() ^ scope ^ hash_str(it->first) ^
-                                               splitmix64(static_cast<std::uint64_t>(rank + 1)) ^
-                                               splitmix64(f.call * 0x9e3779b97f4a7c15ull));
+            const std::uint64_t h =
+                splitmix64(e.plan.seed() ^ scope ^ hash_str(it->first) ^
+                           splitmix64(static_cast<std::uint64_t>(rank.value() + 1)) ^
+                           splitmix64(f.call * 0x9e3779b97f4a7c15ull));
             const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
             fires = u < spec.probability;
         }
@@ -106,9 +107,9 @@ std::optional<Fired> fire(const char* site, FaultKind kind)
 
 }  // namespace
 
-InjectedFault::InjectedFault(std::string site, index_t rank, std::uint64_t call)
-    : TransientError("injected fault at " + site + " (rank " + std::to_string(rank) + ", call " +
-                     std::to_string(call) + ")"),
+InjectedFault::InjectedFault(std::string site, RankId rank, std::uint64_t call)
+    : TransientError("injected fault at " + site + " (rank " + std::to_string(rank.value()) +
+                     ", call " + std::to_string(call) + ")"),
       site_(std::move(site))
 {
 }
@@ -178,7 +179,7 @@ FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed)
                     } else if (key == "delay") {
                         fs.stall_s = std::stod(val);
                     } else {
-                        fs.rank = std::stoll(val);
+                        fs.rank = RankId{std::stoll(val)};
                     }
                 } catch (const std::logic_error& e) {
                     throw std::invalid_argument("FaultPlan::parse: bad value in '" + kv +
@@ -248,9 +249,9 @@ index_t corrupt(const char* site, std::span<std::byte> buf)
     // (seed, site, rank, call, i) so a given plan poisons exactly the same
     // bits every run — the detection tests can assert injected == detected
     // counter equality bit-for-bit reproducibly.
-    const index_t rank = telemetry::current_rank();
+    const RankId rank = telemetry::current_rank();
     const std::uint64_t base = f->seed ^ hash_str(site) ^
-                               splitmix64(static_cast<std::uint64_t>(rank + 1)) ^
+                               splitmix64(static_cast<std::uint64_t>(rank.value() + 1)) ^
                                splitmix64(f->call + 1);
     // Distinct positions only: two flips landing on the same bit would
     // cancel out and leave an "injected" corruption nothing could detect.

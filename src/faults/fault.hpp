@@ -34,6 +34,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/ids.hpp"
 #include "core/types.hpp"
 
 namespace xct::faults {
@@ -49,7 +50,7 @@ public:
 /// A fault fired by the installed FaultPlan at a named site.
 class InjectedFault : public TransientError {
 public:
-    InjectedFault(std::string site, index_t rank, std::uint64_t call);
+    InjectedFault(std::string site, RankId rank, std::uint64_t call);
     const std::string& site() const { return site_; }
 
 private:
@@ -71,7 +72,7 @@ struct FaultSpec {
     double probability = 0.0;  ///< per-call Bernoulli, seed-derived
     index_t after = -1;        ///< first failing call index; -1 = disabled
     index_t count = 1;         ///< how many consecutive calls fail from `after`
-    index_t rank = -1;         ///< restrict to this telemetry rank; -1 = any
+    RankId rank = kAnyRank;    ///< restrict to this telemetry rank; kAnyRank = any
     FaultKind kind = FaultKind::Throw;
     index_t flips = 1;     ///< Corrupt: bits flipped per fired call
     double stall_s = 0.0;  ///< Stall: injected delay per fired call

@@ -32,7 +32,7 @@ namespace {
 /// try_emplace'd, so a losing racer just drops its copy; the map holds
 /// unique_ptrs so returned references stay stable across rehashes.
 struct PlanCache {
-    Mutex m;
+    Mutex m{"fft.plan_cache"};
     std::map<index_t, std::unique_ptr<Plan>> plans XCT_GUARDED_BY(m);
 };
 

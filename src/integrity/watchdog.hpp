@@ -107,7 +107,7 @@ private:
     void monitor_loop();
 
     double timeout_s_ = 0.0;
-    mutable Mutex m_;
+    mutable Mutex m_{"integrity.watchdog"};
     CondVar cv_;
     std::vector<Slot> slots_ XCT_GUARDED_BY(m_);
     bool stop_ XCT_GUARDED_BY(m_) = false;

@@ -7,25 +7,25 @@
 namespace xct::io {
 namespace {
 
-std::filesystem::path view_path(const std::filesystem::path& dir, index_t s)
+std::filesystem::path view_path(const std::filesystem::path& dir, ViewId s)
 {
     char name[32];
-    std::snprintf(name, sizeof name, "view_%06lld.xstk", static_cast<long long>(s));
+    std::snprintf(name, sizeof name, "view_%06lld.xstk", static_cast<long long>(s.value()));
     return dir / name;
 }
 
 }  // namespace
 
 void export_views(const std::filesystem::path& dir, const ProjectionStack& stack,
-                  index_t first_view)
+                  ViewId first_view)
 {
-    require(first_view >= 0, "export_views: first_view must be non-negative");
+    require(first_view.value() >= 0, "export_views: first_view must be non-negative");
     std::filesystem::create_directories(dir);
     for (index_t s = 0; s < stack.views(); ++s) {
         ProjectionStack one(1, stack.band(), stack.cols());
         const auto src = stack.view(s);
         std::copy(src.begin(), src.end(), one.view(0).begin());
-        write_stack(view_path(dir, first_view + s), one);
+        write_stack(view_path(dir, ViewId{first_view.value() + s}), one);
     }
 }
 
@@ -45,9 +45,9 @@ index_t count_views(const std::filesystem::path& dir)
 ProjectionStack load_views(const std::filesystem::path& dir, Range views, Range band)
 {
     require(!views.empty(), "load_views: empty view range");
-    ProjectionStack out(views.length(), band, stack_info(view_path(dir, views.lo)).cols);
+    ProjectionStack out(views.length(), band, stack_info(view_path(dir, ViewId{views.lo})).cols);
     for (index_t s = views.lo; s < views.hi; ++s) {
-        const ProjectionStack one = read_stack_rows(view_path(dir, s), Range{0, 1}, band);
+        const ProjectionStack one = read_stack_rows(view_path(dir, ViewId{s}), Range{0, 1}, band);
         const auto src = one.view(0);
         std::copy(src.begin(), src.end(), out.view(s - views.lo).begin());
     }

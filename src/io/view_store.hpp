@@ -7,6 +7,7 @@
 
 #include <filesystem>
 
+#include "core/ids.hpp"
 #include "core/volume.hpp"
 
 namespace xct::io {
@@ -14,7 +15,7 @@ namespace xct::io {
 /// Split `stack` (full detector, any number of views) into one file per
 /// view under `dir`; view index offset by `first_view`.
 void export_views(const std::filesystem::path& dir, const ProjectionStack& stack,
-                  index_t first_view = 0);
+                  ViewId first_view = ViewId{0});
 
 /// Number of `view_*.xstk` files present under `dir`.
 index_t count_views(const std::filesystem::path& dir);

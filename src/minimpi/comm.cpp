@@ -21,7 +21,7 @@ namespace detail {
 /// flag and the list of live communicator states to wake on abort.
 struct Team {
     std::atomic<bool> abort{false};
-    Mutex m;
+    Mutex m{"minimpi.team"};
     std::vector<std::weak_ptr<CommState>> states XCT_GUARDED_BY(m);
 };
 
@@ -40,7 +40,7 @@ struct CommState {
     index_t size;
     std::shared_ptr<Team> team;
 
-    Mutex m;
+    Mutex m{"minimpi.comm_state"};
     CondVar cv;
     index_t arrived XCT_GUARDED_BY(m) = 0;
     std::uint64_t gen XCT_GUARDED_BY(m) = 0;
@@ -504,7 +504,7 @@ void run(index_t nranks, const RankFn& fn)
     threads.reserve(static_cast<std::size_t>(nranks));
     for (index_t r = 0; r < nranks; ++r) {
         threads.emplace_back([&, r] {
-            telemetry::set_current_rank(r);  // trace/metric attribution
+            telemetry::set_current_rank(RankId{r});  // trace/metric attribution
             Communicator comm(world, r);
             try {
                 fn(comm);

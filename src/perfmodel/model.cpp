@@ -59,8 +59,8 @@ std::vector<BatchTimes> batch_times(const RunConfig& cfg, const MachineParams& m
     require(L.num_groups > 0 && L.ranks_per_group > 0, "batch_times: layout must be positive");
 
     // Representative rank: rank 0 (group 0 root — it also stores).
-    const index_t views = L.views_of_rank(0, g.num_proj).length();
-    const Range slices = L.slices_of_group(0, g.vol.z);
+    const index_t views = L.views_of_rank(RankId{0}, g.num_proj).length();
+    const Range slices = L.slices_of_group(GroupId{0}, g.vol.z);
     const index_t nb = (slices.length() + cfg.batches - 1) / cfg.batches;
     const auto plans = plan_slabs(g, slices, nb);
 

@@ -76,7 +76,7 @@ public:
 
 private:
     std::size_t capacity_;
-    mutable Mutex m_;
+    mutable Mutex m_{"pipeline.queue"};
     CondVar cv_items_;
     CondVar cv_space_;
     std::deque<T> items_ XCT_GUARDED_BY(m_);

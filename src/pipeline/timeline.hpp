@@ -54,7 +54,7 @@ public:
 
 private:
     double epoch_;  ///< set once in the constructor, read-only afterwards
-    mutable Mutex m_;
+    mutable Mutex m_{"pipeline.timeline"};
     std::vector<StageSpan> spans_ XCT_GUARDED_BY(m_);
 };
 

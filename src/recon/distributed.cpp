@@ -58,8 +58,8 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
 
     const double t0 = pipeline::now_seconds();
     minimpi::run(nranks, [&](minimpi::Communicator& world) {
-        const index_t rank = world.rank();
-        const index_t group = cfg.layout.group_of(rank);
+        const RankId rank{world.rank()};
+        const GroupId group = cfg.layout.group_of(rank);
 
         // Fleet aggregation (DESIGN.md §3g): every rank — dead ones
         // included, with zeros — contributes its stage busy seconds to a
@@ -77,7 +77,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                 static_cast<float>(st.t_store), static_cast<float>(st.wall)};
             std::vector<float> all(static_cast<std::size_t>(nranks) * mine.size());
             world.gather(mine, all, 0);
-            if (rank != 0) return;
+            if (rank != RankId{0}) return;
             std::uint64_t contributing = 0;
             for (index_t r = 0; r < nranks; ++r) {
                 const std::size_t base = static_cast<std::size_t>(r) * mine.size();
@@ -108,7 +108,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                 // when a wedged peer trips the deadline at startup.
                 wd.supervise(names::kWatchHealthProbe, [rank] {
                     telemetry::ScopedTrace probe(names::kCatIntegrity,
-                                                 names::kWatchHealthProbe, rank);
+                                                 names::kWatchHealthProbe, rank.value());
                     faults::stall_point(names::kSiteRankStall);
                 });
             } catch (const faults::TransientError&) {
@@ -124,7 +124,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
             // World-wide liveness exchange: one-hot death flags, summed so
             // every rank sees the same membership before splitting.
             std::vector<float> flag(static_cast<std::size_t>(nranks), 0.0f);
-            flag[static_cast<std::size_t>(rank)] = i_died ? 1.0f : 0.0f;
+            flag[static_cast<std::size_t>(rank.value())] = i_died ? 1.0f : 0.0f;
             std::vector<float> deaths(static_cast<std::size_t>(nranks), 0.0f);
             world.allreduce_sum(flag, deaths);
             for (index_t r = 0; r < nranks; ++r)
@@ -138,9 +138,9 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                         "reconstruct_distributed: every rank of group " + std::to_string(g) +
                             " died; degraded reduce needs at least one survivor per group");
             }
-            if (rank == 0) {
+            if (rank == RankId{0}) {
                 for (index_t r = 0; r < nranks; ++r)
-                    if (!alive[static_cast<std::size_t>(r)]) result.dead.push_back(r);
+                    if (!alive[static_cast<std::size_t>(r)]) result.dead.push_back(RankId{r});
                 if (!result.dead.empty())
                     telemetry::registry().counter(names::kMetricFaultsDegradedRanks).add(
                         result.dead.size());
@@ -149,14 +149,14 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
             // group communicators exclude them, then leave.  Survivor key
             // order preserves rank_in_group, so a surviving original root
             // stays root.
-            const index_t color = i_died ? cfg.layout.num_groups : group;
+            const index_t color = i_died ? cfg.layout.num_groups : group.value();
             gcomm = world.split(color, cfg.layout.rank_in_group(rank));
             if (i_died) {
                 fleet_gather(RankStats{});  // zeros, so the world gather completes
                 return;
             }
         } else {
-            gcomm = world.split(group, cfg.layout.rank_in_group(rank));
+            gcomm = world.split(group.value(), cfg.layout.rank_in_group(rank));
         }
 
         RankConfig rc;
@@ -178,10 +178,11 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         // minimum cursor.  Saved slabs live with the group root: if the
         // root died, the group recomputes from slab 0 (always correct —
         // replay is idempotent).
-        const bool root_alive = alive[static_cast<std::size_t>(cfg.layout.group_root(group))];
+        const bool root_alive =
+            alive[static_cast<std::size_t>(cfg.layout.group_root(group).value())];
         index_t first_live = 0;
         if (cfg.checkpoint_dir) {
-            const auto my_dir = *cfg.checkpoint_dir / ("rank_" + std::to_string(rank));
+            const auto my_dir = *cfg.checkpoint_dir / ("rank_" + std::to_string(rank.value()));
             // Validated, not raw: a damaged slab file lowers this rank's
             // cursor *before* the group reconciliation, so every rank of
             // the group re-enters the per-slab reduce at the same index.
@@ -199,10 +200,11 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         std::vector<std::unique_ptr<Takeover>> takeovers;
         bool group_has_dead = false;
         if (cfg.degraded_reduce) {
-            std::vector<index_t> group_dead, group_alive;
-            for (index_t r = group * cfg.layout.ranks_per_group;
-                 r < (group + 1) * cfg.layout.ranks_per_group; ++r)
-                (alive[static_cast<std::size_t>(r)] ? group_alive : group_dead).push_back(r);
+            std::vector<RankId> group_dead, group_alive;
+            for (index_t r = group.value() * cfg.layout.ranks_per_group;
+                 r < (group.value() + 1) * cfg.layout.ranks_per_group; ++r)
+                (alive[static_cast<std::size_t>(r)] ? group_alive : group_dead)
+                    .push_back(RankId{r});
             group_has_dead = !group_dead.empty();
             if (group_has_dead) {
                 require(cfg.ranks_per_node == 0,
@@ -212,7 +214,7 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                 const auto plans = plan_slabs(cfg.geometry, rc.slices, nb);
                 for (std::size_t d = 0; d < group_dead.size(); ++d) {
                     if (group_alive[d % group_alive.size()] != rank) continue;
-                    const index_t dead_rank = group_dead[d];
+                    const RankId dead_rank = group_dead[d];
                     const Range dv = cfg.layout.views_of_rank(dead_rank, cfg.geometry.num_proj);
                     std::optional<filter::ParkerWeights> pw;
                     if (cfg.geometry.short_scan()) pw.emplace(cfg.geometry, dv);
@@ -319,8 +321,9 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
 
         auto source = make_source(rank);
         require(source != nullptr, "reconstruct_distributed: source factory returned null");
-        result.ranks[static_cast<std::size_t>(rank)] = run_rank(rc, *source, reduce, store);
-        fleet_gather(result.ranks[static_cast<std::size_t>(rank)]);
+        result.ranks[static_cast<std::size_t>(rank.value())] =
+            run_rank(rc, *source, reduce, store);
+        fleet_gather(result.ranks[static_cast<std::size_t>(rank.value())]);
     });
     result.wall_seconds = pipeline::now_seconds() - t0;
     return result;

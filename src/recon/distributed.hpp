@@ -69,7 +69,7 @@ struct DistributedResult {
     Volume volume;                 ///< assembled full reconstruction
     std::vector<RankStats> ranks;  ///< per-rank pipeline statistics
     double wall_seconds = 0.0;     ///< end-to-end wall time (max over ranks)
-    std::vector<index_t> dead;     ///< world ranks lost to dropout (degraded mode)
+    std::vector<RankId> dead;      ///< world ranks lost to dropout (degraded mode)
 };
 
 /// Run the distributed reconstruction.  `make_source` builds each rank's

@@ -90,11 +90,11 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         if (cfg.checkpoint->resume_limit >= 0)
             resume = std::min(resume, cfg.checkpoint->resume_limit);
         for (index_t i = 0; i < resume; ++i) {
-            if (!ckpt->has_slab(i)) continue;
+            if (!ckpt->has_slab(SlabId{i})) continue;
             pipeline::ScopedSpan span(tl, "restore", i);
             // load_slab runs the checkpoint.load corruption point and
             // digest verify; a transit flip is transient, so re-read.
-            auto attempt = [&] { return ckpt->load_slab(i); };
+            auto attempt = [&] { return ckpt->load_slab(SlabId{i}); };
             const Volume slab =
                 cfg.retry ? faults::with_retry(names::kSiteCheckpointLoad, *cfg.retry, attempt)
                           : attempt();
@@ -174,7 +174,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         // slab is durably saved, so a crash between store and advance just
         // recomputes this slab.
         if (ckpt) {
-            ckpt->save_slab(v.idx, v.slab);
+            ckpt->save_slab(SlabId{v.idx}, v.slab);
             ckpt->advance(v.idx + 1);
         }
     };
@@ -195,7 +195,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
 
         // Stage threads inherit the rank tag of the calling (minimpi rank)
         // thread so telemetry attributes their spans to the right rank.
-        const index_t telemetry_rank = telemetry::current_rank();
+        const RankId telemetry_rank = telemetry::current_rank();
 
         FirstError error;
         auto guard = [&](auto&& body) {

@@ -119,7 +119,7 @@ SourceFactory make_shared_pfs_factory(io::Pfs& pfs, std::string rel, bool counts
         std::shared_ptr<Shared> s_;
     };
 
-    return [shared](index_t) -> std::unique_ptr<ProjectionSource> {
+    return [shared](RankId) -> std::unique_ptr<ProjectionSource> {
         return std::make_unique<SharedPfsSource>(shared);
     };
 }

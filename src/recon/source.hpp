@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/geometry.hpp"
+#include "core/ids.hpp"
 #include "core/preprocess.hpp"
 #include "core/volume.hpp"
 #include "phantom/shepp_logan.hpp"
@@ -75,7 +76,7 @@ private:
 
 /// Per-rank source factory (each pipeline rank owns its source instance,
 /// as each MPI rank owns its NVMe file handles in the paper).
-using SourceFactory = std::function<std::unique_ptr<ProjectionSource>(index_t rank)>;
+using SourceFactory = std::function<std::unique_ptr<ProjectionSource>(RankId rank)>;
 
 }  // namespace xct::recon
 

@@ -20,10 +20,11 @@ std::uint64_t splitmix64(std::uint64_t x)
 /// Deterministic decision stream: draw `salt`-th value of job (seed,
 /// epoch, job).  Every schedule choice gets its own salt so adding a new
 /// decision never perturbs the existing ones.
-std::uint64_t draw(std::uint64_t seed, index_t epoch, index_t job, std::uint64_t salt)
+std::uint64_t draw(std::uint64_t seed, index_t epoch, JobId job, std::uint64_t salt)
 {
     return splitmix64(splitmix64(seed) ^ splitmix64(static_cast<std::uint64_t>(epoch) + 1) ^
-                      splitmix64(static_cast<std::uint64_t>(job) * 0x9e3779b97f4a7c15ull) ^
+                      splitmix64(static_cast<std::uint64_t>(job.value()) *
+                                 0x9e3779b97f4a7c15ull) ^
                       splitmix64(salt + 0x517cc1b727220a95ull));
 }
 
@@ -84,7 +85,7 @@ std::vector<JobSpec> make_schedule(const ScheduleConfig& cfg)
 
     std::vector<JobSpec> jobs;
     jobs.reserve(static_cast<std::size_t>(per_epoch * cfg.epochs));
-    index_t id = 0;
+    JobId id{0};
     for (index_t epoch = 0; epoch < cfg.epochs; ++epoch) {
         for (index_t j = 0; j < per_epoch; ++j, ++id) {
             JobSpec job;
@@ -130,8 +131,9 @@ std::vector<JobSpec> make_schedule(const ScheduleConfig& cfg)
                     PlannedFault f;
                     f.site = sites[s];
                     f.kind = faults::FaultKind::Corrupt;
-                    f.rank = static_cast<index_t>(draw(cfg.seed, epoch, id, salt++) %
-                                                  static_cast<std::uint64_t>(job.nranks()));
+                    f.rank = RankId{static_cast<index_t>(
+                        draw(cfg.seed, epoch, id, salt++) %
+                        static_cast<std::uint64_t>(job.nranks()))};
                     f.batch = static_cast<index_t>(draw(cfg.seed, epoch, id, salt++) %
                                                    static_cast<std::uint64_t>(job.batches));
                     job.faults.push_back(std::move(f));
@@ -142,8 +144,9 @@ std::vector<JobSpec> make_schedule(const ScheduleConfig& cfg)
                     PlannedFault f;
                     f.site = names::kSiteRankStall;
                     f.kind = faults::FaultKind::Stall;
-                    f.rank = static_cast<index_t>(draw(cfg.seed, epoch, id, 31) %
-                                                  static_cast<std::uint64_t>(job.nranks()));
+                    f.rank = RankId{static_cast<index_t>(
+                        draw(cfg.seed, epoch, id, 31) %
+                        static_cast<std::uint64_t>(job.nranks()))};
                     f.batch = 0;  // the stall lands on the load stage
                     f.delay_s = cfg.stall_delay_s;
                     job.faults.push_back(std::move(f));
@@ -153,9 +156,9 @@ std::vector<JobSpec> make_schedule(const ScheduleConfig& cfg)
                 // takeover shape simple (any survivor takes the share).
                 if (draw(cfg.seed, epoch, id, 32) % 4 == 0 && job.nranks() > 2) {
                     job.dropout = true;
-                    job.dropout_rank =
+                    job.dropout_rank = RankId{
                         1 + static_cast<index_t>(draw(cfg.seed, epoch, id, 33) %
-                                                 static_cast<std::uint64_t>(job.nranks() - 1));
+                                                 static_cast<std::uint64_t>(job.nranks() - 1))};
                 }
             }
             jobs.push_back(std::move(job));

@@ -40,14 +40,14 @@ const std::vector<const char*>& corrupt_sites();
 struct PlannedFault {
     std::string site;  ///< names::kSite* constant
     faults::FaultKind kind = faults::FaultKind::Corrupt;
-    index_t rank = 0;      ///< job-local rank the spec is pinned to
+    RankId rank{};         ///< job-local rank the spec is pinned to
     index_t batch = 0;     ///< batch whose stage absorbs the recovery delay
     double delay_s = 0.0;  ///< stall length / modelled takeover cost
 };
 
 /// One job of the soak schedule.
 struct JobSpec {
-    index_t id = 0;     ///< global job index (stable across epochs)
+    JobId id{};         ///< global job index (stable across epochs)
     index_t epoch = 0;  ///< epoch this job belongs to
     std::string dataset;
     double scale = 64.0;  ///< resolution divisor fed to Dataset::scaled
@@ -55,8 +55,8 @@ struct JobSpec {
     index_t batches = 8;  ///< N_c
     std::uint64_t seed = 1;  ///< fault-engine job scope + plan seed
     std::vector<PlannedFault> faults;
-    bool dropout = false;      ///< one rank drops out (degraded-done path)
-    index_t dropout_rank = 0;  ///< job-local rank that dies
+    bool dropout = false;    ///< one rank drops out (degraded-done path)
+    RankId dropout_rank{};   ///< job-local rank that dies
 
     index_t nranks() const { return layout.nranks(); }
     /// Concrete FaultPlan: one spec per planned fault's (distinct) site,

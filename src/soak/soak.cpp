@@ -51,11 +51,11 @@ double stage_service(const std::vector<perfmodel::BatchTimes>& bt, index_t stage
 }
 
 /// Deterministic sentinel payload for the event-tier corruption replay.
-void fill_sentinel(std::vector<float>& buf, index_t job_id, std::size_t salt)
+void fill_sentinel(std::vector<float>& buf, JobId job_id, std::size_t salt)
 {
     for (std::size_t i = 0; i < buf.size(); ++i)
-        buf[i] = static_cast<float>((static_cast<std::size_t>(job_id) * 131u + salt * 17u + i) %
-                                    1021u) *
+        buf[i] = static_cast<float>(
+                     (static_cast<std::size_t>(job_id.value()) * 131u + salt * 17u + i) % 1021u) *
                  0.5f;
 }
 
@@ -112,7 +112,7 @@ bool replay_corruptions(const JobSpec& job, index_t* injected, index_t* detected
             ok = false;  // retry did not converge: the job is wedged
         }
     }
-    telemetry::set_current_rank(0);
+    telemetry::set_current_rank(RankId{0});
     return ok;
 }
 
@@ -141,7 +141,7 @@ bool run_live_job(const SoakConfig& cfg, std::uint64_t seed, double* wall_s)
     dcfg.layout = GroupLayout{2, 2};
     dcfg.batches = 4;
     dcfg.device_capacity = 256u << 20;
-    const auto factory = [&](index_t) { return std::make_unique<recon::PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<recon::PhantomSource>(ph, g); };
 
     const auto t0 = clock_t_::now();
     const recon::DistributedResult clean = recon::reconstruct_distributed(dcfg, factory);
@@ -155,21 +155,21 @@ bool run_live_job(const SoakConfig& cfg, std::uint64_t seed, double* wall_s)
     faults::FaultSpec corrupt0;
     corrupt0.after = 2;
     corrupt0.count = 1;
-    corrupt0.rank = 0;
+    corrupt0.rank = RankId{0};
     corrupt0.kind = faults::FaultKind::Corrupt;
     plan.add(names::kSiteSourceLoad, corrupt0);
     faults::FaultSpec corrupt1 = corrupt0;
     corrupt1.after = 3;
-    corrupt1.rank = 1;
+    corrupt1.rank = RankId{1};
     plan.add(names::kSiteSimH2d, corrupt1);
     faults::FaultSpec corrupt2 = corrupt0;
     corrupt2.after = 0;
-    corrupt2.rank = 2;
+    corrupt2.rank = RankId{2};
     plan.add(names::kSiteMinimpiReduceSum, corrupt2);
     faults::FaultSpec stall;
     stall.after = 0;
     stall.count = 1;
-    stall.rank = 3;
+    stall.rank = RankId{3};
     stall.kind = faults::FaultKind::Stall;
     stall.stall_s = cfg.live_stall_delay_s;
     plan.add(names::kSiteRankStall, stall);

@@ -64,7 +64,7 @@ struct SoakConfig {
 enum class JobState { Done, DegradedDone, Wedged };
 
 struct JobResult {
-    index_t id = 0;
+    JobId id{};
     JobState state = JobState::Done;
     double start_s = 0.0;    ///< virtual fleet time the job's ranks freed up
     double finish_s = 0.0;   ///< start + latency

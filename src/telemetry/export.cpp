@@ -61,9 +61,9 @@ void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events)
     };
 
     // Name each pid lane so Perfetto shows "rank N" process headers.
-    std::set<index_t> ranks;
+    std::set<RankId> ranks;
     for (const auto& e : events) ranks.insert(e.rank);
-    for (const index_t r : ranks) {
+    for (const RankId r : ranks) {
         sep();
         os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << r
            << ",\"tid\":0,\"args\":{\"name\":\"rank " << r << "\"}}";

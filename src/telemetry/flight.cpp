@@ -41,7 +41,7 @@ struct Ring {
 };
 
 struct State {
-    mutable Mutex m;
+    mutable Mutex m{"telemetry.flight"};
     std::vector<std::shared_ptr<Ring>> rings XCT_GUARDED_BY(m);
     std::vector<std::size_t> free_rings XCT_GUARDED_BY(m);  ///< retired, reusable
     std::set<std::string> interned XCT_GUARDED_BY(m);
@@ -136,7 +136,7 @@ void record(const char* cat, const char* name, double abs_begin, double abs_end,
     s.seq.store(0, std::memory_order_relaxed);  // invalidate while writing
     s.cat.store(cat, std::memory_order_relaxed);
     s.name.store(name, std::memory_order_relaxed);
-    s.rank.store(current_rank(), std::memory_order_relaxed);
+    s.rank.store(current_rank().value(), std::memory_order_relaxed);
     s.item.store(item, std::memory_order_relaxed);
     s.bytes.store(bytes, std::memory_order_relaxed);
     s.begin.store(abs_begin, std::memory_order_relaxed);
@@ -172,7 +172,7 @@ std::vector<FlightEvent> snapshot()
             FlightEvent e;
             e.cat = s.cat.load(std::memory_order_relaxed);
             e.name = s.name.load(std::memory_order_relaxed);
-            e.rank = s.rank.load(std::memory_order_relaxed);
+            e.rank = RankId{s.rank.load(std::memory_order_relaxed)};
             e.lane = ring->lane;
             e.item = s.item.load(std::memory_order_relaxed);
             e.bytes = s.bytes.load(std::memory_order_relaxed);

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/ids.hpp"
 #include "core/types.hpp"
 
 namespace xct::telemetry::flight {
@@ -51,7 +52,7 @@ inline constexpr std::uint64_t kMaxPostmortems = 16;
 struct FlightEvent {
     const char* cat = nullptr;
     const char* name = nullptr;
-    index_t rank = 0;
+    RankId rank{};
     index_t lane = 0;  ///< ring id (stable per ring, reused across threads)
     index_t item = -1;
     std::uint64_t bytes = 0;

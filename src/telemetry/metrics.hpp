@@ -152,7 +152,7 @@ public:
     void reset();
 
 private:
-    mutable Mutex m_;
+    mutable Mutex m_{"telemetry.metrics"};
     std::map<std::string, std::unique_ptr<Counter>> counters_ XCT_GUARDED_BY(m_);
     std::map<std::string, std::unique_ptr<Gauge>> gauges_ XCT_GUARDED_BY(m_);
     std::map<std::string, std::unique_ptr<Histogram>> histograms_ XCT_GUARDED_BY(m_);

@@ -260,8 +260,8 @@ void write_json(std::ostream& os, const RunReport& r)
     os << "  \"ranks\": [";
     for (std::size_t i = 0; i < r.ranks.size(); ++i) {
         const RankReport& k = r.ranks[i];
-        os << (i ? ",\n    " : "\n    ") << "{\"rank\": " << num(k.rank)
-           << ", \"group\": " << num(k.group) << ", \"wall_s\": " << num(k.wall_s)
+        os << (i ? ",\n    " : "\n    ") << "{\"rank\": " << num(k.rank.value())
+           << ", \"group\": " << num(k.group.value()) << ", \"wall_s\": " << num(k.wall_s)
            << ", \"busy_s\": " << num(k.busy_s) << ", \"overlap\": " << num(k.overlap)
            << ", \"efficiency\": " << num(k.efficiency) << ", \"flags\": [";
         for (std::size_t f = 0; f < k.flags.size(); ++f)

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/ids.hpp"
 #include "perfmodel/model.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -42,8 +43,8 @@ struct SpanTiming {
 
 /// One rank's measured timings (bridge POD for recon::RankStats).
 struct RankTimings {
-    index_t rank = 0;
-    index_t group = 0;
+    RankId rank{};
+    GroupId group{};
     double load = 0.0;
     double filter = 0.0;
     double bp = 0.0;
@@ -73,8 +74,8 @@ struct BatchReport {
 
 /// One rank's summary with anomaly flags.
 struct RankReport {
-    index_t rank = 0;
-    index_t group = 0;
+    RankId rank{};
+    GroupId group{};
     double wall_s = 0.0;
     double busy_s = 0.0;
     double overlap = 0.0;

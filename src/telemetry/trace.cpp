@@ -14,16 +14,16 @@ double wall_now()
     return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
 }
 
-thread_local index_t t_current_rank = 0;
+thread_local RankId t_current_rank{};
 
 }  // namespace
 
-index_t current_rank()
+RankId current_rank()
 {
     return t_current_rank;
 }
 
-void set_current_rank(index_t rank)
+void set_current_rank(RankId rank)
 {
     t_current_rank = rank;
 }

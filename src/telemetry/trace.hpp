@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/ids.hpp"
 #include "core/mutex.hpp"
 #include "core/types.hpp"
 #include "telemetry/flight.hpp"
@@ -34,7 +35,7 @@ namespace xct::telemetry {
 struct TraceEvent {
     std::string name;          ///< e.g. "bp", "reduce_sum", "h2d"
     std::string cat;           ///< subsystem: "pipeline", "minimpi", ...
-    index_t rank = 0;          ///< minimpi world rank (Chrome trace pid)
+    RankId rank{};             ///< minimpi world rank (Chrome trace pid)
     index_t lane = 0;          ///< per-thread id (Chrome trace tid)
     index_t item = -1;         ///< batch index, -1 = not applicable
     std::uint64_t bytes = 0;   ///< payload size, 0 = not applicable
@@ -46,8 +47,8 @@ struct TraceEvent {
 /// with its world rank, and recon::run_rank() propagates the tag to its
 /// stage threads, so low-level modules (sim::Device, io::Pfs, fft) can
 /// attribute work without threading a rank id through every call.
-index_t current_rank();
-void set_current_rank(index_t rank);
+RankId current_rank();
+void set_current_rank(RankId rank);
 
 /// Span recorder.  enable() (re)sets the epoch and clears prior events.
 class Tracer {
@@ -79,7 +80,7 @@ private:
     // consume now() while enabled, and enable() happens-before via the
     // enabled_ store/load pair.
     double epoch_ = 0.0;  ///< absolute seconds (pipeline::now_seconds base)
-    mutable Mutex m_;
+    mutable Mutex m_{"telemetry.trace"};
     std::vector<TraceEvent> events_ XCT_GUARDED_BY(m_);
     std::unordered_map<std::thread::id, index_t> lanes_ XCT_GUARDED_BY(m_);
 

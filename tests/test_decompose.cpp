@@ -208,10 +208,10 @@ TEST(GroupLayout, RanksMapToGroupsRowMajor)
 {
     const GroupLayout gl{.num_groups = 4, .ranks_per_group = 3};
     EXPECT_EQ(gl.nranks(), 12);
-    EXPECT_EQ(gl.group_of(0), 0);
-    EXPECT_EQ(gl.group_of(5), 1);
-    EXPECT_EQ(gl.rank_in_group(5), 2);
-    EXPECT_EQ(gl.group_root(2), 6);
+    EXPECT_EQ(gl.group_of(RankId{0}), GroupId{0});
+    EXPECT_EQ(gl.group_of(RankId{5}), GroupId{1});
+    EXPECT_EQ(gl.rank_in_group(RankId{5}), 2);
+    EXPECT_EQ(gl.group_root(GroupId{2}), RankId{6});
 }
 
 TEST(GroupLayout, GroupsPartitionSlices)
@@ -219,7 +219,7 @@ TEST(GroupLayout, GroupsPartitionSlices)
     const GroupLayout gl{.num_groups = 3, .ranks_per_group = 2};
     index_t next = 0;
     for (index_t g = 0; g < gl.num_groups; ++g) {
-        const Range r = gl.slices_of_group(g, 64);
+        const Range r = gl.slices_of_group(GroupId{g}, 64);
         EXPECT_EQ(r.lo, next);
         next = r.hi;
     }
@@ -232,7 +232,7 @@ TEST(GroupLayout, RanksInGroupPartitionViews)
     // Ranks 4..7 are group 1; their view ranges partition [0, Np).
     index_t next = 0;
     for (index_t r = 4; r < 8; ++r) {
-        const Range v = gl.views_of_rank(r, 123);
+        const Range v = gl.views_of_rank(RankId{r}, 123);
         EXPECT_EQ(v.lo, next);
         next = v.hi;
     }

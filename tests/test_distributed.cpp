@@ -34,7 +34,7 @@ std::vector<phantom::Ellipsoid> make_phantom(const CbctGeometry& g)
 
 SourceFactory phantom_factory(const std::vector<phantom::Ellipsoid>& ph, const CbctGeometry& g)
 {
-    return [&ph, g](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    return [&ph, g](RankId) { return std::make_unique<PhantomSource>(ph, g); };
 }
 
 Volume single_rank_reference(const CbctGeometry& g, const std::vector<phantom::Ellipsoid>& ph)
@@ -214,7 +214,7 @@ TEST(Distributed, DiskBackedSourceMatchesInMemory)
     cfg.geometry = g;
     cfg.layout = GroupLayout{2, 2};
     std::mutex pfs_mutex;  // Pfs accounting is shared; serialise rank loads
-    auto factory = [&](index_t) {
+    auto factory = [&](RankId) {
         struct LockedPfsSource final : ProjectionSource {
             LockedPfsSource(io::Pfs& p, std::mutex& m) : src(p, "proj.xstk"), mu(&m) {}
             ProjectionStack load(Range views, Range band) override
@@ -253,7 +253,7 @@ TEST(Distributed, BeerLawPathMatchesIdealPath)
 
     DistributedConfig counts = ideal;
     counts.beer = cal;
-    auto counts_factory = [&ph, g, cal](index_t) {
+    auto counts_factory = [&ph, g, cal](RankId) {
         return std::make_unique<PhantomSource>(ph, g, cal);
     };
     const DistributedResult b = reconstruct_distributed(counts, counts_factory);

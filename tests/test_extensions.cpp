@@ -160,7 +160,7 @@ TEST(Stitch, RoundTripsDistributedSlabs)
     cfg.geometry = g;
     cfg.layout = GroupLayout{3, 1};
     cfg.batches = 2;
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult r = reconstruct_distributed(cfg, factory, &pfs);
 
     const Volume stitched = io::stitch_slabs(dir);

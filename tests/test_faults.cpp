@@ -138,9 +138,9 @@ TEST(Faults, OneFailingRankAbortsTheWholeTeam)
     cfg.geometry = g;
     cfg.layout = GroupLayout{1, 4};
     std::atomic<int> built{0};
-    auto factory = [&](index_t rank) -> std::unique_ptr<ProjectionSource> {
+    auto factory = [&](RankId rank) -> std::unique_ptr<ProjectionSource> {
         built.fetch_add(1);
-        if (rank == 2) return std::make_unique<FailingSource>(g, 1);
+        if (rank == RankId{2}) return std::make_unique<FailingSource>(g, 1);
         return std::make_unique<PhantomSource>(ph, g);
     };
     EXPECT_THROW(reconstruct_distributed(cfg, factory), std::runtime_error);
@@ -153,7 +153,7 @@ TEST(Faults, NullSourceFactoryIsRejected)
     DistributedConfig cfg;
     cfg.geometry = g;
     cfg.layout = GroupLayout{1, 2};
-    auto factory = [](index_t) -> std::unique_ptr<ProjectionSource> { return nullptr; };
+    auto factory = [](RankId) -> std::unique_ptr<ProjectionSource> { return nullptr; };
     EXPECT_THROW(reconstruct_distributed(cfg, factory), std::invalid_argument);
 }
 
@@ -236,7 +236,7 @@ TEST(EdgeCases, OddSizesAndPrimeCounts)
     cfg.geometry = g;
     cfg.layout = GroupLayout{3, 2};  // 23 slices over 3 groups, 31 views over 2 ranks
     cfg.batches = 3;
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult r = reconstruct_distributed(cfg, factory);
     for (index_t i = 0; i < ref.volume.count(); ++i)
         ASSERT_NEAR(r.volume.span()[static_cast<std::size_t>(i)],
@@ -322,7 +322,7 @@ TEST(FaultPlanSpec, ParseReadsAllKeysAndMultipleSites)
     const auto& sl = plan.specs().at("source.load");
     EXPECT_EQ(sl.after, 2);
     EXPECT_EQ(sl.count, 3);
-    EXPECT_EQ(sl.rank, 1);
+    EXPECT_EQ(sl.rank, RankId{1});
     const auto& h2d = plan.specs().at("sim.h2d");
     EXPECT_DOUBLE_EQ(h2d.probability, 0.25);
     EXPECT_EQ(h2d.after, -1);
@@ -372,7 +372,7 @@ TEST(FaultPlanSpec, RankFilterSuppressesOtherRanks)
     faults::FaultSpec spec;
     spec.after = 0;
     spec.count = -1;
-    spec.rank = 7;
+    spec.rank = RankId{7};
     plan.add("op", spec);
     faults::ScopedPlan install(plan);
     for (int i = 0; i < 8; ++i) EXPECT_FALSE(faults::should_fail("op"));
@@ -549,12 +549,12 @@ TEST(Resilience, CheckpointStoreRoundtrip)
     EXPECT_EQ(store.cursor(), 0);
     store.advance(3);
     EXPECT_EQ(store.cursor(), 3);
-    EXPECT_FALSE(store.has_slab(1));
+    EXPECT_FALSE(store.has_slab(SlabId{1}));
     Volume v(Dim3{5, 4, 3});
     std::iota(v.span().begin(), v.span().end(), -7.0f);
-    store.save_slab(1, v);
-    EXPECT_TRUE(store.has_slab(1));
-    EXPECT_TRUE(bitwise_equal(store.load_slab(1), v));
+    store.save_slab(SlabId{1}, v);
+    EXPECT_TRUE(store.has_slab(SlabId{1}));
+    EXPECT_TRUE(bitwise_equal(store.load_slab(SlabId{1}), v));
     // A second store on the same directory sees the persisted state.
     EXPECT_EQ(faults::CheckpointStore(store.dir()).cursor(), 3);
 }
@@ -621,7 +621,7 @@ TEST(Resilience, DegradedReduceSurvivesDropoutBitwise)
     DistributedConfig cfg;
     cfg.geometry = g;
     cfg.layout = GroupLayout{2, 2};
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult ref = reconstruct_distributed(cfg, factory);
     EXPECT_TRUE(ref.dead.empty());
 
@@ -630,7 +630,7 @@ TEST(Resilience, DegradedReduceSurvivesDropoutBitwise)
     DistributedConfig dcfg = cfg;
     dcfg.degraded_reduce = true;
     const DistributedResult r = reconstruct_distributed(dcfg, factory);
-    ASSERT_EQ(r.dead, (std::vector<index_t>{3}));
+    ASSERT_EQ(r.dead, (std::vector<RankId>{RankId{3}}));
     EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
     EXPECT_GT(cval("faults.degraded.slabs"), slabs_before);  // survivor replayed rank 3's share
 }
@@ -645,14 +645,14 @@ TEST(Resilience, DegradedReduceSurvivesGroupRootDropoutBitwise)
     DistributedConfig cfg;
     cfg.geometry = g;
     cfg.layout = GroupLayout{1, 3};
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult ref = reconstruct_distributed(cfg, factory);
 
     faults::ScopedPlan install(faults::FaultPlan::parse("rank.dropout:rank=0"));
     DistributedConfig dcfg = cfg;
     dcfg.degraded_reduce = true;
     const DistributedResult r = reconstruct_distributed(dcfg, factory);
-    ASSERT_EQ(r.dead, (std::vector<index_t>{0}));
+    ASSERT_EQ(r.dead, (std::vector<RankId>{RankId{0}}));
     EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
 }
 
@@ -664,7 +664,7 @@ TEST(Resilience, DropoutWithoutDegradedModeAbortsTheTeam)
     cfg.geometry = g;
     cfg.layout = GroupLayout{2, 2};
     faults::ScopedPlan install(faults::FaultPlan::parse("rank.dropout:rank=1"));
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     EXPECT_THROW(reconstruct_distributed(cfg, factory), std::runtime_error);
 }
 
@@ -676,7 +676,7 @@ TEST(Resilience, InjectedCollectiveFaultAbortsTheTeam)
     cfg.geometry = g;
     cfg.layout = GroupLayout{1, 2};
     faults::ScopedPlan install(faults::FaultPlan::parse("minimpi.reduce_sum:rank=1"));
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     EXPECT_THROW(reconstruct_distributed(cfg, factory), std::runtime_error);
 }
 
@@ -687,7 +687,7 @@ TEST(Resilience, DistributedCheckpointRestartIsBitwiseIdentical)
     DistributedConfig cfg;
     cfg.geometry = g;
     cfg.layout = GroupLayout{2, 2};
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult ref = reconstruct_distributed(cfg, factory);
 
     const auto dir = scratch("ckpt_dist");
@@ -851,7 +851,7 @@ TEST(IntegrityE2E, ReduceCorruptionIsReCopiedBitwise)
     DistributedConfig cfg;
     cfg.geometry = g;
     cfg.layout = GroupLayout{2, 2};
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult ref = reconstruct_distributed(cfg, factory);
 
     integrity::ScopedEnable on;
@@ -875,7 +875,7 @@ TEST(IntegrityE2E, DegradedReduceCorruptionIsReCopiedBitwise)
     DistributedConfig cfg;
     cfg.geometry = g;
     cfg.layout = GroupLayout{2, 2};
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult ref = reconstruct_distributed(cfg, factory);
 
     integrity::ScopedEnable on;
@@ -886,7 +886,7 @@ TEST(IntegrityE2E, DegradedReduceCorruptionIsReCopiedBitwise)
     DistributedConfig dcfg = cfg;
     dcfg.degraded_reduce = true;
     const DistributedResult r = reconstruct_distributed(dcfg, factory);
-    ASSERT_EQ(r.dead, (std::vector<index_t>{3}));
+    ASSERT_EQ(r.dead, (std::vector<RankId>{RankId{3}}));
     EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
     EXPECT_GT(cval("faults.injected.minimpi.reduce_sum_parts"), inj);
     EXPECT_EQ(cval("faults.injected.minimpi.reduce_sum_parts") - inj,
@@ -901,7 +901,7 @@ TEST(IntegrityE2E, HierarchicalReduceCorruptionIsReCopiedBitwise)
     cfg.geometry = g;
     cfg.layout = GroupLayout{1, 4};
     cfg.ranks_per_node = 2;
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult ref = reconstruct_distributed(cfg, factory);
 
     integrity::ScopedEnable on;
@@ -925,7 +925,7 @@ TEST(IntegrityE2E, CleanRunWithVerificationOnDetectsNothingAndMatchesBitwise)
     DistributedConfig cfg;
     cfg.geometry = g;
     cfg.layout = GroupLayout{2, 2};
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult ref = reconstruct_distributed(cfg, factory);
 
     integrity::ScopedEnable on;
@@ -948,7 +948,7 @@ TEST(IntegrityE2E, AggressiveMultiSiteBitFlipRunDetectsEverything)
     DistributedConfig cfg;
     cfg.geometry = g;
     cfg.layout = GroupLayout{2, 2};
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult ref = reconstruct_distributed(cfg, factory);
 
     integrity::ScopedEnable on;
@@ -1021,8 +1021,8 @@ TEST(Resilience, BitFlippedCheckpointSlabLowersValidatedCursor)
     faults::CheckpointStore store(scratch("ckpt_flip"));
     Volume v(Dim3{5, 4, 3});
     std::iota(v.span().begin(), v.span().end(), -7.0f);
-    store.save_slab(0, v);
-    store.save_slab(1, v);
+    store.save_slab(SlabId{0}, v);
+    store.save_slab(SlabId{1}, v);
     store.advance(2);
     EXPECT_EQ(store.validated_cursor(), 2);
 
@@ -1055,7 +1055,7 @@ TEST(Resilience, StallPastWatchdogDeadlineIsTakenOverBitwise)
     DistributedConfig cfg;
     cfg.geometry = g;
     cfg.layout = GroupLayout{2, 2};
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, g); };
     const DistributedResult ref = reconstruct_distributed(cfg, factory);
 
     faults::ScopedPlan install(
@@ -1065,7 +1065,7 @@ TEST(Resilience, StallPastWatchdogDeadlineIsTakenOverBitwise)
     dcfg.degraded_reduce = true;
     dcfg.watchdog_timeout_s = 0.25;
     const DistributedResult r = reconstruct_distributed(dcfg, factory);
-    ASSERT_EQ(r.dead, (std::vector<index_t>{3}));
+    ASSERT_EQ(r.dead, (std::vector<RankId>{RankId{3}}));
     EXPECT_TRUE(bitwise_equal(r.volume, ref.volume));
     EXPECT_GE(cval("watchdog.expired.health_probe") - expired, 1u);
 }

@@ -172,7 +172,7 @@ TEST(ShortScanFdk, DistributedMatchesSingleRank)
     recon::DistributedConfig cfg;
     cfg.geometry = g;
     cfg.layout = GroupLayout{2, 2};
-    const auto factory = [&](index_t) { return std::make_unique<recon::PhantomSource>(head, g); };
+    const auto factory = [&](RankId) { return std::make_unique<recon::PhantomSource>(head, g); };
     const recon::DistributedResult r = recon::reconstruct_distributed(cfg, factory);
     for (index_t i = 0; i < ref.volume.count(); ++i)
         ASSERT_NEAR(r.volume.span()[static_cast<std::size_t>(i)],

@@ -103,7 +103,7 @@ TEST_P(RandomE2E, DistributedEqualsSingleRank)
     cfg.geometry = c.g;
     cfg.layout = c.layout;
     cfg.batches = c.batches;
-    const auto factory = [&](index_t) { return std::make_unique<PhantomSource>(ph, c.g); };
+    const auto factory = [&](RankId) { return std::make_unique<PhantomSource>(ph, c.g); };
     const DistributedResult r = reconstruct_distributed(cfg, factory);
 
     float scale = 1e-3f;  // tolerance relative to the data magnitude

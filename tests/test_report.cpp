@@ -37,7 +37,7 @@ perfmodel::RunConfig small_cfg()
 RankTimings plain_rank(index_t rank, double scale = 1.0)
 {
     RankTimings t;
-    t.rank = rank;
+    t.rank = RankId{rank};
     t.load = 0.10 * scale;
     t.filter = 0.20 * scale;
     t.bp = 0.40 * scale;

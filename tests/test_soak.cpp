@@ -77,7 +77,7 @@ TEST(SoakSchedule, JobsAreWellFormed)
         // site), ranks/batches land inside the job.
         for (std::size_t i = 0; i < job.faults.size(); ++i) {
             const PlannedFault& f = job.faults[i];
-            EXPECT_LT(f.rank, job.nranks());
+            EXPECT_LT(f.rank.value(), job.nranks());
             EXPECT_LT(f.batch, job.batches);
             for (std::size_t j = i + 1; j < job.faults.size(); ++j)
                 EXPECT_NE(f.site, job.faults[j].site);
@@ -85,9 +85,9 @@ TEST(SoakSchedule, JobsAreWellFormed)
         }
         if (job.dropout) {
             any_dropout = true;
-            EXPECT_GE(job.dropout_rank, 1);  // never the group-0 root
+            EXPECT_GE(job.dropout_rank.value(), 1);  // never the group-0 root
             EXPECT_GT(job.nranks(), 2);
-            EXPECT_LT(job.dropout_rank, job.nranks());
+            EXPECT_LT(job.dropout_rank.value(), job.nranks());
         }
     }
     EXPECT_TRUE(any_faulted);

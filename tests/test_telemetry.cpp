@@ -252,7 +252,7 @@ TEST(Tracer, RankAndLaneAttribution)
     // ids — and therefore their lanes — are guaranteed distinct.
     std::atomic<int> recorded{0};
     auto worker = [&](index_t rank, const char* name) {
-        set_current_rank(rank);
+        set_current_rank(RankId{rank});
         { ScopedTrace t("test", name); }
         recorded.fetch_add(1);
         while (recorded.load() < 2) std::this_thread::yield();
@@ -265,8 +265,8 @@ TEST(Tracer, RankAndLaneAttribution)
     ASSERT_EQ(events.size(), 2u);
     std::sort(events.begin(), events.end(),
               [](const TraceEvent& x, const TraceEvent& y) { return x.rank < y.rank; });
-    EXPECT_EQ(events[0].rank, 3);
-    EXPECT_EQ(events[1].rank, 5);
+    EXPECT_EQ(events[0].rank, RankId{3});
+    EXPECT_EQ(events[1].rank, RankId{5});
     EXPECT_NE(events[0].lane, events[1].lane);  // distinct live threads, distinct lanes
 }
 
@@ -337,7 +337,7 @@ TEST(Export, ChromeTraceIsValidJsonWithOneCompleteEventPerSpan)
     { ScopedTrace t("minimpi", "reduce_sum", -1, 4096); }
     { ScopedTrace t("sim", "h2d", 3, 1024); }
     std::thread remote([] {
-        set_current_rank(1);
+        set_current_rank(RankId{1});
         ScopedTrace t("io", "pfs.store");
     });
     remote.join();
@@ -362,7 +362,7 @@ TEST(Export, ChromeTraceIsValidJsonWithOneCompleteEventPerSpan)
 TEST(Export, ChromeTraceClampsPreEpochSpans)
 {
     std::vector<TraceEvent> events;
-    events.push_back({"early", "test", 0, 0, -1, 0, -0.5, 0.25});
+    events.push_back({"early", "test", RankId{0}, 0, -1, 0, -0.5, 0.25});
     std::ostringstream os;
     write_chrome_trace(os, events);
     EXPECT_EQ(os.str().find("-"), std::string::npos);  // no negative ts/dur

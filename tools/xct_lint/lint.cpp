@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 
@@ -338,7 +339,11 @@ void rule_mutex(const std::string& rel, const Blanked& b, std::vector<Violation>
 {
     const std::string& code = b.code;
     // (a) raw standard synchronisation primitives outside the wrapper.
-    if (rel != "src/core/mutex.hpp" && !path_starts_with(rel, "tools/xct_lint/")) {
+    // core/lockorder.cpp is the runtime witness behind the wrappers: it
+    // must synchronise its own edge set with a primitive the instrumented
+    // Mutex does not call back into.
+    if (rel != "src/core/mutex.hpp" && !path_starts_with(rel, "src/core/lockorder.") &&
+        !path_starts_with(rel, "tools/xct_lint/")) {
         static const std::vector<std::string> raw = {
             "std::mutex",          "std::shared_mutex",       "std::timed_mutex",
             "std::recursive_mutex", "std::condition_variable", "std::lock_guard",
@@ -416,6 +421,322 @@ void rule_mutex(const std::string& rel, const Blanked& b, std::vector<Violation>
     }
 }
 
+// ------------------------------------------------------------------ ids ----
+
+void rule_ids(const std::string& rel, const Blanked& b, std::vector<Violation>& out)
+{
+    // core/ids.hpp defines the strong types; minimpi is the raw-rank
+    // boundary (it speaks world ranks like MPI does); the lint's own
+    // sources mention the tokens in messages.
+    if (rel == "src/core/ids.hpp" || path_starts_with(rel, "src/minimpi/") ||
+        path_starts_with(rel, "tools/xct_lint/"))
+        return;
+    static const std::vector<std::string> axes = {"rank", "group", "view", "slab", "job"};
+    static const std::vector<std::string> types = {"index_t", "int"};
+    const std::string& code = b.code;
+    for (const auto& type : types) {
+        std::size_t pos = 0;
+        while ((pos = code.find(type, pos)) != std::string::npos) {
+            const std::size_t after = pos + type.size();
+            if ((pos > 0 && (ident_char(code[pos - 1]) || code[pos - 1] == ':')) ||
+                (after < code.size() && ident_char(code[after]))) {
+                pos = after;
+                continue;
+            }
+            std::size_t t = after;
+            while (t < code.size() && std::isspace(static_cast<unsigned char>(code[t]))) ++t;
+            std::size_t ve = t;
+            while (ve < code.size() && ident_char(code[ve])) ++ve;
+            std::string var = code.substr(t, ve - t);
+            if (!var.empty() && var.back() == '_') var.pop_back();
+            std::size_t sep = ve;
+            while (sep < code.size() && std::isspace(static_cast<unsigned char>(code[sep])))
+                ++sep;
+            const bool declares = sep < code.size() && (code[sep] == ',' || code[sep] == ')' ||
+                                                        code[sep] == ';' || code[sep] == '=' ||
+                                                        code[sep] == '{');
+            if (declares && std::find(axes.begin(), axes.end(), var) != axes.end())
+                out.push_back(Violation{
+                    rel, line_of(code, pos), "ids",
+                    "raw `" + type + "` declaration named `" + code.substr(t, ve - t) +
+                        "` — use the strong " +
+                        std::string(1, static_cast<char>(std::toupper(
+                                           static_cast<unsigned char>(var[0])))) +
+                        var.substr(1) + "Id from core/ids.hpp (minimpi is the only raw-" +
+                        "rank boundary)"});
+            pos = after;
+        }
+    }
+}
+
+// ------------------------------------------------------------ lockorder ----
+
+/// Normalise a guarded-mutex expression into a graph node: whitespace
+/// stripped, `->` folded to `.`, leading `this.` / `&` dropped.  Keeping
+/// the FULL access path (not just the final member) is what separates
+/// `team.m` from `st.m` — collapsing both to `m` would invent a self-edge
+/// where the code locks two different objects.
+std::string normalize_lock_expr(const std::string& raw)
+{
+    std::string s;
+    s.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const char c = raw[i];
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        if (c == '-' && i + 1 < raw.size() && raw[i + 1] == '>') {
+            s.push_back('.');
+            ++i;
+            continue;
+        }
+        s.push_back(c);
+    }
+    if (s.rfind("this.", 0) == 0) s.erase(0, 5);
+    if (!s.empty() && s.front() == '&') s.erase(0, 1);
+    while (!s.empty() && s.front() == '*') s.erase(0, 1);
+    return s;
+}
+
+}  // namespace
+
+std::vector<LockEdge> extract_lock_edges(const std::string& rel, const std::string& source)
+{
+    std::vector<LockEdge> edges;
+    if (rel == "src/core/mutex.hpp" || path_starts_with(rel, "src/core/lockorder.") ||
+        path_starts_with(rel, "tools/xct_lint/"))
+        return edges;
+    const Blanked b = blank(source);
+    const std::string& code = b.code;
+
+    struct Guard {
+        int depth;
+        std::string node;
+    };
+    std::vector<Guard> held;
+    int depth = 0;
+    std::size_t i = 0;
+    while (i < code.size()) {
+        const char c = code[i];
+        if (c == '{') {
+            ++depth;
+            ++i;
+            continue;
+        }
+        if (c == '}') {
+            --depth;
+            while (!held.empty() && held.back().depth > depth) held.pop_back();
+            ++i;
+            continue;
+        }
+        if (c != 'M' && c != 'U') {
+            ++i;
+            continue;
+        }
+        static const std::string kinds[2] = {"MutexLock", "UniqueLock"};
+        const std::string* kind = nullptr;
+        for (const auto& k : kinds)
+            if (code.compare(i, k.size(), k) == 0) kind = &k;
+        if (kind == nullptr || (i > 0 && (ident_char(code[i - 1]) || code[i - 1] == ':'))) {
+            ++i;
+            continue;
+        }
+        std::size_t t = i + kind->size();
+        if (t < code.size() && ident_char(code[t])) {
+            ++i;
+            continue;
+        }
+        // Declaration form `MutexLock name(expr);` — skip the guard name.
+        while (t < code.size() && std::isspace(static_cast<unsigned char>(code[t]))) ++t;
+        while (t < code.size() && ident_char(code[t])) ++t;
+        while (t < code.size() && std::isspace(static_cast<unsigned char>(code[t]))) ++t;
+        if (t >= code.size() || (code[t] != '(' && code[t] != '{')) {
+            ++i;
+            continue;
+        }
+        const char open = code[t];
+        const char close = open == '(' ? ')' : '}';
+        int pdepth = 0;
+        std::size_t e = t;
+        for (; e < code.size(); ++e) {
+            if (code[e] == open) ++pdepth;
+            if (code[e] == close && --pdepth == 0) break;
+        }
+        if (e >= code.size()) break;
+        const std::string node = normalize_lock_expr(code.substr(t + 1, e - t - 1));
+        if (!node.empty()) {
+            for (const auto& g : held)
+                edges.push_back(LockEdge{g.node, node, rel, line_of(code, i)});
+            held.push_back(Guard{depth, node});
+        }
+        i = e + 1;
+    }
+    return edges;
+}
+
+std::vector<Violation> check_lock_graph(const std::vector<LockEdge>& edges,
+                                        const std::vector<std::string>& whitelist)
+{
+    // Parse whitelist lines "from -> to" (whitespace-tolerant, '#' comments).
+    std::vector<std::pair<std::string, std::string>> allowed;
+    for (const auto& raw : whitelist) {
+        std::string line = raw.substr(0, raw.find('#'));
+        const std::size_t arrow = line.find("->");
+        if (arrow == std::string::npos) continue;
+        auto trim = [](std::string s) {
+            while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+                s.erase(0, 1);
+            while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.pop_back();
+            return s;
+        };
+        const std::string from = trim(line.substr(0, arrow));
+        const std::string to = trim(line.substr(arrow + 2));
+        if (!from.empty() && !to.empty()) allowed.emplace_back(from, to);
+    }
+    const auto is_allowed = [&](const std::string& f, const std::string& t) {
+        for (const auto& [af, at] : allowed)
+            if (af == f && at == t) return true;
+        return false;
+    };
+
+    // Deduplicated adjacency, keeping one witness (file:line) per edge.
+    std::vector<std::string> nodes;
+    const auto node_id = [&](const std::string& n) {
+        const auto it = std::find(nodes.begin(), nodes.end(), n);
+        if (it != nodes.end()) return static_cast<std::size_t>(it - nodes.begin());
+        nodes.push_back(n);
+        return nodes.size() - 1;
+    };
+    struct Adj {
+        std::size_t to;
+        std::string file;
+        int line;
+    };
+    std::vector<std::vector<Adj>> adj;
+    for (const auto& e : edges) {
+        const std::size_t f = node_id(e.from);
+        const std::size_t t = node_id(e.to);
+        adj.resize(nodes.size());
+        bool dup = false;
+        for (const auto& a : adj[f]) dup = dup || a.to == t;
+        if (!dup) adj[f].push_back(Adj{t, e.file, e.line});
+    }
+    adj.resize(nodes.size());
+
+    // DFS with colouring; a back edge closes a cycle.  Each cycle is
+    // reported once, keyed by its sorted node set.
+    std::vector<Violation> out;
+    std::vector<std::string> seen_cycles;
+    std::vector<int> color(nodes.size(), 0);  // 0 white, 1 on stack, 2 done
+    std::vector<std::size_t> stack;
+    const std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+        color[u] = 1;
+        stack.push_back(u);
+        for (const auto& a : adj[u]) {
+            if (color[a.to] == 1) {
+                // Reconstruct u -> ... -> a.to from the stack.
+                auto it = std::find(stack.begin(), stack.end(), a.to);
+                std::vector<std::string> cyc;
+                for (; it != stack.end(); ++it) cyc.push_back(nodes[*it]);
+                // A cycle is accepted only when EVERY edge in it was
+                // reviewed: a partial whitelist must not hide a cycle
+                // that traverses unreviewed acquisitions.
+                bool fully_allowed = true;
+                for (std::size_t i = 0; i < cyc.size(); ++i)
+                    fully_allowed =
+                        fully_allowed && is_allowed(cyc[i], cyc[(i + 1) % cyc.size()]);
+                if (fully_allowed) continue;
+                std::vector<std::string> key = cyc;
+                std::sort(key.begin(), key.end());
+                std::string keystr;
+                for (const auto& k : key) keystr += k + "|";
+                if (std::find(seen_cycles.begin(), seen_cycles.end(), keystr) ==
+                    seen_cycles.end()) {
+                    seen_cycles.push_back(keystr);
+                    std::string path;
+                    for (const auto& n : cyc) path += n + " -> ";
+                    path += nodes[a.to];
+                    out.push_back(Violation{
+                        a.file, a.line, "lockorder",
+                        "lock-order cycle: " + path +
+                            " — a thread holding the first mutex can deadlock against one "
+                            "holding the last (whitelist reviewed edges in "
+                            "tools/xct_lint/lockorder_allow.txt)"});
+                }
+            } else if (color[a.to] == 0) {
+                dfs(a.to);
+            }
+        }
+        stack.pop_back();
+        color[u] = 2;
+    };
+    for (std::size_t u = 0; u < nodes.size(); ++u)
+        if (color[u] == 0) dfs(u);
+    return out;
+}
+
+namespace {
+
+// ------------------------------------------------------------- deadname ----
+
+/// Constants declared in names.hpp: identifier + 1-based declaration line.
+struct NameDecl {
+    std::string ident;
+    int line = 0;
+};
+
+std::vector<NameDecl> parse_name_decls(const std::string& names_hpp_source)
+{
+    std::vector<NameDecl> decls;
+    const Blanked b = blank(names_hpp_source);
+    std::istringstream lines(b.code);
+    std::string line;
+    int ln = 0;
+    while (std::getline(lines, line)) {
+        ++ln;
+        const std::size_t at = line.find("constexpr const char*");
+        if (at == std::string::npos) continue;
+        std::size_t t = at + std::string("constexpr const char*").size();
+        while (t < line.size() && std::isspace(static_cast<unsigned char>(line[t]))) ++t;
+        std::size_t e = t;
+        while (e < line.size() && ident_char(line[e])) ++e;
+        const std::string ident = line.substr(t, e - t);
+        if (!ident.empty() && ident[0] == 'k') decls.push_back(NameDecl{ident, ln});
+    }
+    return decls;
+}
+
+/// Word-boundary search for `ident` in blanked code.
+bool references_ident(const std::string& code, const std::string& ident)
+{
+    std::size_t pos = 0;
+    while ((pos = code.find(ident, pos)) != std::string::npos) {
+        const std::size_t after = pos + ident.size();
+        if ((pos == 0 || !ident_char(code[pos - 1])) &&
+            (after >= code.size() || !ident_char(code[after])))
+            return true;
+        pos = after;
+    }
+    return false;
+}
+
+void rule_deadname(const std::string& names_rel, const std::string& names_source,
+                   const std::vector<std::string>& other_blanked_sources,
+                   std::vector<Violation>& out)
+{
+    for (const auto& decl : parse_name_decls(names_source)) {
+        bool used = false;
+        for (const auto& code : other_blanked_sources)
+            if (references_ident(code, decl.ident)) {
+                used = true;
+                break;
+            }
+        if (!used)
+            out.push_back(Violation{
+                names_rel, decl.line, "deadname",
+                "`" + decl.ident + "` is registered in names.hpp but referenced nowhere — "
+                "delete the registration or wire the emitter that was meant to use it"});
+    }
+}
+
 std::string read_file(const std::filesystem::path& p)
 {
     std::ifstream f(p, std::ios::binary);
@@ -469,8 +790,49 @@ std::vector<Violation> lint_source(const std::string& rel, const std::string& so
     rule_rawmem(rel, b, out);
     rule_intloop(rel, b, out);
     rule_mutex(rel, b, out);
+    rule_ids(rel, b, out);
     std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& c) {
         return a.line < c.line;
+    });
+    return out;
+}
+
+std::vector<Violation> lint_files(const std::filesystem::path& root, const FileSet& files)
+{
+    const Registry reg = parse_registry(read_file(root / "src" / "core" / "names.hpp"));
+
+    std::vector<Violation> out;
+    std::vector<LockEdge> edges;
+    std::vector<std::string> blanked_codes;
+    const std::string* names_source = nullptr;
+    for (const auto& [rel, source] : files) {
+        const auto vs = lint_source(rel, source, reg);
+        out.insert(out.end(), vs.begin(), vs.end());
+        const auto es = extract_lock_edges(rel, source);
+        edges.insert(edges.end(), es.begin(), es.end());
+        if (rel == "src/core/names.hpp")
+            names_source = &source;
+        else
+            blanked_codes.push_back(blank(source).code);
+    }
+
+    std::vector<std::string> whitelist;
+    {
+        std::ifstream wl(root / "tools" / "xct_lint" / "lockorder_allow.txt");
+        std::string line;
+        while (std::getline(wl, line)) whitelist.push_back(line);
+    }
+    const auto lvs = check_lock_graph(edges, whitelist);
+    out.insert(out.end(), lvs.begin(), lvs.end());
+
+    // deadname needs the registry source in the scanned set: a partial
+    // set (a lint fixture, a single TU) must not declare the whole
+    // registry dead.
+    if (names_source != nullptr)
+        rule_deadname("src/core/names.hpp", *names_source, blanked_codes, out);
+
+    std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& c) {
+        return a.file != c.file ? a.file < c.file : a.line < c.line;
     });
     return out;
 }
@@ -478,8 +840,7 @@ std::vector<Violation> lint_source(const std::string& rel, const std::string& so
 std::vector<Violation> lint_tree(const std::filesystem::path& root,
                                  const std::vector<std::string>& dirs)
 {
-    const Registry reg = parse_registry(read_file(root / "src" / "core" / "names.hpp"));
-    std::vector<Violation> out;
+    FileSet set;
     for (const auto& dir : dirs) {
         const auto base = root / dir;
         if (!std::filesystem::exists(base)) continue;
@@ -492,14 +853,144 @@ std::vector<Violation> lint_tree(const std::filesystem::path& root,
             files.push_back(e.path());
         }
         std::sort(files.begin(), files.end());
-        for (const auto& p : files) {
-            const std::string rel =
-                std::filesystem::relative(p, root).generic_string();
-            const auto vs = lint_source(rel, read_file(p), reg);
-            out.insert(out.end(), vs.begin(), vs.end());
+        for (const auto& p : files)
+            set.emplace_back(std::filesystem::relative(p, root).generic_string(), read_file(p));
+    }
+    return lint_files(root, set);
+}
+
+namespace {
+
+/// Minimal compile_commands.json reader: split top-level objects, pull
+/// the "directory" and "file" string values out of each.  The format is
+/// machine-written flat JSON (CMake emits it), so a full parser would be
+/// dead weight.
+struct DbEntry {
+    std::string directory;
+    std::string file;
+};
+
+std::string json_string_value(const std::string& obj, const std::string& key)
+{
+    const std::size_t k = obj.find("\"" + key + "\"");
+    if (k == std::string::npos) return {};
+    std::size_t q = obj.find('"', k + key.size() + 2);
+    if (q == std::string::npos) return {};
+    std::string out;
+    for (std::size_t i = q + 1; i < obj.size(); ++i) {
+        const char c = obj[i];
+        if (c == '\\' && i + 1 < obj.size()) {
+            out.push_back(obj[++i]);
+            continue;
         }
+        if (c == '"') break;
+        out.push_back(c);
     }
     return out;
+}
+
+std::vector<DbEntry> parse_compile_db(const std::string& json)
+{
+    std::vector<DbEntry> entries;
+    int depth = 0;
+    std::size_t start = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"') in_string = true;
+        if (c == '{' && depth++ == 0) start = i;
+        if (c == '}' && --depth == 0) {
+            const std::string obj = json.substr(start, i - start + 1);
+            DbEntry e{json_string_value(obj, "directory"), json_string_value(obj, "file")};
+            if (!e.file.empty()) entries.push_back(e);
+        }
+    }
+    return entries;
+}
+
+/// Repo-relative generic path for `p` if it lives under `root` and is a
+/// lintable source; empty otherwise.
+std::string lintable_rel(const std::filesystem::path& root, const std::filesystem::path& p,
+                         const std::vector<std::string>& scopes)
+{
+    std::error_code ec;
+    const auto canon = std::filesystem::weakly_canonical(p, ec);
+    if (ec) return {};
+    const auto rel = canon.lexically_relative(std::filesystem::weakly_canonical(root, ec));
+    const std::string s = rel.generic_string();
+    if (s.empty() || s == "." || s.rfind("..", 0) == 0) return {};
+    if (s.find("_deps") != std::string::npos) return {};
+    if (s.find("lint_fixtures") != std::string::npos) return {};
+    bool in_scope = false;
+    for (const auto& scope : scopes) in_scope = in_scope || s.rfind(scope + "/", 0) == 0;
+    if (!in_scope) return {};
+    const auto ext = canon.extension();
+    if (ext != ".hpp" && ext != ".cpp") return {};
+    return s;
+}
+
+/// Collect `file` plus every repo-local `#include "..."` it reaches,
+/// depth-first, into `set` (deduplicated via `seen`).  Quoted includes
+/// resolve the way the build does: relative to the including file, then
+/// against root/src and root/tools/xct_lint (the repo's include roots).
+void collect_tu(const std::filesystem::path& root, const std::filesystem::path& file,
+                const std::vector<std::string>& scopes, std::vector<std::string>& seen,
+                FileSet& set)
+{
+    const std::string rel = lintable_rel(root, file, scopes);
+    if (rel.empty() || std::find(seen.begin(), seen.end(), rel) != seen.end()) return;
+    seen.push_back(rel);
+    const std::string source = read_file(root / rel);
+    set.emplace_back(rel, source);
+
+    std::istringstream lines(source);
+    std::string line;
+    while (std::getline(lines, line)) {
+        std::size_t h = line.find_first_not_of(" \t");
+        if (h == std::string::npos || line[h] != '#') continue;
+        const std::size_t inc = line.find("include", h);
+        if (inc == std::string::npos) continue;
+        const std::size_t open = line.find('"', inc);
+        if (open == std::string::npos) continue;
+        const std::size_t close = line.find('"', open + 1);
+        if (close == std::string::npos) continue;
+        const std::string target = line.substr(open + 1, close - open - 1);
+        const std::filesystem::path candidates[] = {
+            (root / rel).parent_path() / target,
+            root / "src" / target,
+            root / "tools" / "xct_lint" / target,
+        };
+        for (const auto& c : candidates)
+            if (std::filesystem::exists(c)) {
+                collect_tu(root, c, scopes, seen, set);
+                break;
+            }
+    }
+}
+
+}  // namespace
+
+std::vector<Violation> lint_compile_db(const std::filesystem::path& root,
+                                       const std::filesystem::path& compile_db,
+                                       const std::vector<std::string>& scopes)
+{
+    const auto entries = parse_compile_db(read_file(compile_db));
+    std::vector<std::string> seen;
+    FileSet set;
+    for (const auto& e : entries) {
+        std::filesystem::path p = e.file;
+        if (p.is_relative()) p = std::filesystem::path(e.directory) / p;
+        collect_tu(root, p, scopes, seen, set);
+    }
+    std::sort(set.begin(), set.end());
+    return lint_files(root, set);
 }
 
 std::string format(const std::vector<Violation>& violations)

@@ -1,7 +1,10 @@
-// xct_lint driver: `xct_lint --root <repo> <dir>...` scans the given
-// directories (default: src tools bench) and exits non-zero when any rule
-// fires.  Registered as the ctest `xct_lint`, so a plain `ctest` run
-// re-proves the invariants on every build.
+// xct_lint driver: `xct_lint --root <repo> [--compile-commands <json>]
+// <dir>...` scans the given directories (default: src tools bench) and,
+// when a compile database is supplied, additionally lints exactly the TUs
+// the build compiles plus every repo-local header they reach — so the
+// lint set tracks the build, not a hand-maintained directory list.
+// Registered as the ctest `xct_lint`, so a plain `ctest` run re-proves
+// the invariants on every build.
 
 #include <cstdio>
 #include <string>
@@ -12,13 +15,17 @@
 int main(int argc, char** argv)
 {
     std::string root = ".";
+    std::string compile_db;
     std::vector<std::string> dirs;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--root" && i + 1 < argc) {
             root = argv[++i];
+        } else if (arg == "--compile-commands" && i + 1 < argc) {
+            compile_db = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: xct_lint [--root DIR] [subdir...]\n");
+            std::printf(
+                "usage: xct_lint [--root DIR] [--compile-commands JSON] [subdir...]\n");
             return 0;
         } else {
             dirs.push_back(arg);
@@ -27,7 +34,18 @@ int main(int argc, char** argv)
     if (dirs.empty()) dirs = {"src", "tools", "bench"};
 
     try {
-        const auto violations = xct_lint::lint_tree(root, dirs);
+        // The tree walk covers headers no TU includes yet; the compile-db
+        // pass covers generated/out-of-tree wiring.  Union, deduplicated.
+        auto violations = xct_lint::lint_tree(root, dirs);
+        if (!compile_db.empty()) {
+            for (auto& v : xct_lint::lint_compile_db(root, compile_db, dirs)) {
+                bool dup = false;
+                for (const auto& have : violations)
+                    dup = dup || (have.file == v.file && have.line == v.line &&
+                                  have.rule == v.rule);
+                if (!dup) violations.push_back(std::move(v));
+            }
+        }
         if (violations.empty()) {
             std::printf("xct_lint: clean\n");
             return 0;

@@ -143,7 +143,7 @@ int main(int argc, char** argv)
                     args.get("report").c_str(), rep.predicted_runtime_s,
                     rep.binding_stage.c_str(), rep.measured_wall_s, rep.efficiency);
     };
-    const auto to_timings = [](const recon::RankStats& st, index_t rank, index_t group) {
+    const auto to_timings = [](const recon::RankStats& st, RankId rank, GroupId group) {
         telemetry::report::RankTimings t;
         t.rank = rank;
         t.group = group;
@@ -216,7 +216,7 @@ int main(int argc, char** argv)
                     r.stats.t_load, r.stats.t_filter, r.stats.t_bp, r.stats.t_store,
                     r.stats.wall);
         if (args.is_set("report")) {
-            const telemetry::report::RankTimings t = to_timings(r.stats, 0, 0);
+            const telemetry::report::RankTimings t = to_timings(r.stats, RankId{0}, GroupId{0});
             telemetry::report::observe_fleet(t);  // single-rank fleet of one
             write_report(g, 1, 1, {t});
         }
@@ -233,21 +233,22 @@ int main(int argc, char** argv)
         cfg.degraded_reduce = args.get_flag("degraded");
         cfg.watchdog_timeout_s = watchdog_timeout;
         if (args.is_set("checkpoint-dir")) cfg.checkpoint_dir = args.get("checkpoint-dir");
-        const auto factory = [&](index_t) {
+        const auto factory = [&](RankId) {
             return std::make_unique<recon::MemorySource>(stack, gf.raw_counts);
         };
         const recon::DistributedResult r = recon::reconstruct_distributed(cfg, factory);
         volume = r.volume;
-        for (const index_t d : r.dead)
+        for (const RankId d : r.dead)
             std::printf("rank %lld dropped out; its view share was replayed by a survivor\n",
-                        static_cast<long long>(d));
-        for (index_t rank = 0; rank < ng * nr; ++rank) {
-            const recon::RankStats& st = r.ranks[static_cast<std::size_t>(rank)];
+                        static_cast<long long>(d.value()));
+        for (RankId rank{0}; rank.value() < ng * nr; ++rank) {
+            const recon::RankStats& st = r.ranks[static_cast<std::size_t>(rank.value())];
             std::printf("rank %lld (group %lld): load %.3f filter %.3f bp %.3f reduce %.3f "
                         "store %.3f | wall %.3f s overlap %.2f\n",
-                        static_cast<long long>(rank),
-                        static_cast<long long>(cfg.layout.group_of(rank)), st.t_load, st.t_filter,
-                        st.t_bp, st.t_reduce, st.t_store, st.wall, st.overlap_factor());
+                        static_cast<long long>(rank.value()),
+                        static_cast<long long>(cfg.layout.group_of(rank).value()), st.t_load,
+                        st.t_filter, st.t_bp, st.t_reduce, st.t_store, st.wall,
+                        st.overlap_factor());
         }
         double busy = 0.0, worst_wall = 0.0;
         for (const auto& st : r.ranks) {
@@ -262,8 +263,8 @@ int main(int argc, char** argv)
             // final minimpi gather; here we only join model vs measured.
             std::vector<telemetry::report::RankTimings> ts;
             ts.reserve(r.ranks.size());
-            for (index_t rank = 0; rank < ng * nr; ++rank)
-                ts.push_back(to_timings(r.ranks[static_cast<std::size_t>(rank)], rank,
+            for (RankId rank{0}; rank.value() < ng * nr; ++rank)
+                ts.push_back(to_timings(r.ranks[static_cast<std::size_t>(rank.value())], rank,
                                         cfg.layout.group_of(rank)));
             write_report(g, ng, nr, ts);
         }
