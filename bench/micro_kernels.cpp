@@ -14,6 +14,7 @@
 #include <chrono>
 #include <random>
 
+#include "autotune/planner.hpp"
 #include "backproj/kernel.hpp"
 #include "backproj/reference.hpp"
 #include "backproj/rtk_style.hpp"
@@ -25,10 +26,13 @@
 #include "fft/fft.hpp"
 #include "integrity/hash.hpp"
 #include "integrity/integrity.hpp"
+#include "io/band_codec.hpp"
 #include "filter/ramp.hpp"
 #include "minimpi/comm.hpp"
+#include "perfmodel/model.hpp"
 #include "phantom/shepp_logan.hpp"
 #include "recon/fdk.hpp"
+#include "recon/quality.hpp"
 #include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -333,6 +337,9 @@ void emit_bench_json(const std::string& path)
             {{"padded_len", bench::json_num(static_cast<double>(eng.padded_len()))},
              {"rows_per_s_reference", bench::json_num(rows / t_ref)},
              {"rows_per_s_fp32", bench::json_num(rows / t_f32)},
+             // Element rate in TH_flt's units, so the autotune calibrator
+             // can seed the model straight from this file.
+             {"elems_per_s_fp32", bench::json_num(static_cast<double>(stack.count()) / t_f32)},
              {"speedup", bench::json_num(t_ref / t_f32)},
              {"warm_heap_events", bench::json_num(static_cast<double>(heap_delta))}});
     }
@@ -470,24 +477,94 @@ void emit_bench_json(const std::string& path)
     // Bytes moved by the simulated device over a fixed single-rank run —
     // fully determined by geometry and batching, so the trend gate pins
     // them exactly: any drift means the pipeline transfers different data.
+    // The q8 twin (band codec + prefetch, DESIGN.md §3j) measures the
+    // compressed wire volume over the same run, the ratio against raw,
+    // and the quantisation quality against the raw volume.
     {
         const CbctGeometry g = bench_geo(32);
         const auto ph = phantom::shepp_logan_3d(g.dx * 10.0);
         auto& reg = telemetry::registry();
+        const auto run_fdk = [&](io::BandCodec codec, bool prefetch) {
+            recon::PhantomSource src(ph, g);
+            recon::RankConfig cfg;
+            cfg.geometry = g;
+            cfg.batches = 8;
+            cfg.band_codec = codec;
+            cfg.prefetch = prefetch;
+            return recon::reconstruct_fdk(cfg, src).volume;
+        };
         const std::uint64_t h0 = reg.counter(names::kMetricSimH2dBytes).value();
         const std::uint64_t d0 = reg.counter(names::kMetricSimD2hBytes).value();
-        recon::PhantomSource src(ph, g);
-        recon::RankConfig cfg;
-        cfg.geometry = g;
-        cfg.batches = 8;
-        benchmark::DoNotOptimize(recon::reconstruct_fdk(cfg, src).volume.span().data());
+        const Volume raw = run_fdk(io::BandCodec::Raw, false);
         const std::uint64_t h2d = reg.counter(names::kMetricSimH2dBytes).value() - h0;
         const std::uint64_t d2h = reg.counter(names::kMetricSimD2hBytes).value() - d0;
+        const std::uint64_t hq0 = reg.counter(names::kMetricSimH2dBytes).value();
+        const Volume q8 = run_fdk(io::BandCodec::Q8, true);
+        const std::uint64_t h2d_q8 = reg.counter(names::kMetricSimH2dBytes).value() - hq0;
+
+        // Codec-level round-trip error against the documented bound, on a
+        // deterministic random band.
+        ProjectionStack band(4, Range{3, 19}, g.nu);
+        std::mt19937 rng(23);
+        std::uniform_real_distribution<float> u(-1.0f, 2.0f);
+        for (float& v : band.span()) v = u(rng);
+        const io::EncodedBand enc = io::encode_band(band);
+        const ProjectionStack dec = io::decode_band(enc);
+        float max_err = 0.0f;
+        const auto src_span = band.span();
+        const auto dec_span = dec.span();
+        for (std::size_t i = 0; i < src_span.size(); ++i)
+            max_err = std::max(max_err, std::abs(src_span[i] - dec_span[i]));
 
         bench::write_json_section(
             path, "transport",
             {{"h2d_bytes", bench::json_num(static_cast<double>(h2d))},
-             {"d2h_bytes", bench::json_num(static_cast<double>(d2h))}});
+             {"d2h_bytes", bench::json_num(static_cast<double>(d2h))},
+             {"h2d_bytes_q8", bench::json_num(static_cast<double>(h2d_q8))},
+             {"q8_bytes_over_raw",
+              bench::json_num(static_cast<double>(h2d_q8) / static_cast<double>(h2d))},
+             {"q8_psnr_db", bench::json_num(recon::psnr(raw, q8))},
+             {"q8_max_err_vs_bound",
+              bench::json_num(static_cast<double>(max_err) /
+                              static_cast<double>(io::q8_error_bound(enc)))}});
+    }
+
+    // Autotune (DESIGN.md §3j): the planner's pick for a Table-2-shaped
+    // job on the fixed ABCI V100 machine model, against the fixed
+    // seed-era decomposition it must never lose to.  Everything here is
+    // pure arithmetic on a pinned machine, so the gate holds the picks
+    // exactly and caps planned/fixed at 1.
+    {
+        const perfmodel::MachineParams m = perfmodel::MachineParams::abci_v100();
+        autotune::JobShape job;
+        job.geometry = bench_geo(64);
+        job.geometry.num_proj = 256;
+        job.rank_budget = 16;
+        job.device_capacity = 64u << 20;
+        const autotune::Candidate fixed{GroupLayout{2, 2}, 8, 2};
+        const autotune::Plan plan = autotune::plan_job(job, m, {fixed});
+        const double fixed_runtime = perfmodel::simulate(
+            [&] {
+                perfmodel::RunConfig rc;
+                rc.geometry = job.geometry;
+                rc.layout = fixed.layout;
+                rc.batches = fixed.batches;
+                return rc;
+            }(),
+            m, fixed.queue_depth).runtime;
+
+        bench::write_json_section(
+            path, "autotune",
+            {{"picked_ng", bench::json_num(static_cast<double>(plan.layout.num_groups))},
+             {"picked_nr", bench::json_num(static_cast<double>(plan.layout.ranks_per_group))},
+             {"picked_nc", bench::json_num(static_cast<double>(plan.batches))},
+             {"picked_queue_depth", bench::json_num(static_cast<double>(plan.queue_depth))},
+             {"candidates_scored", bench::json_num(static_cast<double>(plan.candidates_scored))},
+             {"planned_runtime_seconds", bench::json_num(plan.predicted_runtime_s)},
+             {"fixed_runtime_seconds", bench::json_num(fixed_runtime)},
+             {"planned_over_fixed_runtime",
+              bench::json_num(plan.predicted_runtime_s / fixed_runtime)},
+             {"jobs_per_hour", bench::json_num(3600.0 / plan.predicted_runtime_s)}});
     }
 }
 
@@ -501,6 +578,6 @@ int main(int argc, char** argv)
     benchmark::Shutdown();
     emit_bench_json("BENCH_pr4.json");
     std::printf("BENCH_pr4.json written (backproj / filter / fft / integrity / flight / "
-                "transport sections)\n");
+                "transport / autotune sections)\n");
     return 0;
 }

@@ -1,0 +1,166 @@
+#include "autotune/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/names.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xct::autotune {
+
+namespace {
+
+/// Slab schedule of the candidate's representative (worst-case) rank:
+/// group 0 holds the longest slice range and rank 0 the longest view
+/// share (split_even gives the remainder to the first chunks).
+std::vector<SlabPlan> representative_plans(const CbctGeometry& g, const Candidate& c)
+{
+    const Range slices = c.layout.slices_of_group(GroupId{0}, g.vol.z);
+    const index_t nb = (slices.length() + c.batches - 1) / c.batches;
+    return plan_slabs(g, slices, nb);
+}
+
+bool valid_shape(const CbctGeometry& g, const Candidate& c)
+{
+    return c.layout.num_groups > 0 && c.layout.ranks_per_group > 0 && c.batches > 0 &&
+           c.queue_depth > 0 && c.layout.num_groups <= g.vol.z &&
+           c.layout.ranks_per_group <= g.num_proj;
+}
+
+perfmodel::RunConfig run_config(const JobShape& job, const Candidate& c)
+{
+    perfmodel::RunConfig rc;
+    rc.geometry = job.geometry;
+    rc.layout = c.layout;
+    rc.batches = c.batches;
+    // q8 ships one byte per texel over the h2d hop (header amortised
+    // away); raw ships fp32.
+    rc.eta_h2d = job.codec == io::BandCodec::Q8 ? 1.0 : sizeof(float);
+    return rc;
+}
+
+}  // namespace
+
+bool feasible(const JobShape& job, const Candidate& c)
+{
+    const CbctGeometry& g = job.geometry;
+    if (!valid_shape(g, c)) return false;
+    const auto plans = representative_plans(g, c);
+    const index_t views = c.layout.views_of_rank(RankId{0}, g.num_proj).length();
+    index_t h = 1, max_slab = 1;
+    for (const SlabPlan& p : plans) {
+        h = std::max(h, p.rows.length());
+        max_slab = std::max(max_slab, p.slab.length());
+    }
+    // SlabBackprojector's two device allocations: the circular texture of
+    // the row window, and the slab sub-volume.
+    const std::uint64_t tex_bytes = static_cast<std::uint64_t>(g.nu) *
+                                    static_cast<std::uint64_t>(views) *
+                                    static_cast<std::uint64_t>(h) * sizeof(float);
+    const std::uint64_t slab_bytes = static_cast<std::uint64_t>(g.vol.x) *
+                                     static_cast<std::uint64_t>(g.vol.y) *
+                                     static_cast<std::uint64_t>(max_slab) * sizeof(float);
+    return tex_bytes + slab_bytes <= job.device_capacity;
+}
+
+double predict_runtime(const JobShape& job, const Candidate& c,
+                       const perfmodel::MachineParams& m)
+{
+    return perfmodel::simulate(run_config(job, c), m, c.queue_depth).runtime;
+}
+
+std::uint64_t h2d_wire_bytes(const CbctGeometry& g, const GroupLayout& layout, index_t batches,
+                             io::BandCodec codec)
+{
+    // Per group, the staged row total is the first slab's window plus the
+    // later slabs' deltas; every view of every row crosses the link once,
+    // and the group's ranks' view shares sum to num_proj.
+    std::uint64_t total_elems = 0;
+    for (index_t gi = 0; gi < layout.num_groups; ++gi) {
+        const Range slices = layout.slices_of_group(GroupId{gi}, g.vol.z);
+        if (slices.empty()) continue;
+        const index_t nb = (slices.length() + batches - 1) / batches;
+        const auto plans = plan_slabs(g, slices, nb);
+        std::uint64_t staged_rows = 0;
+        for (std::size_t i = 0; i < plans.size(); ++i)
+            staged_rows += static_cast<std::uint64_t>(
+                i == 0 ? plans[i].rows.length() : plans[i].delta.length());
+        total_elems += static_cast<std::uint64_t>(g.nu) * staged_rows *
+                       static_cast<std::uint64_t>(g.num_proj);
+    }
+    return total_elems * (codec == io::BandCodec::Q8 ? 1 : sizeof(float));
+}
+
+Plan plan_job(const JobShape& job, const perfmodel::MachineParams& m,
+              const std::vector<Candidate>& must_score)
+{
+    job.geometry.validate();
+    require(job.rank_budget > 0, "plan_job: rank budget must be positive");
+    const CbctGeometry& g = job.geometry;
+
+    static constexpr index_t kBatchChoices[] = {2, 4, 8, 16, 32};
+    static constexpr index_t kQueueChoices[] = {1, 2, 3, 4};
+
+    std::vector<Candidate> lattice;
+    for (index_t ng = 1; ng <= job.rank_budget && ng <= g.vol.z; ng *= 2)
+        for (index_t nr = 1; ng * nr <= job.rank_budget && nr <= g.num_proj; nr *= 2)
+            for (const index_t nc : kBatchChoices)
+                for (const index_t qd : kQueueChoices)
+                    lattice.push_back(Candidate{GroupLayout{ng, nr}, nc, qd});
+    lattice.insert(lattice.end(), must_score.begin(), must_score.end());
+
+    // Deterministic order, smallest fleet first, so ties (kept strictly:
+    // only a strictly better score displaces the incumbent) resolve to
+    // the cheapest decomposition.
+    std::stable_sort(lattice.begin(), lattice.end(), [](const Candidate& a, const Candidate& b) {
+        return std::make_tuple(a.layout.nranks(), a.layout.num_groups, a.batches,
+                               a.queue_depth) <
+               std::make_tuple(b.layout.nranks(), b.layout.num_groups, b.batches,
+                               b.queue_depth);
+    });
+
+    Plan best;
+    best.codec = job.codec;
+    bool found = false;
+    index_t scored = 0;
+    for (const Candidate& c : lattice) {
+        if (!feasible(job, c)) continue;
+        const perfmodel::Projection proj =
+            perfmodel::simulate(run_config(job, c), m, c.queue_depth);
+        ++scored;
+        if (!found || proj.runtime < best.predicted_runtime_s) {
+            found = true;
+            best.layout = c.layout;
+            best.batches = c.batches;
+            best.queue_depth = c.queue_depth;
+            best.predicted_runtime_s = proj.runtime;
+            best.predicted_gups = proj.gups;
+        }
+    }
+    if (!found)
+        throw std::invalid_argument(
+            "plan_job: no candidate decomposition fits the device budget");
+    best.candidates_scored = scored;
+    best.predicted_h2d_bytes = h2d_wire_bytes(g, best.layout, best.batches, job.codec);
+    auto& reg = telemetry::registry();
+    reg.counter(names::kMetricAutotunePlans).add(1);
+    reg.counter(names::kMetricAutotuneCandidates).add(static_cast<std::uint64_t>(scored));
+    return best;
+}
+
+std::string plan_summary(const Plan& plan)
+{
+    std::ostringstream ss;
+    ss << "ng=" << plan.layout.num_groups << " nr=" << plan.layout.ranks_per_group
+       << " nc=" << plan.batches << " qd=" << plan.queue_depth
+       << " codec=" << io::band_codec_name(plan.codec)
+       << " predicted=" << plan.predicted_runtime_s << "s"
+       << " gups=" << plan.predicted_gups
+       << " h2d_bytes=" << plan.predicted_h2d_bytes
+       << " (scored " << plan.candidates_scored << " candidates)";
+    return ss.str();
+}
+
+}  // namespace xct::autotune

@@ -1,0 +1,88 @@
+#pragma once
+// Decomposition planner: the decision half of the autotuner (DESIGN.md
+// §3j).
+//
+// iFDK (arXiv:1909.02724) shows the N_g/N_r/N_c choice dominates
+// end-to-end throughput at scale, and the paper's Table 2 enumerates the
+// decompositions its evaluation hand-picked.  With calibrated
+// MachineParams the Eq. 13-17 event simulation prices any candidate in
+// microseconds, so the planner simply scores the whole feasible lattice
+// — power-of-two group/rank splits within the rank budget, the standard
+// batch counts, the practical queue depths — plus any caller-supplied
+// candidates (e.g. the fixed CLI choice, which guarantees the plan is
+// never worse than it) and returns the argmin as a typed Plan.
+//
+// Feasibility mirrors SlabBackprojector's device sizing: the circular
+// texture (max row window x view share x Nu) plus the slab sub-volume
+// must fit the per-rank device budget — infeasible candidates are the
+// "✗" cells of Table 5 and are skipped, not scored.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/decompose.hpp"
+#include "core/geometry.hpp"
+#include "io/band_codec.hpp"
+#include "perfmodel/model.hpp"
+
+namespace xct::autotune {
+
+/// One candidate decomposition the planner scores.
+struct Candidate {
+    GroupLayout layout{1, 1};
+    index_t batches = 8;     ///< Nc
+    index_t queue_depth = 2;  ///< inter-stage FIFO capacity
+};
+
+/// The job the planner decomposes.
+struct JobShape {
+    CbctGeometry geometry;
+    index_t rank_budget = 1;                   ///< max Ng * Nr
+    std::size_t device_capacity = 512u << 20;  ///< per-rank device budget [bytes]
+    io::BandCodec codec = io::BandCodec::Raw;  ///< wire format to model
+};
+
+/// What xct_recon --autotune and the soak scheduler consume in place of
+/// fixed CLI choices.
+struct Plan {
+    GroupLayout layout{1, 1};
+    index_t batches = 8;
+    index_t queue_depth = 2;
+    io::BandCodec codec = io::BandCodec::Raw;
+    double predicted_runtime_s = 0.0;  ///< event-sim runtime of the pick
+    double predicted_gups = 0.0;       ///< whole-problem updates/s at that runtime
+    /// Modelled fleet-total band bytes over the host->device hop at the
+    /// plan's wire format (header bytes excluded — payload dominates).
+    std::uint64_t predicted_h2d_bytes = 0;
+    index_t candidates_scored = 0;
+};
+
+/// Device-memory feasibility of one candidate (texture + slab sub-volume
+/// vs the per-rank budget, sized like SlabBackprojector).
+bool feasible(const JobShape& job, const Candidate& c);
+
+/// Event-sim runtime of one concrete candidate — the planner's scoring
+/// function, exposed so the bench/gate can price the fixed-CLI
+/// configuration with identical arithmetic.
+double predict_runtime(const JobShape& job, const Candidate& c,
+                       const perfmodel::MachineParams& m);
+
+/// Modelled fleet-total band wire bytes (pfs->host->device) of one
+/// candidate at `codec`.
+std::uint64_t h2d_wire_bytes(const CbctGeometry& g, const GroupLayout& layout, index_t batches,
+                             io::BandCodec codec);
+
+/// Search the feasible lattice (plus `must_score`, always scored when
+/// feasible) and return the fastest candidate.  Deterministic: the
+/// lattice order is fixed and ties keep the earlier candidate, which the
+/// enumeration orders smallest-fleet-first.  Throws std::invalid_argument
+/// when no candidate fits the device budget.
+Plan plan_job(const JobShape& job, const perfmodel::MachineParams& m,
+              const std::vector<Candidate>& must_score = {});
+
+/// One-line human summary ("ng=4 nr=8 nc=8 qd=2 codec=q8 ...") for CLI
+/// output and run reports.
+std::string plan_summary(const Plan& plan);
+
+}  // namespace xct::autotune

@@ -107,6 +107,18 @@ inline constexpr const char* kMetricSoakJobsWedged = "soak.jobs.wedged";
 inline constexpr const char* kMetricSoakStallInjected = "soak.stall.injected";
 inline constexpr const char* kMetricSoakStallDetected = "soak.stall.detected";
 inline constexpr const char* kMetricSoakLatencySeconds = "soak.job.latency_seconds";
+// band.* (src/io/band_codec): q8 differential band transport codec.
+// bytes_in counts fp32 payload bytes entering encode_band, bytes_out the
+// wire bytes leaving it — their ratio is the transport compression the
+// BENCH trend gate enforces (transport.q8_bytes_over_raw).
+inline constexpr const char* kMetricBandEncodes = "band.encodes";
+inline constexpr const char* kMetricBandEncodeBytesIn = "band.encode.bytes_in";
+inline constexpr const char* kMetricBandEncodeBytesOut = "band.encode.bytes_out";
+inline constexpr const char* kMetricBandDecodes = "band.decodes";
+// autotune.* (src/autotune): plans = planner invocations, candidates =
+// feasible lattice points scored by the Eq. 13-17 event simulation.
+inline constexpr const char* kMetricAutotunePlans = "autotune.plans";
+inline constexpr const char* kMetricAutotuneCandidates = "autotune.candidates";
 
 // ---- flight post-mortem reasons (flight::dump_postmortem) ---------------
 // Expand kMetricFlightDumpsPrefix, e.g. "flight.dumps.watchdog".
@@ -130,6 +142,9 @@ inline constexpr const char* kSiteSourceLoad = "source.load";
 inline constexpr const char* kSiteRankDropout = "rank.dropout";
 inline constexpr const char* kSiteCheckpointLoad = "checkpoint.load";
 inline constexpr const char* kSiteRankStall = "rank.stall";  ///< health-probe stall point
+/// q8 wire payload in transit between encode and dequantisation — the
+/// pfs->host->device hop the compressed band transport rides.
+inline constexpr const char* kSiteBandDecode = "band.decode";
 
 // ---- watchdog-supervised section names (Watchdog::supervise) ------------
 // Expand kMetricWatchdogExpiredPrefix, e.g. "watchdog.expired.source.load".

@@ -1,0 +1,103 @@
+#include "io/band_codec.hpp"
+
+#include <algorithm>
+
+#include "core/names.hpp"
+#include "core/scratch.hpp"
+#include "core/types.hpp"
+#include "faults/fault.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xct::io {
+
+BandCodec band_codec_from_name(const std::string& name)
+{
+    if (name == "raw") return BandCodec::Raw;
+    if (name == "q8") return BandCodec::Q8;
+    throw std::invalid_argument("band_codec_from_name: unknown codec '" + name +
+                                "' (expected raw|q8)");
+}
+
+const char* band_codec_name(BandCodec codec)
+{
+    return codec == BandCodec::Raw ? "raw" : "q8";
+}
+
+std::size_t EncodedBand::wire_bytes() const
+{
+    // Payload plus the header fields a serialised band would carry:
+    // extents + band range + scale/offset + digest.
+    return payload.size() + 3 * sizeof(index_t) + 2 * sizeof(index_t) + 2 * sizeof(float) +
+           sizeof(integrity::digest_t);
+}
+
+EncodedBand encode_band(const ProjectionStack& band)
+{
+    const std::span<const float> src = band.span();
+    require(!src.empty(), "encode_band: empty band");
+    EncodedBand e;
+    e.views = band.views();
+    e.cols = band.cols();
+    e.band = band.band();
+    float lo = src[0], hi = src[0];
+    for (const float v : src) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    e.lo = lo;
+    e.hi = hi;
+    e.payload.resize(src.size());
+    if (hi > lo) {
+        // Round-to-nearest against the band's own range — exactly the
+        // QuantizedTexture3 mapping, so the ablation's error story carries
+        // over verbatim: |decode(encode(v)) - v| <= (hi-lo)/510.
+        const float scale = 255.0f / (hi - lo);
+        for (std::size_t i = 0; i < src.size(); ++i) {
+            float t = (src[i] - lo) * scale;
+            t = t < 0.0f ? 0.0f : (t > 255.0f ? 255.0f : t);
+            e.payload[i] = static_cast<std::uint8_t>(t + 0.5f);
+        }
+    }
+    // hi == lo: constant band, payload stays zero, decode returns lo.
+    e.digest =
+        integrity::enabled() ? integrity::checksum_of<std::uint8_t>(std::span(e.payload)) : 0;
+    auto& reg = telemetry::registry();
+    reg.counter(names::kMetricBandEncodes).add(1);
+    reg.counter(names::kMetricBandEncodeBytesIn).add(src.size() * sizeof(float));
+    reg.counter(names::kMetricBandEncodeBytesOut).add(e.wire_bytes());
+    return e;
+}
+
+ProjectionStack decode_band(const EncodedBand& e)
+{
+    require(!e.payload.empty(), "decode_band: empty payload");
+    require(static_cast<index_t>(e.payload.size()) == e.views * e.band.length() * e.cols,
+            "decode_band: payload size mismatch");
+    // Throw-class faults fire before the transit copy, like every other
+    // gated movement.
+    faults::check(names::kSiteBandDecode);
+    // The wire hop: the payload is copied into a transit buffer where a
+    // corrupt-class fault can flip bits; the digest verify catches the
+    // flip before any texel is dequantised.  The source EncodedBand is
+    // untouched, so the retry layer's re-decode recovers bitwise.
+    scratch::Buffer<std::uint8_t> transit(e.payload.size());
+    std::copy(e.payload.begin(), e.payload.end(), transit.data());
+    faults::corrupt(names::kSiteBandDecode, std::as_writable_bytes(transit.span()));
+    integrity::verify_of<std::uint8_t>(names::kSiteBandDecode, transit.span(), e.digest);
+    ProjectionStack out(e.views, e.band, e.cols);
+    const std::span<float> dst = out.span();
+    // Same expression (and evaluation order) as QuantizedTexture3::fetch,
+    // so the two q8 paths dequantise bit-identically.
+    const float range = e.hi - e.lo;
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] = e.lo + static_cast<float>(transit[i]) * range / 255.0f;
+    telemetry::registry().counter(names::kMetricBandDecodes).add(1);
+    return out;
+}
+
+float q8_error_bound(const EncodedBand& e)
+{
+    return e.hi > e.lo ? (e.hi - e.lo) / 510.0f : 0.0f;
+}
+
+}  // namespace xct::io

@@ -57,6 +57,7 @@ std::vector<BatchTimes> batch_times(const RunConfig& cfg, const MachineParams& m
     const GroupLayout& L = cfg.layout;
     require(cfg.batches > 0, "batch_times: batches must be positive");
     require(L.num_groups > 0 && L.ranks_per_group > 0, "batch_times: layout must be positive");
+    require(cfg.eta_h2d > 0.0, "batch_times: eta_h2d must be positive");
 
     // Representative rank: rank 0 (group 0 root — it also stores).
     const index_t views = L.views_of_rank(RankId{0}, g.num_proj).length();
@@ -79,7 +80,7 @@ std::vector<BatchTimes> batch_times(const RunConfig& cfg, const MachineParams& m
         BatchTimes t;
         t.load = kEta * in_elems / (m.bw_load_gbps * kGB);             // Eq. 13
         t.filter = in_elems / (m.th_flt_geps * kGB);
-        t.h2d = kEta * in_elems / (m.bw_h2d_gbps * kGB);
+        t.h2d = cfg.eta_h2d * in_elems / (m.bw_h2d_gbps * kGB);
         t.bp = vol_elems * static_cast<double>(views) / (m.th_bp_gups * kGB);  // Eq. 14
         t.d2h = kEta * vol_elems / (m.bw_d2h_gbps * kGB);              // Eq. 15 applied
         t.reduce = reduce_hops * kEta * vol_elems / (m.th_reduce_gbps * kGB);

@@ -50,6 +50,12 @@ struct RunConfig {
     CbctGeometry geometry;
     GroupLayout layout{1, 1};
     index_t batches = 8;  ///< Nc
+    /// Wire bytes per transported band element on the host->device hop
+    /// (Sec. 5's eta).  sizeof(float) models the raw fp32 transport; the
+    /// q8 band codec ships 1 byte per texel, which is how the autotune
+    /// planner scores --band-codec q8 candidates.  Load/store/reduce keep
+    /// the fp32 eta — only the band transport is compressed.
+    double eta_h2d = sizeof(float);
 };
 
 /// Per-batch stage times of one rank (Eqs. 13-16).

@@ -172,6 +172,9 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
         rc.beer = cfg.beer;
         rc.retry = cfg.retry;
         rc.watchdog_timeout_s = cfg.watchdog_timeout_s;
+        rc.band_codec = cfg.band_codec;
+        rc.prefetch = cfg.prefetch;
+        rc.queue_depth = cfg.queue_depth;
 
         // Checkpoint resume must re-enter the per-slab reduce at the same
         // slab on every rank of the group, so reconcile to the group-wide
@@ -288,7 +291,13 @@ DistributedResult reconstruct_distributed(const DistributedConfig& cfg,
                         }
                         if (t->parker) t->parker->apply(delta);
                         tk_engine->apply(delta);
-                        t->bp.upload_band(delta);
+                        // The dead rank would have shipped this band in the
+                        // configured wire format; replay its quantisation
+                        // too, or the takeover partial diverges bitwise.
+                        if (cfg.band_codec == io::BandCodec::Q8)
+                            t->bp.upload_band(io::encode_band(delta));
+                        else
+                            t->bp.upload_band(delta);
                     }
                     t->primed = true;
                     replayed.push_back(t->bp.backproject(plan));

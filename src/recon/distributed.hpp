@@ -63,6 +63,14 @@ struct DistributedConfig {
     /// "rank.stall") is declared dead and handled exactly like a dropout,
     /// so degraded_reduce takes over its view share.
     double watchdog_timeout_s = 0.0;
+    /// Differential band wire format, forwarded to every rank (and to the
+    /// degraded-mode takeover replay, which must reproduce the dead
+    /// rank's arithmetic — including its quantisation — bitwise).
+    io::BandCodec band_codec = io::BandCodec::Raw;
+    /// Double-buffered band prefetch on every rank (RankConfig::prefetch).
+    bool prefetch = false;
+    /// Inter-stage FIFO depth on every rank (RankConfig::queue_depth).
+    index_t queue_depth = 2;
 };
 
 struct DistributedResult {

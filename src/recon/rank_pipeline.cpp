@@ -22,12 +22,24 @@ struct LoadItem {
     index_t idx = 0;
     SlabPlan plan;
     std::optional<ProjectionStack> delta;  ///< absent when fully cached (Eq. 6 empty)
+    /// q8 wire form of the filtered delta (band_codec == Q8; `delta` is
+    /// released once encoded — downstream stages see only the wire form,
+    /// which is what makes the transport compression honest).
+    std::optional<io::EncodedBand> encoded;
 };
 
 struct VolItem {
     index_t idx = 0;
     SlabPlan plan;
     Volume slab;
+};
+
+/// Hand-off from the prefetch stage to bp: the band already gathered
+/// (and, under q8, decoded) into upload order.
+struct BpItem {
+    index_t idx = 0;
+    SlabPlan plan;
+    std::optional<SlabBackprojector::StagedBand> staged;
 };
 
 void filter_item(const RankConfig& cfg, const filter::FilterEngine& engine,
@@ -41,6 +53,10 @@ void filter_item(const RankConfig& cfg, const filter::FilterEngine& engine,
     }
     if (parker != nullptr) parker->apply(*item.delta);
     engine.apply(*item.delta);
+    if (cfg.band_codec == io::BandCodec::Q8) {
+        item.encoded = io::encode_band(*item.delta);
+        item.delta.reset();
+    }
 }
 
 }  // namespace
@@ -54,6 +70,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
     require(!cfg.slices.empty() && cfg.slices.lo >= 0 && cfg.slices.hi <= cfg.geometry.vol.z,
             "run_rank: slices out of range");
     require(cfg.batches > 0, "run_rank: batches must be positive");
+    require(cfg.queue_depth > 0, "run_rank: queue depth must be positive");
 
     // Eq. 12: Nb = ceil(Ns / Nc).
     const index_t nb = (cfg.slices.length() + cfg.batches - 1) / cfg.batches;
@@ -105,7 +122,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
 
     auto load_one = [&](index_t idx) {
         pipeline::ScopedSpan span(tl, "load", idx);
-        LoadItem item{idx, plans[static_cast<std::size_t>(idx)], std::nullopt};
+        LoadItem item{idx, plans[static_cast<std::size_t>(idx)], std::nullopt, std::nullopt};
         const Range band = item.plan.delta;
         if (!band.empty()) {
             auto attempt = [&] {
@@ -138,6 +155,12 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
     // each band, and only the original banding reproduces the original
     // run's texture — and therefore the restarted slabs — bitwise
     // (Resilience.CheckpointRestartMidRunIsBitwiseIdentical).
+    auto upload_item = [&](const LoadItem& item) {
+        if (item.encoded)
+            bp.upload_band(*item.encoded);
+        else if (item.delta)
+            bp.upload_band(*item.delta);
+    };
     if (resume > 0 && resume < static_cast<index_t>(plans.size())) {
         for (index_t i = 0; i < resume; ++i) {
             LoadItem item = load_one(i);
@@ -146,11 +169,11 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
                 pipeline::ScopedSpan span(tl, "filter", i);
                 filter_item(cfg, engine, parker ? &*parker : nullptr, counts, item);
             }
-            bp.upload_band(*item.delta);
+            upload_item(item);
         }
     }
     auto bp_one = [&](const LoadItem& item) {
-        if (item.delta) bp.upload_band(*item.delta);
+        upload_item(item);
         pipeline::ScopedSpan span(tl, "bp", item.idx);
         return bp.backproject(item.plan);
     };
@@ -190,8 +213,23 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
             if (reduce_one(v)) store_one(v);
         }
     } else {
-        pipeline::BoundedQueue<LoadItem> q0(2), q1(2);
-        pipeline::BoundedQueue<VolItem> q2(2), q3(2);
+        const std::size_t qd = static_cast<std::size_t>(cfg.queue_depth);
+        pipeline::BoundedQueue<LoadItem> q0(qd), q1(qd);
+        pipeline::BoundedQueue<VolItem> q2(qd), q3(qd);
+        // Prefetch double-buffer machinery (cfg.prefetch): qp hands staged
+        // bands to bp; qbuf is the recycle ring returning the staging
+        // buffers.  Seeding qd+1 buffers keeps both ends non-blocking
+        // against each other (bp can always return a buffer; prefetch
+        // only waits when qd+1 stagings are already outstanding), and
+        // recycling them makes the steady state allocation-free once
+        // every buffer has grown to the largest band.
+        std::optional<pipeline::BoundedQueue<BpItem>> qp;
+        std::optional<pipeline::BoundedQueue<std::vector<float>>> qbuf;
+        if (cfg.prefetch) {
+            qp.emplace(qd);
+            qbuf.emplace(qd + 1);
+            for (std::size_t i = 0; i < qd + 1; ++i) qbuf->push(std::vector<float>{});
+        }
 
         // Stage threads inherit the rank tag of the calling (minimpi rank)
         // thread so telemetry attributes their spans to the right rank.
@@ -207,6 +245,8 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
                 q1.close();
                 q2.close();
                 q3.close();
+                if (qp) qp->close();
+                if (qbuf) qbuf->close();
             }
         };
 
@@ -231,12 +271,51 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
                 q1.close();
             });
         });
+        // The prefetch stage overlaps band i+1's staging (row gather; q8
+        // decode + digest verify) with slab i's back-projection — the
+        // host half of Algorithm 3 moves off the bp thread's critical
+        // path, the device copy stays on it.
+        std::optional<std::thread> t_prefetch;
+        if (cfg.prefetch)
+            t_prefetch.emplace([&] {
+                telemetry::set_current_rank(telemetry_rank);
+                guard([&] {
+                    while (auto item = q1.pop()) {
+                        BpItem b{item->idx, item->plan, std::nullopt};
+                        if (item->delta || item->encoded) {
+                            auto storage = qbuf->pop();
+                            if (!storage) break;  // pipeline tearing down
+                            pipeline::ScopedSpan span(tl, "prefetch", item->idx);
+                            b.staged = item->encoded
+                                           ? bp.stage_band(*item->encoded, std::move(*storage))
+                                           : bp.stage_band(*item->delta, std::move(*storage));
+                        }
+                        qp->push(std::move(b));
+                    }
+                    qp->close();
+                });
+            });
         std::thread t_bp([&] {
             telemetry::set_current_rank(telemetry_rank);
             guard([&] {
-                while (auto item = q1.pop()) {
-                    VolItem v{item->idx, item->plan, bp_one(*item)};
-                    q2.push(std::move(v));
+                if (cfg.prefetch) {
+                    while (auto b = qp->pop()) {
+                        if (b->staged) {
+                            bp.commit_band(*b->staged);
+                            qbuf->push(std::move(b->staged->planes));
+                        }
+                        VolItem v{b->idx, b->plan, Volume{}};
+                        {
+                            pipeline::ScopedSpan span(tl, "bp", b->idx);
+                            v.slab = bp.backproject(b->plan);
+                        }
+                        q2.push(std::move(v));
+                    }
+                } else {
+                    while (auto item = q1.pop()) {
+                        VolItem v{item->idx, item->plan, bp_one(*item)};
+                        q2.push(std::move(v));
+                    }
                 }
                 q2.close();
             });
@@ -261,6 +340,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
 
         t_load.join();
         t_filter.join();
+        if (t_prefetch) t_prefetch->join();
         t_bp.join();
         t_store.join();
         error.rethrow_if_set();
@@ -268,6 +348,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
 
     stats.t_load = tl.stage_busy("load");
     stats.t_filter = tl.stage_busy("filter");
+    stats.t_prefetch = tl.stage_busy("prefetch");
     stats.t_bp = tl.stage_busy("bp");
     stats.t_reduce = tl.stage_busy("mpi");
     stats.t_store = tl.stage_busy("store");

@@ -31,6 +31,7 @@
 #include "core/volume.hpp"
 #include "faults/retry.hpp"
 #include "filter/ramp.hpp"
+#include "io/band_codec.hpp"
 #include "pipeline/timeline.hpp"
 #include "recon/source.hpp"
 #include "sim/device.hpp"
@@ -70,6 +71,20 @@ struct RankConfig {
     /// kind=stall fault — throws integrity::DeadlineExceeded, which the
     /// retry layer treats like any other transient fault.
     double watchdog_timeout_s = 0.0;
+    /// Differential band wire format (DESIGN.md §3j).  Raw is
+    /// bitwise-identical to the seed pipeline; Q8 quantises each band
+    /// per-range after filtering, cutting the host->device byte volume
+    /// ~4x at the QuantizedTexture3 ablation's established precision.
+    io::BandCodec band_codec = io::BandCodec::Raw;
+    /// Stage band i+1 (gather + q8 decode, the host half of Algorithm 3)
+    /// on a dedicated thread while slab i back-projects; the device copy
+    /// stays on the bp thread.  Raw results are bitwise-independent of
+    /// this switch.  Only meaningful with threaded = true (the sequential
+    /// path stages and commits back-to-back).
+    bool prefetch = false;
+    /// Inter-stage FIFO capacity (the Fig. 9 queue depth; the perfmodel's
+    /// queue_capacity).  The seed pipeline hard-coded 2.
+    index_t queue_depth = 2;
 };
 
 /// Measured per-rank statistics (stage busy times follow Table 5's
@@ -77,6 +92,7 @@ struct RankConfig {
 struct RankStats {
     double t_load = 0.0;
     double t_filter = 0.0;
+    double t_prefetch = 0.0;  ///< band staging (gather + decode) overlap stage
     double t_bp = 0.0;      ///< kernel time only (T_bp)
     double t_reduce = 0.0;  ///< reducer callable time (T_reduce)
     double t_store = 0.0;
@@ -87,7 +103,7 @@ struct RankStats {
     std::vector<pipeline::StageSpan> spans;  ///< full Fig. 10 timeline
 
     /// Total stage busy time (the numerator of the overlap factor).
-    double busy() const { return t_load + t_filter + t_bp + t_reduce + t_store; }
+    double busy() const { return t_load + t_filter + t_prefetch + t_bp + t_reduce + t_store; }
     /// Overlap efficiency: busy() / wall; > 1 means stages genuinely
     /// overlapped (same definition as pipeline::Timeline::overlap_factor).
     double overlap_factor() const { return wall > 0.0 ? busy() / wall : 0.0; }

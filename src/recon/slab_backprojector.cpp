@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/names.hpp"
+
 namespace xct::recon {
 
 namespace {
@@ -44,30 +46,80 @@ SlabBackprojector::SlabBackprojector(const Config& cfg, const std::vector<SlabPl
 {
 }
 
-void SlabBackprojector::upload_band(const ProjectionStack& band)
+SlabBackprojector::StagedBand SlabBackprojector::stage_band(const ProjectionStack& band,
+                                                            std::vector<float> storage) const
 {
     const index_t views = band.views();
     const index_t nu = band.cols();
     const index_t h = tex_.depth();
+    StagedBand staged;
+    staged.planes = std::move(storage);
+    staged.planes.resize(static_cast<std::size_t>(band.rows() * views * nu));
     index_t v = band.row_begin();
     const index_t v_end = v + band.rows();
-    std::vector<float> buf;
+    std::size_t off = 0;
     while (v < v_end) {
         index_t depth = (v - origin_) % h;
         if (depth < 0) depth += h;
         const index_t run = std::min(v_end - v, h - depth);
-        buf.resize(static_cast<std::size_t>(run * views * nu));
         for (index_t r = 0; r < run; ++r)
             for (index_t s = 0; s < views; ++s) {
                 const auto row = band.row(s, v + r);
                 std::copy(row.begin(), row.end(),
-                          buf.begin() + static_cast<std::ptrdiff_t>((r * views + s) * nu));
+                          staged.planes.begin() +
+                              static_cast<std::ptrdiff_t>(off + static_cast<std::size_t>(
+                                                                    (r * views + s) * nu)));
             }
-        tex_.copy_planes(std::span<const float>(buf.data(),
-                                                static_cast<std::size_t>(run * views * nu)),
-                         depth, run);
+        staged.segments.push_back(StagedBand::Segment{depth, run});
+        off += static_cast<std::size_t>(run * views * nu);
         v += run;
     }
+    return staged;
+}
+
+SlabBackprojector::StagedBand SlabBackprojector::stage_band(const io::EncodedBand& e,
+                                                            std::vector<float> storage) const
+{
+    // A transit bit-flip surfaces as IntegrityError (a TransientError);
+    // the source EncodedBand is intact, so a retried decode recovers.
+    auto attempt = [&] { return io::decode_band(e); };
+    const ProjectionStack band =
+        cfg_.retry ? faults::with_retry(names::kSiteBandDecode, *cfg_.retry, attempt)
+                   : attempt();
+    StagedBand staged = stage_band(band, std::move(storage));
+    staged.wire_bytes = e.wire_bytes();
+    return staged;
+}
+
+void SlabBackprojector::commit_band(const StagedBand& staged)
+{
+    const index_t plane = tex_.width() * tex_.height();
+    const std::size_t total = staged.planes.size();
+    std::size_t off = 0;
+    for (const StagedBand::Segment& seg : staged.segments) {
+        const std::size_t n = static_cast<std::size_t>(seg.nplanes * plane);
+        const auto src = std::span<const float>(staged.planes.data() + off, n);
+        if (staged.wire_bytes == 0) {
+            tex_.copy_planes(src, seg.depth, seg.nplanes);
+        } else {
+            // Bill each segment its proportional share of the wire bytes;
+            // prefix differencing makes the shares sum exactly.
+            const std::size_t w0 = staged.wire_bytes * off / total;
+            const std::size_t w1 = staged.wire_bytes * (off + n) / total;
+            tex_.copy_planes_wire(src, seg.depth, seg.nplanes, w1 - w0);
+        }
+        off += n;
+    }
+}
+
+void SlabBackprojector::upload_band(const ProjectionStack& band)
+{
+    commit_band(stage_band(band));
+}
+
+void SlabBackprojector::upload_band(const io::EncodedBand& e)
+{
+    commit_band(stage_band(e));
 }
 
 Volume SlabBackprojector::backproject(const SlabPlan& plan)

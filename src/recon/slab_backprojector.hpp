@@ -19,6 +19,7 @@
 #include "core/geometry.hpp"
 #include "core/volume.hpp"
 #include "faults/retry.hpp"
+#include "io/band_codec.hpp"
 #include "recon/source.hpp"
 #include "sim/device.hpp"
 
@@ -43,9 +44,49 @@ public:
     /// Convenience: derive h/origin/max_slab from a full slab schedule.
     SlabBackprojector(const Config& cfg, const std::vector<SlabPlan>& plans);
 
+    /// A band gathered into upload-ready plane order: the host-side half
+    /// of Algorithm 3, split from the device copy so the prefetch stage
+    /// can run it for band i+1 while band i's slab back-projects.
+    /// `planes` holds the wrap-split segments concatenated (each segment
+    /// is nplanes contiguous height*width planes); the buffer is plain
+    /// storage the pipeline recycles through its double-buffer ring.
+    struct StagedBand {
+        struct Segment {
+            index_t depth = 0;    ///< circular texture depth of the first plane
+            index_t nplanes = 0;  ///< consecutive planes in this run
+        };
+        std::vector<Segment> segments;
+        std::vector<float> planes;
+        /// Bytes this band moved over the wire before staging (q8 payload
+        /// + header); 0 means raw fp32 — commit bills texel bytes.
+        std::size_t wire_bytes = 0;
+    };
+
+    /// Gather `band` into upload order (Algorithm 3 lines 10-15: circular
+    /// depth addressing, wrap-split runs).  Pure host-side work — no
+    /// device traffic, no fault gates — so commit_band(stage_band(b)) is
+    /// bitwise-identical to the historical one-shot upload_band(b).
+    /// `storage` is recycled as the staging buffer (resized as needed).
+    StagedBand stage_band(const ProjectionStack& band, std::vector<float> storage = {}) const;
+
+    /// Decode a q8 band (site "band.decode", digest-verified, retried
+    /// under the configured policy) and gather it.  wire_bytes is set so
+    /// commit bills the compressed transport, not fp32 texels.
+    StagedBand stage_band(const io::EncodedBand& e, std::vector<float> storage = {}) const;
+
+    /// Device half: copy the staged segments into the circular texture
+    /// (the simulated cudaMemcpy3D calls, fault-gated + digest-verified
+    /// at "sim.h2d").
+    void commit_band(const StagedBand& staged);
+
     /// Algorithm 3: copy a (differential) row band into circular depth
     /// positions, splitting runs that would wrap (lines 10-15).
+    /// Equivalent to commit_band(stage_band(band)).
     void upload_band(const ProjectionStack& band);
+
+    /// q8 transport path: decode + gather + upload.  Same texture state as
+    /// upload_band(decode_band(e)) but billed at wire bytes.
+    void upload_band(const io::EncodedBand& e);
 
     /// Back-project one slab from the resident texture rows and model the
     /// sub-volume device->host move (Table 5's T_D2H).

@@ -149,6 +149,12 @@ Texture3::Texture3(Texture3&& o) noexcept
 
 void Texture3::copy_planes(std::span<const float> src, index_t depth_begin, index_t nplanes)
 {
+    copy_planes_wire(src, depth_begin, nplanes, src.size() * sizeof(float));
+}
+
+void Texture3::copy_planes_wire(std::span<const float> src, index_t depth_begin, index_t nplanes,
+                                std::size_t wire_bytes)
+{
     const index_t plane = width_ * height_;
     require(nplanes > 0 && depth_begin >= 0 && depth_begin + nplanes <= depth_,
             "Texture3::copy_planes: depth range out of bounds (wrapped copies must be split)");
@@ -163,7 +169,7 @@ void Texture3::copy_planes(std::span<const float> src, index_t depth_begin, inde
         faults::corrupt(names::kSiteSimH2d, std::as_writable_bytes(dst));
         integrity::verify_of<float>(names::kSiteSimH2d, dst, src_digest);
     });
-    dev_->account_h2d(src.size() * sizeof(float));
+    dev_->account_h2d(wire_bytes);
 }
 
 QuantizedTexture3::QuantizedTexture3(Device& dev, index_t width, index_t height, index_t depth,

@@ -178,6 +178,14 @@ public:
     /// into two calls).  `src` holds the planes contiguously.
     void copy_planes(std::span<const float> src, index_t depth_begin, index_t nplanes);
 
+    /// copy_planes with explicit link accounting: the q8 band transport
+    /// ships `wire_bytes` over the host->device hop for these planes (one
+    /// byte per texel plus a header share), not the fp32 texel bytes the
+    /// default path bills.  Fault gate / digest / verify structure is
+    /// identical to copy_planes — only account_h2d's argument differs.
+    void copy_planes_wire(std::span<const float> src, index_t depth_begin, index_t nplanes,
+                          std::size_t wire_bytes);
+
     /// Integer fetch with clamp on x/y and circular z (see class comment).
     float fetch(index_t x, index_t y, index_t z) const
     {

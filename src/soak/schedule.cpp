@@ -45,8 +45,9 @@ const std::vector<std::string>& evaluation_datasets()
 const std::vector<const char*>& corrupt_sites()
 {
     static const std::vector<const char*> sites = {
-        names::kSiteSourceLoad, names::kSitePfsLoad, names::kSitePfsStore,
-        names::kSiteSimH2d,     names::kSiteSimD2h,  names::kSiteMinimpiReduceSum,
+        names::kSiteSourceLoad, names::kSitePfsLoad,  names::kSitePfsStore,
+        names::kSiteSimH2d,     names::kSiteSimD2h,   names::kSiteMinimpiReduceSum,
+        names::kSiteBandDecode,
     };
     return sites;
 }

@@ -9,6 +9,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "autotune/calibrate.hpp"
+#include "autotune/planner.hpp"
 #include "core/names.hpp"
 #include "integrity/integrity.hpp"
 #include "io/datasets.hpp"
@@ -29,7 +31,9 @@ index_t stage_of(const std::string& site)
     if (site == names::kSiteSourceLoad || site == names::kSitePfsLoad ||
         site == names::kSiteRankStall)
         return 0;  // load
-    if (site == names::kSiteSimH2d || site == names::kSiteSimD2h) return 2;  // bp owns transfers
+    if (site == names::kSiteSimH2d || site == names::kSiteSimD2h ||
+        site == names::kSiteBandDecode)
+        return 2;  // bp owns transfers and band decode
     if (site == names::kSiteMinimpiReduceSum) return 3;                      // reduce
     if (site == names::kSitePfsStore) return 4;                              // store
     return 0;
@@ -126,8 +130,11 @@ bool bitwise_equal(const Volume& a, const Volume& b)
 
 /// The live tier: one clean and one chaos-faulted reconstruct_distributed
 /// run of a small evaluation-dataset job on real minimpi pipelines;
-/// returns bitwise equality of the recovered volume.
-bool run_live_job(const SoakConfig& cfg, std::uint64_t seed, double* wall_s)
+/// returns bitwise equality of the recovered volume.  When `cal` is
+/// non-null, the clean run's measured per-rank stage times are fed back
+/// into the calibrator — the substrate-drift loop of DESIGN.md §3j.
+bool run_live_job(const SoakConfig& cfg, std::uint64_t seed, double* wall_s,
+                  autotune::Calibrator* cal)
 {
     const io::Dataset ds =
         io::dataset_by_name(
@@ -145,6 +152,29 @@ bool run_live_job(const SoakConfig& cfg, std::uint64_t seed, double* wall_s)
 
     const auto t0 = clock_t_::now();
     const recon::DistributedResult clean = recon::reconstruct_distributed(dcfg, factory);
+
+    if (cal) {
+        perfmodel::RunConfig rc;
+        rc.geometry = g;
+        rc.layout = dcfg.layout;
+        rc.batches = dcfg.batches;
+        std::vector<autotune::MeasuredRank> measured;
+        measured.reserve(clean.ranks.size());
+        for (std::size_t i = 0; i < clean.ranks.size(); ++i) {
+            const recon::RankStats& rs = clean.ranks[i];
+            autotune::MeasuredRank mr;
+            mr.rank_index = static_cast<index_t>(i);
+            mr.load_s = rs.t_load;
+            mr.filter_s = rs.t_filter;
+            mr.bp_s = rs.t_bp;
+            mr.h2d_bytes = rs.h2d.bytes;
+            mr.h2d_s = rs.h2d.seconds;
+            mr.d2h_bytes = rs.d2h.bytes;
+            mr.d2h_s = rs.d2h.seconds;
+            measured.push_back(mr);
+        }
+        cal->observe_run(rc, measured);
+    }
 
     // The chaos twin: one corruption on each of the three bulk-movement
     // classes (pinned to live ranks 0..2 so the stalled rank 3, declared
@@ -243,6 +273,28 @@ SoakSummary run(const SoakConfig& cfg)
         rc.geometry = ds.geometry;
         rc.layout = job.layout;
         rc.batches = job.batches;
+        index_t ranks_used = job.nranks();
+        index_t queue_depth = cfg.queue_capacity;
+        if (cfg.autotune) {
+            // Plan on the *fixed* event-tier machine so the schedule stays
+            // seed-deterministic; the job's own shape rides along as
+            // must_score, so the pick is never slower than it.
+            autotune::JobShape shape;
+            shape.geometry = ds.geometry;
+            shape.rank_budget = job.nranks();
+            shape.device_capacity = cfg.device_capacity;
+            const autotune::Candidate fixed{job.layout, job.batches, cfg.queue_capacity};
+            try {
+                const autotune::Plan plan = autotune::plan_job(shape, cfg.machine, {fixed});
+                rc.layout = plan.layout;
+                rc.batches = plan.batches;
+                ranks_used = plan.layout.nranks();
+                queue_depth = plan.queue_depth;
+            } catch (const std::invalid_argument&) {
+                // Nothing fits the device budget — keep the fixed shape,
+                // exactly as a non-autotuned fleet would.
+            }
+        }
         const auto bt = perfmodel::batch_times(rc, cfg.machine);
 
         // Fold every planned fault into event-sim perturbations.
@@ -281,13 +333,14 @@ SoakSummary run(const SoakConfig& cfg)
         // The injection / detection / recovery machinery runs for real.
         if (!replay_corruptions(job, &jr.injected, &jr.detected)) jr.state = JobState::Wedged;
 
-        jr.latency_s = perfmodel::simulate_faulted(rc, cfg.machine, events, cfg.queue_capacity)
+        jr.latency_s = perfmodel::simulate_faulted(rc, cfg.machine, events, queue_depth)
                            .runtime;
         jr.bound_s = perfmodel::tail_latency_bound(rc, cfg.machine, fault_delay, cfg.p99_slack,
-                                                   cfg.queue_capacity);
+                                                   queue_depth);
 
-        // Place the job on the earliest-free ranks of the fleet.
-        const std::size_t k = static_cast<std::size_t>(job.nranks());
+        // Place the job on the earliest-free ranks of the fleet (the
+        // planner may have shrunk the job below its scheduled rank ask).
+        const std::size_t k = static_cast<std::size_t>(ranks_used);
         std::iota(order.begin(), order.end(), std::size_t{0});
         std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
                          [&](std::size_t a, std::size_t b) { return free_at[a] < free_at[b]; });
@@ -318,13 +371,21 @@ SoakSummary run(const SoakConfig& cfg)
     s.latency_p99_s = sorted_quantile(latencies, 0.99);
     s.p99_vs_predicted = sorted_quantile(ratios, 0.99);
 
+    s.autotuned = cfg.autotune;
+
     // Live tier: the anchor that the modelled recovery above corresponds
     // to real pipelines surviving the same fault classes.
+    autotune::Calibrator cal;
     if (cfg.live) {
         s.live_jobs = 1;
-        s.live_bitwise_identical = run_live_job(cfg, cfg.schedule.seed, &s.live_wall_s);
+        s.live_bitwise_identical = run_live_job(cfg, cfg.schedule.seed, &s.live_wall_s,
+                                                cfg.calibrate ? &cal : nullptr);
     } else {
         s.live_bitwise_identical = true;  // vacuous: nothing to compare
+    }
+    if (cfg.calibrate && cal.samples() > 0) {
+        s.calibrated = true;
+        s.calibrated_machine = cal.fit(cfg.machine);
     }
 
     // Settle the per-site twin counters.
@@ -398,6 +459,7 @@ std::string deterministic_json(const SoakSummary& s)
     os << ", \"p99_vs_predicted\": " << num(s.p99_vs_predicted);
     os << ", \"live_jobs\": " << s.live_jobs;
     os << ", \"live_bitwise_identical\": " << (s.live_bitwise_identical ? 1 : 0);
+    os << ", \"autotuned\": " << (s.autotuned ? 1 : 0);
     os << "}";
     return os.str();
 }
@@ -406,8 +468,20 @@ void write_bench_json(const std::string& path, const SoakSummary& s, bool fresh)
 {
     // Same merge discipline as bench/bench_common.hpp write_json_section
     // (soak sits in src/ and cannot include the bench tree).
-    const std::string wall = "\"soak_wall\": {\"harness_seconds\": " + num(s.harness_wall_s) +
-                             ", \"live_seconds\": " + num(s.live_wall_s) + "}";
+    std::string wall = "\"soak_wall\": {\"harness_seconds\": " + num(s.harness_wall_s) +
+                       ", \"live_seconds\": " + num(s.live_wall_s) + "}";
+    if (s.calibrated) {
+        // Live-tier-fitted machine params are host readings, so they sit
+        // with the wall-clock books, outside the replay compare.
+        const perfmodel::MachineParams& m = s.calibrated_machine;
+        wall += ",\n  \"soak_machine\": {\"bw_load_gbps\": " + num(m.bw_load_gbps) +
+                ", \"bw_store_gbps\": " + num(m.bw_store_gbps) +
+                ", \"th_flt_geps\": " + num(m.th_flt_geps) +
+                ", \"th_bp_gups\": " + num(m.th_bp_gups) +
+                ", \"th_reduce_gbps\": " + num(m.th_reduce_gbps) +
+                ", \"bw_h2d_gbps\": " + num(m.bw_h2d_gbps) +
+                ", \"bw_d2h_gbps\": " + num(m.bw_d2h_gbps) + "}";
+    }
     const std::string body = deterministic_json(s) + ",\n  " + wall;
 
     std::string content;

@@ -57,6 +57,18 @@ struct SoakConfig {
     /// Machine parameters for the event tier.  Fixed (never measured) so
     /// the virtual-time summary is reproducible across hosts.
     perfmodel::MachineParams machine = perfmodel::MachineParams::abci_v100();
+    /// Plan each job's decomposition with autotune::plan_job instead of
+    /// taking the schedule's fixed layout/batches.  The fixed choice is
+    /// always scored too (must_score), so the planned fleet throughput is
+    /// never worse.  Deterministic: planning prices candidates on
+    /// `machine` above, never on measurements.
+    bool autotune = false;
+    /// Per-rank device budget the planner's feasibility check uses.
+    std::size_t device_capacity = 512u << 20;
+    /// Fit MachineParams from the live tier's measured per-rank stage
+    /// times (autotune::Calibrator) and report them in the wall-clock
+    /// section — never in the replay-compared `soak` section.
+    bool calibrate = false;
 };
 
 /// Terminal state of one job; the harness guarantees there is no fourth
@@ -102,12 +114,18 @@ struct SoakSummary {
     double p99_vs_predicted = 0.0;  ///< p99 of latency/bound ratios (<= 1)
     index_t live_jobs = 0;
     bool live_bitwise_identical = false;  ///< true when live tier off
+    bool autotuned = false;               ///< jobs ran on planner-chosen shapes
     std::vector<JobResult> job_results;
 
     // Wall-clock fields — the `soak_wall` JSON section, excluded from
     // replay comparison.
     double harness_wall_s = 0.0;
     double live_wall_s = 0.0;
+    /// Machine parameters fitted from the live tier's measured rank stats
+    /// (SoakConfig::calibrate); host-dependent, so they live in the
+    /// wall-clock books (`soak_machine` section).
+    bool calibrated = false;
+    perfmodel::MachineParams calibrated_machine{};
 };
 
 /// Drive the schedule through both tiers and aggregate the summary.

@@ -1,7 +1,7 @@
-// Bench-gate tests: BENCH JSON parsing, glob classification, the four
-// metric classes (exact / higher-better / lower-better / cap), missing
-// and novel metrics, tolerance scaling, and the default rule table
-// against realistic section names.
+// Bench-gate tests: BENCH JSON parsing, glob classification, the five
+// metric classes (exact / higher-better / lower-better / cap / floor),
+// missing and novel metrics, tolerance scaling, and the default rule
+// table against realistic section names.
 #include <gtest/gtest.h>
 
 #include "gate.hpp"
@@ -121,6 +121,70 @@ TEST(BenchGate, CapIsAbsoluteNotRelative)
     // ...but crossing the cap fails even if the baseline had been high.
     cur["flight"]["overhead_percent"].number = 2.5;
     EXPECT_FALSE(compare(doc(kBaseline), cur, default_rules()).pass);
+}
+
+TEST(BenchGate, FloorIsAbsoluteNotRelative)
+{
+    // The q8 PSNR holds an absolute quality floor: sitting anywhere above
+    // it passes regardless of the baseline value...
+    const char* base = R"({"transport": {"q8_psnr_db": 57.0}})";
+    Doc cur = doc(base);
+    cur["transport"]["q8_psnr_db"].number = 41.0;
+    EXPECT_TRUE(compare(doc(base), cur, default_rules()).pass);
+    // ...and dropping below fails even when the baseline was lower still.
+    cur["transport"]["q8_psnr_db"].number = 39.5;
+    EXPECT_FALSE(compare(doc(base), cur, default_rules()).pass);
+    // Floors, like caps, ignore the tolerance scale.
+    EXPECT_FALSE(compare(doc(base), cur, default_rules(), 10.0).pass);
+}
+
+TEST(BenchGate, TransportAndAutotuneRulesOutrankTheByteGlobs)
+{
+    // The q8 ratio metrics must hit their Cap/Floor rules, not the broad
+    // '*bytes*' Exact glob; the byte counts themselves gate lower-better
+    // (compression may only improve).
+    const char* base = R"({
+      "transport": {
+        "h2d_bytes": 1048576,
+        "h2d_bytes_q8": 262144,
+        "q8_bytes_over_raw": 0.25,
+        "q8_psnr_db": 57.0,
+        "q8_max_err_vs_bound": 0.9
+      },
+      "autotune": {
+        "picked_ng": 2,
+        "candidates_scored": 301,
+        "planned_over_fixed_runtime": 0.24,
+        "jobs_per_hour": 4.0e6
+      }
+    })";
+    EXPECT_TRUE(compare(doc(base), doc(base), default_rules()).pass);
+
+    Doc cur = doc(base);
+    cur["transport"]["h2d_bytes_q8"].number = 200000.0;  // fewer bytes is fine
+    EXPECT_TRUE(compare(doc(base), cur, default_rules()).pass);
+    cur["transport"]["h2d_bytes_q8"].number = 400000.0;  // compression regressed
+    EXPECT_FALSE(compare(doc(base), cur, default_rules()).pass);
+
+    cur = doc(base);
+    cur["transport"]["q8_bytes_over_raw"].number = 0.4;  // above the 1/3 bar
+    EXPECT_FALSE(compare(doc(base), cur, default_rules()).pass);
+
+    cur = doc(base);
+    cur["transport"]["q8_max_err_vs_bound"].number = 1.04;  // bound violated
+    EXPECT_FALSE(compare(doc(base), cur, default_rules()).pass);
+
+    cur = doc(base);
+    cur["autotune"]["planned_over_fixed_runtime"].number = 1.1;  // worse than fixed
+    EXPECT_FALSE(compare(doc(base), cur, default_rules()).pass);
+
+    cur = doc(base);
+    cur["autotune"]["picked_ng"].number = 4.0;  // deterministic pick drifted
+    EXPECT_FALSE(compare(doc(base), cur, default_rules()).pass);
+
+    cur = doc(base);
+    cur["autotune"]["jobs_per_hour"].number = 1.0e6;  // throughput collapse
+    EXPECT_FALSE(compare(doc(base), cur, default_rules()).pass);
 }
 
 TEST(BenchGate, MissingMetricFailsAndNewMetricIsANote)

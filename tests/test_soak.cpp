@@ -111,6 +111,25 @@ TEST(SoakSchedule, PlanMirrorsThePlannedFaults)
     }
 }
 
+TEST(SoakSchedule, CorruptSitePoolCoversTheBandDecodeGate)
+{
+    // The q8 codec added a digested movement; the soak must be able to
+    // attack it like every other gated site.
+    const auto& sites = corrupt_sites();
+    EXPECT_EQ(sites.size(), 7u);
+    bool has_band = false;
+    for (const char* s : sites) has_band |= std::string(s) == names::kSiteBandDecode;
+    EXPECT_TRUE(has_band);
+    // And the generator actually draws it.
+    ScheduleConfig cfg = small_schedule();
+    cfg.fleet_ranks = 256;
+    cfg.epochs = 4;
+    bool drawn = false;
+    for (const JobSpec& job : make_schedule(cfg))
+        for (const PlannedFault& f : job.faults) drawn |= f.site == names::kSiteBandDecode;
+    EXPECT_TRUE(drawn);
+}
+
 TEST(SoakSchedule, RejectsInvalidConfigs)
 {
     ScheduleConfig cfg = small_schedule();
@@ -266,6 +285,57 @@ TEST(SoakRun, InvariantCheckerFlagsEachBreach)
     bad = s;
     bad.injected = bad.detected = 0;  // a soak that injected nothing proves nothing
     EXPECT_FALSE(check_invariants(bad).empty());
+}
+
+TEST(SoakRun, AutotunedScheduleNeverLosesThroughputAndStaysDeterministic)
+{
+    // Planning on the fixed pricing machine with the job's own shape
+    // must_scored guarantees planned latency <= fixed latency per job, so
+    // the fleet's virtual throughput may only improve.
+    const SoakSummary fixed = run(event_config(3));
+    SoakConfig tuned_cfg = event_config(3);
+    tuned_cfg.autotune = true;
+    const SoakSummary tuned = run(tuned_cfg);
+    EXPECT_GE(tuned.jobs_per_hour, fixed.jobs_per_hour);
+    EXPECT_TRUE(check_invariants(tuned).empty()) << deterministic_json(tuned);
+    // Replay determinism survives the planner, and the flag is part of
+    // the replay-compared section so a soak cannot silently change mode.
+    EXPECT_EQ(deterministic_json(tuned), deterministic_json(run(tuned_cfg)));
+    EXPECT_NE(deterministic_json(tuned).find("\"autotuned\": 1"), std::string::npos);
+    EXPECT_NE(deterministic_json(fixed).find("\"autotuned\": 0"), std::string::npos);
+}
+
+TEST(SoakRun, CalibrationNeedsTheLiveTier)
+{
+    // The event tier is virtual time — there is nothing to measure.  A
+    // calibrate request without live jobs yields no calibrated machine.
+    SoakConfig cfg = event_config();
+    cfg.calibrate = true;
+    const SoakSummary s = run(cfg);
+    EXPECT_FALSE(s.calibrated);
+}
+
+TEST(SoakRun, LiveCalibrationFitsAMachineIntoTheWallSection)
+{
+    SoakConfig cfg = event_config(9);
+    cfg.schedule.epochs = 1;
+    cfg.live = true;
+    cfg.calibrate = true;
+    const SoakSummary s = run(cfg);
+    ASSERT_TRUE(s.calibrated);
+    EXPECT_GT(s.calibrated_machine.th_bp_gups, 0.0);
+    EXPECT_GT(s.calibrated_machine.bw_h2d_gbps, 0.0);
+    // Calibration is wall-clock-derived, so it lives in the soak_wall
+    // section, never in the replay-compared one.
+    const std::filesystem::path tmp =
+        std::filesystem::temp_directory_path() / "xct_soak_cal_test.json";
+    write_bench_json(tmp.string(), s, /*fresh=*/true);
+    std::stringstream out;
+    out << std::ifstream(tmp).rdbuf();
+    EXPECT_NE(out.str().find("\"soak_machine\": {"), std::string::npos);
+    EXPECT_NE(out.str().find("\"th_bp_gups\""), std::string::npos);
+    EXPECT_EQ(deterministic_json(s).find("soak_machine"), std::string::npos);
+    std::filesystem::remove(tmp);
 }
 
 TEST(SoakRun, BenchJsonWritesFreshAndMergesOnAppend)

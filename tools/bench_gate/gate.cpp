@@ -166,6 +166,22 @@ std::vector<Rule> default_rules()
         Rule{"*.simd_lanes", Class::Exact, 0.0, 0.0},
         Rule{"*.padded_len", Class::Exact, 0.0, 0.0},
         Rule{"fft.n", Class::Exact, 0.0, 0.0},
+        // q8 band transport + autotune (DESIGN.md §3j).  These must sit
+        // before the broad '*bytes*' Exact glob: the transport byte
+        // counts gate lower-better (compression may only improve), the
+        // compression ratio is capped at the acceptance bar (<= 1/3 of
+        // raw), the quantisation quality holds an absolute PSNR floor,
+        // and the planner may never pick worse than the fixed CLI shape
+        // it scored alongside (ratio cap at 1).  The planner's picks and
+        // candidate count are deterministic on the fixed bench machine.
+        Rule{"transport.q8_bytes_over_raw", Class::Cap, 0.0, 1.0 / 3.0},
+        Rule{"transport.q8_psnr_db", Class::Floor, 0.0, 0.0, 40.0},
+        Rule{"transport.q8_max_err_vs_bound", Class::Cap, 0.0, 1.0},
+        Rule{"transport.*bytes*", Class::LowerBetter, 0.0, 0.0},
+        Rule{"autotune.planned_over_fixed_runtime", Class::Cap, 0.0, 1.0},
+        Rule{"autotune.jobs_per_hour", Class::HigherBetter, 0.0, 0.0},
+        Rule{"autotune.picked_*", Class::Exact, 0.0, 0.0},
+        Rule{"autotune.candidates_scored", Class::Exact, 0.0, 0.0},
         Rule{"*bytes*", Class::Exact, 0.0, 0.0},
         Rule{"*.spans", Class::Exact, 0.0, 0.0},
         // Soak invariants (tools/xct_soak): detection ratio, wedged-job
@@ -178,6 +194,7 @@ std::vector<Rule> default_rules()
         Rule{"soak.sites_match", Class::Exact, 0.0, 0.0},
         Rule{"soak.wedged_jobs", Class::Exact, 0.0, 0.0},
         Rule{"soak.live_bitwise_identical", Class::Exact, 0.0, 0.0},
+        Rule{"soak.autotuned", Class::Exact, 0.0, 0.0},
         Rule{"soak.p99_vs_predicted", Class::Cap, 0.0, 1.0},
         Rule{"soak.jobs_per_hour", Class::HigherBetter, 0.60, 0.0},
         Rule{"soak.latency_*", Class::LowerBetter, 1.50, 0.0},
@@ -258,6 +275,13 @@ GateResult compare(const Doc& baseline, const Doc& current, const std::vector<Ru
                 const bool ok = cur->number <= rule->cap;
                 std::snprintf(buf, sizeof(buf), "%.8g %s cap %.8g", cur->number,
                               ok ? "within" : "EXCEEDS", rule->cap);
+                add(r, metric, !ok, buf);
+                continue;
+            }
+            if (rule->cls == Class::Floor) {
+                const bool ok = cur->number >= rule->floor;
+                std::snprintf(buf, sizeof(buf), "%.8g %s floor %.8g", cur->number,
+                              ok ? "above" : "BELOW", rule->floor);
                 add(r, metric, !ok, buf);
                 continue;
             }

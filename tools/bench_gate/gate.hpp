@@ -13,7 +13,10 @@
 //   * LowerBetter  — latencies and runtimes: fail when current >
 //                    baseline * (1 + tolerance);
 //   * Cap          — absolute ceilings independent of the baseline
-//                    (overhead percentages): fail when current > cap.
+//                    (overhead percentages): fail when current > cap;
+//   * Floor        — absolute floors independent of the baseline
+//                    (quality bars like the q8 PSNR): fail when
+//                    current < floor.
 //
 // Tolerances are deliberately generous for absolute throughputs (CI
 // machines differ from the machine that produced the baseline) and
@@ -49,6 +52,7 @@ enum class Class {
     HigherBetter,
     LowerBetter,
     Cap,
+    Floor,
 };
 
 /// One gate rule: a '*'-glob over the full "section.key" metric name.
@@ -57,6 +61,7 @@ struct Rule {
     Class cls = Class::Exact;
     double tolerance = 0.0;  ///< fractional, for HigherBetter/LowerBetter
     double cap = 0.0;        ///< absolute ceiling, for Cap
+    double floor = 0.0;      ///< absolute floor, for Floor
 };
 
 /// The repo's metric classes (documented above; first match wins).

@@ -38,6 +38,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "autotune/calibrate.hpp"
+#include "autotune/planner.hpp"
 #include "cli.hpp"
 #include "faults/fault.hpp"
 #include "integrity/integrity.hpp"
@@ -61,6 +63,13 @@ int main(int argc, char** argv)
         .option("device-mib", "512", "per-rank device memory budget [MiB]")
         .option("groups", "1", "Ng: number of rank groups (output split)")
         .option("ranks", "1", "Nr: ranks per group (view split)")
+        .option("band-codec", "raw",
+                "differential band wire format: raw (bitwise seed path) | q8")
+        .option("queue-depth", "2", "inter-stage FIFO capacity of every rank's pipeline")
+        .option("machine", "", "machine-params JSON for --autotune (default: measure locally)")
+        .option("machine-out", "", "write the resolved machine params JSON here")
+        .option("calibrate-bench", "",
+                "seed the local machine params from this BENCH_*.json (micro-kernel rates)")
         .option("slices", "", "ROI: only reconstruct slices a:b (single rank only)")
         .option("slice-pgm", "", "optional PGM preview of the central slice")
         .option("trace", "", "write a Chrome/Perfetto trace-event JSON of the run")
@@ -76,6 +85,12 @@ int main(int argc, char** argv)
                 "stage deadline in seconds (0 = off); overruns become transient faults")
         .flag("integrity", "verify xxh64 digests on every bulk data movement")
         .flag("degraded", "survive rank dropouts via the degraded-mode reduce")
+        .flag("autotune",
+              "replace --groups/--ranks/--batches/--queue-depth with the model-driven "
+              "planner's pick (their product caps the rank budget; the CLI choice is "
+              "always scored too)")
+        .flag("prefetch", "double-buffer band staging: overlap band i+1's gather/decode "
+                          "with slab i's back-projection")
         .flag("sequential", "disable the 5-thread pipeline (debugging)");
     args.parse(argc, argv, "FDK cone-beam reconstruction");
 
@@ -89,6 +104,17 @@ int main(int argc, char** argv)
         retry.emplace();
         retry->max_attempts = args.get_int("retry");
     }
+
+    // Decomposition knobs; --autotune below may overwrite them with the
+    // planner's pick once the geometry is known.
+    index_t ng = args.get_int("groups");
+    index_t nr = args.get_int("ranks");
+    index_t batches = args.get_int("batches");
+    index_t queue_depth = args.get_int("queue-depth");
+    const io::BandCodec codec = io::band_codec_from_name(args.get("band-codec"));
+    const bool prefetch = args.get_flag("prefetch");
+    const std::size_t device_capacity = static_cast<std::size_t>(args.get_int("device-mib"))
+                                        << 20;
 
     // Arm the always-on flight recorder's post-mortem path before any
     // work: watchdog trips, integrity detections and fatal signals dump
@@ -126,12 +152,12 @@ int main(int argc, char** argv)
 
     // Perfmodel-anchored run report: join the measured per-rank timings
     // with the Eq. 13-17 projection, calibrated on this machine.
-    const auto write_report = [&args](const CbctGeometry& geom, index_t groups, index_t ranks,
-                                      const std::vector<telemetry::report::RankTimings>& ts) {
+    const auto write_report = [&](const CbctGeometry& geom, index_t groups, index_t ranks,
+                                  const std::vector<telemetry::report::RankTimings>& ts) {
         perfmodel::RunConfig rcfg;
         rcfg.geometry = geom;
         rcfg.layout = GroupLayout{groups, ranks};
-        rcfg.batches = args.get_int("batches");
+        rcfg.batches = batches;
         perfmodel::MachineParams base;
         base.bw_h2d_gbps = 12.0;  // the RankConfig PCIe model defaults
         base.bw_d2h_gbps = 12.0;
@@ -166,8 +192,41 @@ int main(int argc, char** argv)
     require(stack.views() == g.num_proj && stack.cols() == g.nu,
             "xct_recon: stack does not match its geometry sidecar");
 
-    const index_t ng = args.get_int("groups");
-    const index_t nr = args.get_int("ranks");
+    if (args.get_flag("autotune") || args.is_set("machine-out")) {
+        perfmodel::MachineParams machine;
+        if (args.is_set("machine")) {
+            machine = autotune::read_machine_json(args.get("machine"));
+        } else {
+            perfmodel::MachineParams base;
+            base.bw_h2d_gbps = 12.0;  // the RankConfig PCIe model defaults
+            base.bw_d2h_gbps = 12.0;
+            machine = perfmodel::measure_local(base);
+            if (args.is_set("calibrate-bench")) {
+                autotune::Calibrator cal;
+                cal.observe_bench_file(args.get("calibrate-bench"));
+                machine = cal.fit(machine);
+            }
+        }
+        if (args.is_set("machine-out")) {
+            autotune::write_machine_json(args.get("machine-out"), machine);
+            std::printf("wrote %s (machine params)\n", args.get("machine-out").c_str());
+        }
+        if (args.get_flag("autotune")) {
+            autotune::JobShape shape;
+            shape.geometry = g;
+            shape.rank_budget = ng * nr;
+            shape.device_capacity = device_capacity;
+            shape.codec = codec;
+            const autotune::Candidate fixed{GroupLayout{ng, nr}, batches, queue_depth};
+            const autotune::Plan plan = autotune::plan_job(shape, machine, {fixed});
+            std::printf("autotune: %s\n", autotune::plan_summary(plan).c_str());
+            ng = plan.layout.num_groups;
+            nr = plan.layout.ranks_per_group;
+            batches = plan.batches;
+            queue_depth = plan.queue_depth;
+        }
+    }
+
     std::printf("reconstructing %lld^3 from %lld views (%s window, Ng=%lld Nr=%lld)\n",
                 static_cast<long long>(g.vol.x), static_cast<long long>(g.num_proj),
                 args.get("window").c_str(), static_cast<long long>(ng),
@@ -183,9 +242,12 @@ int main(int argc, char** argv)
         recon::RankConfig cfg;
         cfg.geometry = g;
         cfg.window = filter::window_from_name(args.get("window"));
-        cfg.batches = args.get_int("batches");
-        cfg.device_capacity = static_cast<std::size_t>(args.get_int("device-mib")) << 20;
+        cfg.batches = batches;
+        cfg.device_capacity = device_capacity;
         cfg.threaded = !args.get_flag("sequential");
+        cfg.band_codec = codec;
+        cfg.prefetch = prefetch;
+        cfg.queue_depth = queue_depth;
         if (gf.raw_counts) cfg.beer = gf.beer;
         const recon::FdkResult r = recon::reconstruct_fdk_slices(cfg, src, Range{lo, hi});
         io::write_volume(args.get("output"), r.volume);
@@ -202,9 +264,12 @@ int main(int argc, char** argv)
         recon::RankConfig cfg;
         cfg.geometry = g;
         cfg.window = filter::window_from_name(args.get("window"));
-        cfg.batches = args.get_int("batches");
-        cfg.device_capacity = static_cast<std::size_t>(args.get_int("device-mib")) << 20;
+        cfg.batches = batches;
+        cfg.device_capacity = device_capacity;
         cfg.threaded = !args.get_flag("sequential");
+        cfg.band_codec = codec;
+        cfg.prefetch = prefetch;
+        cfg.queue_depth = queue_depth;
         if (gf.raw_counts) cfg.beer = gf.beer;
         cfg.retry = retry;
         cfg.watchdog_timeout_s = watchdog_timeout;
@@ -225,9 +290,12 @@ int main(int argc, char** argv)
         cfg.geometry = g;
         cfg.layout = GroupLayout{ng, nr};
         cfg.window = filter::window_from_name(args.get("window"));
-        cfg.batches = args.get_int("batches");
-        cfg.device_capacity = static_cast<std::size_t>(args.get_int("device-mib")) << 20;
+        cfg.batches = batches;
+        cfg.device_capacity = device_capacity;
         cfg.threaded = !args.get_flag("sequential");
+        cfg.band_codec = codec;
+        cfg.prefetch = prefetch;
+        cfg.queue_depth = queue_depth;
         if (gf.raw_counts) cfg.beer = gf.beer;
         cfg.retry = retry;
         cfg.degraded_reduce = args.get_flag("degraded");

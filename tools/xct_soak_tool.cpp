@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <string>
 
+#include "autotune/calibrate.hpp"
 #include "cli.hpp"
 #include "soak/soak.hpp"
 
@@ -29,7 +30,12 @@ int main(int argc, char** argv)
         .option("seed", "1", "schedule + fault seed")
         .option("fault-rate", "0.6", "fraction of jobs carrying faults")
         .option("out", "", "write BENCH_soak.json here")
+        .option("device-mib", "512", "per-rank device budget for --autotune feasibility [MiB]")
+        .option("calibrate-out", "",
+                "fit machine params from the live tier's measured rank stats; "
+                "write the machine JSON here")
         .flag("append", "merge --out into an existing BENCH file")
+        .flag("autotune", "plan each job's decomposition with the model-driven autotuner")
         .flag("event-only", "skip the live minimpi tier")
         .flag("replay-check", "run the schedule twice; fail unless the "
                               "deterministic summaries are identical")
@@ -43,6 +49,11 @@ int main(int argc, char** argv)
     cfg.schedule.seed = static_cast<std::uint64_t>(args.get_int("seed"));
     cfg.schedule.fault_rate = args.get_double("fault-rate");
     cfg.live = !args.get_flag("event-only");
+    cfg.autotune = args.get_flag("autotune");
+    cfg.device_capacity = static_cast<std::size_t>(args.get_int("device-mib")) << 20;
+    cfg.calibrate = args.is_set("calibrate-out");
+    require(!cfg.calibrate || cfg.live,
+            "xct_soak: --calibrate-out needs the live tier (drop --event-only)");
 
     const soak::SoakSummary s = soak::run(cfg);
 
@@ -68,6 +79,20 @@ int main(int argc, char** argv)
             std::printf("  live tier: %lld job(s), recovered volume %s  [%.2fs wall]\n",
                         static_cast<long long>(s.live_jobs),
                         s.live_bitwise_identical ? "bitwise identical" : "DIFFERS", s.live_wall_s);
+        if (s.autotuned) std::printf("  autotune: planner-chosen decompositions\n");
+        if (s.calibrated)
+            std::printf("  calibrated: bw_load %.2f GB/s  th_flt %.3f Ge/s  th_bp %.1f GUPS  "
+                        "h2d %.1f GB/s  d2h %.1f GB/s\n",
+                        s.calibrated_machine.bw_load_gbps, s.calibrated_machine.th_flt_geps,
+                        s.calibrated_machine.th_bp_gups, s.calibrated_machine.bw_h2d_gbps,
+                        s.calibrated_machine.bw_d2h_gbps);
+    }
+
+    if (args.is_set("calibrate-out") && s.calibrated) {
+        autotune::write_machine_json(args.get("calibrate-out"), s.calibrated_machine);
+        if (!args.get_flag("quiet"))
+            std::printf("  wrote %s (live-tier-calibrated machine params)\n",
+                        args.get("calibrate-out").c_str());
     }
 
     if (args.get_flag("replay-check")) {
