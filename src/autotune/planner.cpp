@@ -43,10 +43,10 @@ perfmodel::RunConfig run_config(const JobShape& job, const Candidate& c)
 
 }  // namespace
 
-bool feasible(const JobShape& job, const Candidate& c)
+std::uint64_t required_device_bytes(const JobShape& job, const Candidate& c)
 {
     const CbctGeometry& g = job.geometry;
-    if (!valid_shape(g, c)) return false;
+    if (!valid_shape(g, c)) return 0;
     const auto plans = representative_plans(g, c);
     const index_t views = c.layout.views_of_rank(RankId{0}, g.num_proj).length();
     index_t h = 1, max_slab = 1;
@@ -62,7 +62,13 @@ bool feasible(const JobShape& job, const Candidate& c)
     const std::uint64_t slab_bytes = static_cast<std::uint64_t>(g.vol.x) *
                                      static_cast<std::uint64_t>(g.vol.y) *
                                      static_cast<std::uint64_t>(max_slab) * sizeof(float);
-    return tex_bytes + slab_bytes <= job.device_capacity;
+    return tex_bytes + slab_bytes;
+}
+
+bool feasible(const JobShape& job, const Candidate& c)
+{
+    if (!valid_shape(job.geometry, c)) return false;
+    return required_device_bytes(job, c) <= job.device_capacity;
 }
 
 double predict_runtime(const JobShape& job, const Candidate& c,

@@ -58,6 +58,12 @@ struct Plan {
     index_t candidates_scored = 0;
 };
 
+/// Device bytes one candidate actually allocates (circular texture + slab
+/// sub-volume, sized like SlabBackprojector) — the price the serve
+/// engine's admission control charges a job against the daemon's device
+/// budget.  Returns 0 for a shape-invalid candidate.
+std::uint64_t required_device_bytes(const JobShape& job, const Candidate& c);
+
 /// Device-memory feasibility of one candidate (texture + slab sub-volume
 /// vs the per-rank budget, sized like SlabBackprojector).
 bool feasible(const JobShape& job, const Candidate& c);

@@ -1,0 +1,56 @@
+#pragma once
+// Cooperative cancellation (DESIGN.md §3k).
+//
+// A CancelToken is the external control surface of a long-running
+// computation: any thread may request_cancel(), and the computation
+// polls check() at its natural boundaries (the rank pipeline checks at
+// slab/stage boundaries).  check() throws Cancelled, which deliberately
+// does NOT derive from faults::TransientError — cancellation must tear a
+// run down, never be "repaired" by the retry machinery the way an
+// injected fault or an integrity mismatch is.
+//
+// Tokens are plain atomics: requesting cancellation is async-signal-ish
+// cheap, never blocks, and is safe from any thread.  The latency
+// guarantee is the poller's: the rank pipeline's stage granularity bounds
+// cancel-to-unwind at one stage of one slab, which is what lets the serve
+// engine promise budget release "within one stage boundary".
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace xct::core {
+
+/// A computation was torn down on request.  Not a TransientError: retry
+/// layers must not re-run a cancelled stage.
+class Cancelled : public std::runtime_error {
+public:
+    explicit Cancelled(const std::string& where)
+        : std::runtime_error("cancelled at " + where)
+    {
+    }
+};
+
+class CancelToken {
+public:
+    CancelToken() = default;
+    CancelToken(const CancelToken&) = delete;
+    CancelToken& operator=(const CancelToken&) = delete;
+
+    /// Request cancellation; idempotent, safe from any thread.
+    void request_cancel() { cancelled_.store(true, std::memory_order_release); }
+
+    bool cancel_requested() const { return cancelled_.load(std::memory_order_acquire); }
+
+    /// Poll point: throws Cancelled (naming the boundary) once a cancel
+    /// has been requested.  One relaxed-ish atomic load on the fast path.
+    void check(const char* where) const
+    {
+        if (cancel_requested()) throw Cancelled(where);
+    }
+
+private:
+    std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace xct::core

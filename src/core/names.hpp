@@ -119,6 +119,23 @@ inline constexpr const char* kMetricBandDecodes = "band.decodes";
 // feasible lattice points scored by the Eq. 13-17 event simulation.
 inline constexpr const char* kMetricAutotunePlans = "autotune.plans";
 inline constexpr const char* kMetricAutotuneCandidates = "autotune.candidates";
+// serve.* (src/serve): the reconstruction daemon.  submitted counts every
+// submit seen, accepted the ones admission let in; rejected/shed make the
+// overload policy observable (rejected at admission by reason, shed =
+// accepted-then-dropped expired low-priority work); recovered counts jobs
+// requeued from the journal at restart.  The latency histogram holds
+// accepted-job submit->terminal wall seconds — the p99 the overload proof
+// checks against the perfmodel tail bound.
+inline constexpr const char* kMetricServeSubmitted = "serve.submitted";
+inline constexpr const char* kMetricServeAccepted = "serve.accepted";
+inline constexpr const char* kMetricServeRejected = "serve.reject";
+inline constexpr const char* kMetricServeRejectedPrefix = "serve.reject.";  ///< + reason
+inline constexpr const char* kMetricServeShed = "serve.shed";
+inline constexpr const char* kMetricServeCompleted = "serve.completed";
+inline constexpr const char* kMetricServeCancelled = "serve.cancelled";
+inline constexpr const char* kMetricServeFailed = "serve.failed";
+inline constexpr const char* kMetricServeRecovered = "serve.recovered";
+inline constexpr const char* kMetricServeLatencySeconds = "serve.job.latency_seconds";
 
 // ---- flight post-mortem reasons (flight::dump_postmortem) ---------------
 // Expand kMetricFlightDumpsPrefix, e.g. "flight.dumps.watchdog".
@@ -145,6 +162,12 @@ inline constexpr const char* kSiteRankStall = "rank.stall";  ///< health-probe s
 /// q8 wire payload in transit between encode and dequantisation — the
 /// pfs->host->device hop the compressed band transport rides.
 inline constexpr const char* kSiteBandDecode = "band.decode";
+/// Serve daemon chaos hooks: journal.append gates every durable job-state
+/// record (a fired fault = the append failed before reaching disk),
+/// accept gates admission itself (a fired fault = submission rejected
+/// with reason "fault" instead of wedging the socket thread).
+inline constexpr const char* kSiteServeJournalAppend = "serve.journal.append";
+inline constexpr const char* kSiteServeAccept = "serve.accept";
 
 // ---- watchdog-supervised section names (Watchdog::supervise) ------------
 // Expand kMetricWatchdogExpiredPrefix, e.g. "watchdog.expired.source.load".

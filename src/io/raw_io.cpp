@@ -99,16 +99,30 @@ void write_pgm(const std::filesystem::path& path, std::span<const float> img, in
 
 void write_volume(const std::filesystem::path& path, const Volume& v)
 {
-    auto f = open_out(path);
-    Header h;
-    h.magic = kVolMagic;
-    h.d0 = v.size().x;
-    h.d1 = v.size().y;
-    h.d2 = v.size().z;
-    f.write(reinterpret_cast<const char*>(&h), sizeof(h));
-    f.write(reinterpret_cast<const char*>(v.span().data()),
-            static_cast<std::streamsize>(v.span().size() * sizeof(float)));
-    require(f.good(), "io: volume write failed: " + path.string());
+    // Atomic publish: stream into a sibling temp file and rename() onto
+    // the final name only after every byte landed.  A run killed (or a
+    // daemon SIGKILLed) mid-write leaves at worst a .tmp orphan — never a
+    // truncated .vol that read_volume's size check would have to catch
+    // downstream, and never a torn file under a concurrent reader.
+    std::filesystem::path tmp = path;
+    tmp += ".tmp";
+    {
+        auto f = open_out(tmp);
+        Header h;
+        h.magic = kVolMagic;
+        h.d0 = v.size().x;
+        h.d1 = v.size().y;
+        h.d2 = v.size().z;
+        f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+        f.write(reinterpret_cast<const char*>(v.span().data()),
+                static_cast<std::streamsize>(v.span().size() * sizeof(float)));
+        f.flush();
+        require(f.good(), "io: volume write failed: " + tmp.string());
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    require(!ec, "io: atomic rename failed: " + tmp.string() + " -> " + path.string() + ": " +
+                     ec.message());
 }
 
 Volume read_volume(const std::filesystem::path& path)

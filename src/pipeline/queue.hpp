@@ -15,6 +15,16 @@
 
 namespace xct::pipeline {
 
+/// Thrown by push() on a closed queue.  Derives std::invalid_argument so
+/// historical catch sites (and tests) that treated the old require()
+/// failure as invalid input keep working; shutdown-aware callers — the
+/// serve engine's multi-consumer stage fan-outs — catch QueueClosed (or
+/// use try_push) and treat it as clean end-of-stream.
+class QueueClosed : public std::invalid_argument {
+public:
+    QueueClosed() : std::invalid_argument("BoundedQueue: push after close") {}
+};
+
 template <typename T>
 class BoundedQueue {
 public:
@@ -23,7 +33,8 @@ public:
         require(capacity > 0, "BoundedQueue: capacity must be positive");
     }
 
-    /// Blocks while the queue is full.  Pushing to a closed queue throws.
+    /// Blocks while the queue is full.  Pushing to a closed queue throws
+    /// QueueClosed (the item is not enqueued).
     void push(T item)
     {
         UniqueLock lk(m_);
@@ -31,9 +42,25 @@ public:
             m_.assert_held();
             return items_.size() < capacity_ || closed_;
         });
-        require(!closed_, "BoundedQueue: push after close");
+        if (closed_) throw QueueClosed{};
         items_.push_back(std::move(item));
         cv_items_.notify_one();
+    }
+
+    /// Non-blocking push for shutdown-aware producers: returns false —
+    /// instead of throwing — when the queue is (or becomes) closed while
+    /// waiting for space.  Still blocks while the queue is merely full.
+    bool try_push(T item)
+    {
+        UniqueLock lk(m_);
+        cv_space_.wait(lk, [&] {
+            m_.assert_held();
+            return items_.size() < capacity_ || closed_;
+        });
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        cv_items_.notify_one();
+        return true;
     }
 
     /// Blocks until an item is available or the queue is closed and empty.
@@ -59,13 +86,25 @@ public:
     }
 
     /// Signal end-of-stream: consumers drain the remaining items and then
-    /// receive std::nullopt.
+    /// receive std::nullopt.  Idempotent, and the wakeup is delivered
+    /// exactly once: only the closing call broadcasts, so the N-producer /
+    /// N-consumer daemon teardown (every stage guard closes every queue on
+    /// error) cannot re-notify threads that already observed the close —
+    /// every thread parked on either side wakes exactly once and either
+    /// drains, returns nullopt, or sees QueueClosed.
     void close()
     {
         MutexLock lk(m_);
+        if (closed_) return;
         closed_ = true;
         cv_items_.notify_all();
         cv_space_.notify_all();
+    }
+
+    bool closed() const
+    {
+        MutexLock lk(m_);
+        return closed_;
     }
 
     std::size_t size() const

@@ -62,9 +62,21 @@ void filter_item(const RankConfig& cfg, const filter::FilterEngine& engine,
 }  // namespace
 
 RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reducer& reduce,
-                   const Storer& store)
+                   const Storer& store, const RankControl& ctl)
 {
     cfg.geometry.validate();
+    // Cooperative cancellation: one poll point per stage per slab.  The
+    // throw rides the existing FirstError teardown (queues close, stage
+    // threads join), so a cancel unwinds — releasing the device budget
+    // held by the SlabBackprojector below — within one stage boundary.
+    auto cancel_point = [&](const char* where) {
+        if (ctl.cancel != nullptr) ctl.cancel->check(where);
+    };
+    auto slab_done = [&] {
+        if (ctl.slabs_done != nullptr)
+            ctl.slabs_done->fetch_add(1, std::memory_order_release);
+    };
+    cancel_point("setup");
     require(!cfg.views.empty() && cfg.views.lo >= 0 && cfg.views.hi <= cfg.geometry.num_proj,
             "run_rank: views out of range");
     require(!cfg.slices.empty() && cfg.slices.lo >= 0 && cfg.slices.hi <= cfg.geometry.vol.z,
@@ -117,10 +129,12 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
                           : attempt();
             store(slab, plans[static_cast<std::size_t>(i)]);
             ++stats.slabs_restored;
+            slab_done();
         }
     }
 
     auto load_one = [&](index_t idx) {
+        cancel_point("load");
         pipeline::ScopedSpan span(tl, "load", idx);
         LoadItem item{idx, plans[static_cast<std::size_t>(idx)], std::nullopt, std::nullopt};
         const Range band = item.plan.delta;
@@ -173,11 +187,13 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
         }
     }
     auto bp_one = [&](const LoadItem& item) {
+        cancel_point("bp");
         upload_item(item);
         pipeline::ScopedSpan span(tl, "bp", item.idx);
         return bp.backproject(item.plan);
     };
     auto reduce_one = [&](VolItem& v) {
+        cancel_point("reduce");
         pipeline::ScopedSpan span(tl, "mpi", v.idx);
         // Supervised: a collective stuck past the deadline (stalled peer)
         // surfaces as DeadlineExceeded instead of wedging the run.  Note
@@ -187,10 +203,14 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
             return reduce(v.slab, v.plan);
         });
         // Non-roots are done with this slab once the reduce completes.
-        if (!is_root && ckpt) ckpt->advance(v.idx + 1);
+        if (!is_root) {
+            if (ckpt) ckpt->advance(v.idx + 1);
+            slab_done();
+        }
         return is_root;
     };
     auto store_one = [&](const VolItem& v) {
+        cancel_point("store");
         pipeline::ScopedSpan span(tl, "store", v.idx);
         store(v.slab, v.plan);
         // Roots record the reduced slab; the cursor only advances once the
@@ -200,6 +220,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
             ckpt->save_slab(SlabId{v.idx}, v.slab);
             ckpt->advance(v.idx + 1);
         }
+        slab_done();
     };
 
     if (!cfg.threaded) {
@@ -262,6 +283,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
             telemetry::set_current_rank(telemetry_rank);
             guard([&] {
                 while (auto item = q0.pop()) {
+                    cancel_point("filter");
                     {
                         pipeline::ScopedSpan span(tl, "filter", item->idx);
                         filter_item(cfg, engine, parker ? &*parker : nullptr, counts, *item);
@@ -300,6 +322,7 @@ RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reduce
             guard([&] {
                 if (cfg.prefetch) {
                     while (auto b = qp->pop()) {
+                        cancel_point("bp");
                         if (b->staged) {
                             bp.commit_band(*b->staged);
                             qbuf->push(std::move(b->staged->planes));

@@ -21,10 +21,12 @@
 // uninterrupted run because every per-row operation (noise realisation,
 // filtering, Parker weighting) is independent of the band split.
 
+#include <atomic>
 #include <filesystem>
 #include <functional>
 #include <optional>
 
+#include "core/cancel.hpp"
 #include "core/decompose.hpp"
 #include "core/geometry.hpp"
 #include "core/preprocess.hpp"
@@ -109,6 +111,20 @@ struct RankStats {
     double overlap_factor() const { return wall > 0.0 ? busy() / wall : 0.0; }
 };
 
+/// External control surface of one running rank pipeline (the handle the
+/// serve engine holds; DESIGN.md §3k).  All members are optional: a null
+/// field simply disables that control.  The token is *polled* at every
+/// stage boundary of every slab (load, filter, prefetch hand-off, bp,
+/// reduce, store), so a cancel unwinds the pipeline — and releases the
+/// simulated device budget with it — within one stage boundary;
+/// `slabs_done` counts slabs that reached their terminal stage (reduce
+/// for non-roots, store for roots, restore for checkpoint replays) and is
+/// safe to read from any thread while run_rank is executing.
+struct RankControl {
+    core::CancelToken* cancel = nullptr;
+    std::atomic<index_t>* slabs_done = nullptr;
+};
+
 /// Reducer invoked once per slab, in slab order, on the back-projected
 /// partial sub-volume.  Returns true when this rank ends up holding the
 /// reduced result (group root) — only then is the store stage invoked.
@@ -119,9 +135,10 @@ using Storer = std::function<void(const Volume& slab, const SlabPlan& plan)>;
 
 /// Run one rank's reconstruction.  Throws sim::DeviceOutOfMemory when the
 /// configured texture does not fit the device budget, std::invalid_argument
-/// on inconsistent configuration.
+/// on inconsistent configuration, core::Cancelled when `ctl` carries a
+/// token whose cancellation was requested (checked at stage boundaries).
 RankStats run_rank(const RankConfig& cfg, ProjectionSource& source, const Reducer& reduce,
-                   const Storer& store);
+                   const Storer& store, const RankControl& ctl = {});
 
 /// Identity reducer for single-rank use.
 inline bool identity_reducer(Volume&, const SlabPlan&)

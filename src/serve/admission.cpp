@@ -1,0 +1,67 @@
+#include "serve/admission.hpp"
+
+#include <stdexcept>
+
+#include "autotune/planner.hpp"
+#include "core/names.hpp"
+#include "faults/fault.hpp"
+
+namespace xct::serve {
+
+Decision price(const JobSpec& spec, const perfmodel::MachineParams& machine)
+{
+    Decision d;
+    try {
+        faults::check(names::kSiteServeAccept);
+    } catch (const faults::InjectedFault& e) {
+        d.reason = "fault";
+        d.detail = e.what();
+        return d;
+    }
+    try {
+        spec.geometry.validate();
+        if (spec.batches <= 0) throw std::invalid_argument("batches must be positive");
+        if (spec.tenant.empty()) throw std::invalid_argument("tenant must be non-empty");
+    } catch (const std::invalid_argument& e) {
+        d.reason = "invalid";
+        d.detail = e.what();
+        return d;
+    }
+
+    // Jobs run as one rank over the full problem: the session's
+    // decomposition is GroupLayout{1,1} at the spec's batch count.
+    autotune::JobShape shape;
+    shape.geometry = spec.geometry;
+    shape.rank_budget = 1;
+    shape.device_capacity = spec.device_capacity;
+    const autotune::Candidate c{GroupLayout{1, 1}, spec.batches, 2};
+
+    d.device_bytes = autotune::required_device_bytes(shape, c);
+    if (d.device_bytes == 0 || d.device_bytes > spec.device_capacity) {
+        d.reason = "infeasible";
+        d.detail = "requires " + std::to_string(d.device_bytes) + " device bytes, capacity " +
+                   std::to_string(spec.device_capacity);
+        return d;
+    }
+
+    d.predicted_s = autotune::predict_runtime(shape, c, machine);
+    // deadline_s == 0 means no deadline; negative means it had already
+    // expired when the client submitted (the relative budget is gone) —
+    // reject at admission rather than shed later.
+    if (spec.deadline_s < 0.0) {
+        d.reason = "deadline";
+        d.detail = "deadline already expired at submit";
+        return d;
+    }
+    if (spec.deadline_s > 0.0 && d.predicted_s > spec.deadline_s) {
+        d.reason = "deadline";
+        d.detail = "predicted " + std::to_string(d.predicted_s) + "s exceeds deadline " +
+                   std::to_string(spec.deadline_s) + "s";
+        return d;
+    }
+
+    d.admitted = true;
+    return d;
+}
+
+}  // namespace xct::serve

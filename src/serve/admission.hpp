@@ -1,0 +1,41 @@
+#pragma once
+// Admission control (DESIGN.md §3k): price a submitted job against the
+// sim::Device capacity model *before* it holds any resource, and reject
+// with a reason instead of wedging.
+//
+// The price is the autotune planner's own device sizing
+// (autotune::required_device_bytes — circular texture + slab sub-volume
+// for the job's single-rank decomposition) and the runtime estimate is
+// the Eq. 13-17 event simulation (autotune::predict_runtime), so the
+// daemon admits exactly what the capacity model says fits and promises
+// only what the perfmodel says is achievable.  Rejection reasons are the
+// serve.reject.<reason> metric keys.
+
+#include <string>
+
+#include "perfmodel/model.hpp"
+#include "serve/job.hpp"
+
+namespace xct::serve {
+
+/// Admission verdict for one submission.
+struct Decision {
+    bool admitted = false;
+    /// "" when admitted; otherwise one of the stable reason keys:
+    /// "invalid" (geometry/spec rejected), "infeasible" (does not fit the
+    /// job's device capacity), "deadline" (already expired, or the
+    /// perfmodel says it cannot finish in time), "queue_full" (bounded
+    /// queue at depth), "fault" (serve.accept chaos plan fired).
+    std::string reason;
+    std::string detail;             ///< human-readable elaboration
+    std::uint64_t device_bytes = 0; ///< priced device requirement
+    double predicted_s = 0.0;       ///< event-sim runtime estimate
+};
+
+/// Price `spec` against its own device capacity and deadline.  Pure — no
+/// engine state; the engine layers the queue-depth and budget checks on
+/// top.  Consumes one serve.accept fault-site call (a fired kind=throw
+/// plan returns reason "fault").
+Decision price(const JobSpec& spec, const perfmodel::MachineParams& machine);
+
+}  // namespace xct::serve

@@ -1,0 +1,184 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+
+#include "core/names.hpp"
+#include "faults/fault.hpp"
+#include "integrity/integrity.hpp"
+
+namespace xct::serve {
+
+namespace {
+
+// Frame: [magic u32][type u32][job u64][len u32][reserved u32][digest u64]
+// then `len` payload bytes.  The digest covers the first 24 header bytes
+// plus the payload (native endianness: the journal is a single-host
+// artifact, recovered by the same machine that wrote it).
+constexpr std::uint32_t kMagic = 0x314c4a58u;  // "XJL1"
+constexpr std::size_t kHeaderBytes = 32;
+constexpr std::size_t kDigestOff = 24;
+constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+void append_raw(std::string& s, const void* src, std::size_t n)
+{
+    s.append(static_cast<const char*>(src), n);
+}
+
+std::string frame(RecordType type, JobId job, std::string_view payload)
+{
+    const std::uint32_t t = static_cast<std::uint32_t>(type);
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const std::uint32_t reserved = 0;
+    // The digest covers header fields [4, 24) ++ payload — everything but
+    // the magic and the digest slot itself.
+    std::string hashed;
+    hashed.reserve(20 + payload.size());
+    append_raw(hashed, &t, 4);
+    append_raw(hashed, &job, 8);
+    append_raw(hashed, &len, 4);
+    append_raw(hashed, &reserved, 4);
+    hashed.append(payload);
+    const integrity::digest_t d = integrity::checksum(
+        std::as_bytes(std::span<const char>(hashed.data(), hashed.size())));
+    std::string buf;
+    buf.reserve(kHeaderBytes + payload.size());
+    append_raw(buf, &kMagic, 4);
+    buf.append(hashed, 0, 20);
+    append_raw(buf, &d, 8);
+    buf.append(payload);
+    return buf;
+}
+
+/// Parse one frame at `off`; returns false (without touching `out`) when
+/// the bytes from `off` do not form a whole, digest-valid frame.
+bool parse_frame(const std::vector<char>& bytes, std::size_t off, Record& out,
+                 std::size_t& frame_len)
+{
+    if (bytes.size() - off < kHeaderBytes) return false;
+    std::uint32_t magic = 0, type = 0, len = 0;
+    std::uint64_t job = 0, stored = 0;
+    std::memcpy(&magic, bytes.data() + off, 4);
+    std::memcpy(&type, bytes.data() + off + 4, 4);
+    std::memcpy(&job, bytes.data() + off + 8, 8);
+    std::memcpy(&len, bytes.data() + off + 16, 4);
+    std::memcpy(&stored, bytes.data() + off + kDigestOff, 8);
+    if (magic != kMagic || len > kMaxPayload) return false;
+    if (type < static_cast<std::uint32_t>(RecordType::Submit) ||
+        type > static_cast<std::uint32_t>(RecordType::Fail))
+        return false;
+    if (bytes.size() - off - kHeaderBytes < len) return false;
+    std::string hashed;
+    hashed.reserve(20 + len);
+    hashed.append(bytes.data() + off + 4, 20);
+    hashed.append(bytes.data() + off + kHeaderBytes, len);
+    const integrity::digest_t d = integrity::digest(
+        std::as_bytes(std::span<const char>(hashed.data(), hashed.size())));
+    if (d != stored) return false;
+    out.type = static_cast<RecordType>(type);
+    out.job = job;
+    out.payload.assign(bytes.data() + off + kHeaderBytes, len);
+    frame_len = kHeaderBytes + len;
+    return true;
+}
+
+std::vector<char> read_all(const std::filesystem::path& path)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f.good()) return {};
+    const std::streamsize n = f.tellg();
+    f.seekg(0);
+    std::vector<char> bytes(static_cast<std::size_t>(n));
+    if (n > 0) f.read(bytes.data(), n);
+    if (!f.good()) return {};
+    return bytes;
+}
+
+/// Replay plus the byte length of the valid prefix and a torn-tail flag.
+std::vector<Record> scan(const std::filesystem::path& path, std::size_t& valid_bytes,
+                         std::size_t& dropped)
+{
+    std::vector<Record> records;
+    valid_bytes = 0;
+    dropped = 0;
+    const std::vector<char> bytes = read_all(path);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        Record r;
+        std::size_t len = 0;
+        if (!parse_frame(bytes, off, r, len)) {
+            dropped = 1;  // everything past here is unreachable
+            break;
+        }
+        records.push_back(std::move(r));
+        off += len;
+    }
+    valid_bytes = off;
+    return records;
+}
+
+}  // namespace
+
+const char* to_string(RecordType t)
+{
+    switch (t) {
+        case RecordType::Submit: return "submit";
+        case RecordType::Accept: return "accept";
+        case RecordType::Reject: return "reject";
+        case RecordType::Start: return "start";
+        case RecordType::Done: return "done";
+        case RecordType::Cancel: return "cancel";
+        case RecordType::Shed: return "shed";
+        case RecordType::Fail: return "fail";
+    }
+    return "unknown";
+}
+
+Journal::Journal(std::filesystem::path path, bool fsync_each)
+    : path_(std::move(path)), fsync_each_(fsync_each)
+{
+    if (path_.has_parent_path()) std::filesystem::create_directories(path_.parent_path());
+    std::size_t valid = 0;
+    recovered_ = scan(path_, valid, truncated_);
+    if (std::filesystem::exists(path_) &&
+        static_cast<std::uint64_t>(std::filesystem::file_size(path_)) > valid)
+        std::filesystem::resize_file(path_, valid);
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    require(fd_ >= 0, "journal: cannot open for append: " + path_.string());
+}
+
+Journal::~Journal()
+{
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append(RecordType type, JobId job, std::string_view payload)
+{
+    faults::check(names::kSiteServeJournalAppend);
+    std::string buf = frame(type, job, payload);
+    // Chaos hook: a kind=corrupt plan flips bits in the frame on its way
+    // to disk; the next recovery must reject (truncate) this record.
+    faults::corrupt(names::kSiteServeJournalAppend,
+                    std::as_writable_bytes(std::span<char>(buf.data(), buf.size())));
+    MutexLock lk(m_);
+    std::size_t done = 0;
+    while (done < buf.size()) {
+        const ssize_t n = ::write(fd_, buf.data() + done, buf.size() - done);
+        require(n > 0, "journal: append write failed: " + path_.string());
+        done += static_cast<std::size_t>(n);
+    }
+    if (fsync_each_) require(::fsync(fd_) == 0, "journal: fsync failed: " + path_.string());
+}
+
+std::vector<Record> Journal::replay(const std::filesystem::path& path)
+{
+    std::size_t valid = 0, dropped = 0;
+    return scan(path, valid, dropped);
+}
+
+}  // namespace xct::serve

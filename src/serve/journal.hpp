@@ -1,0 +1,94 @@
+#pragma once
+// Crash-durable job journal (DESIGN.md §3k).
+//
+// An append-only file of XXH64-framed records: every job state transition
+// the engine must be able to reconstruct after kill -9 is appended (and
+// fsynced) *before* the transition takes effect.  The frame digest reuses
+// src/integrity's checksum (so journal bytes are counted with every other
+// integrity-checked movement), covering type, job id and payload — a torn
+// tail or a flipped bit makes the digest mismatch and recovery truncates
+// the file back to its last whole frame instead of trusting it.
+//
+// Record grammar (engine-level, see engine.cpp):
+//   Submit  payload = JSON JobSpec          (the durable copy of the job)
+//   Accept  payload = JSON admission price  (device bytes, prediction,
+//                                            absolute deadline)
+//   Reject/Shed/Fail payload = reason text
+//   Start/Done/Cancel payload = ""
+//
+// Fault site serve.journal.append gates every append: a kind=throw plan
+// makes the append fail before reaching disk (the engine surfaces it as a
+// submit/transition error), a kind=corrupt plan flips bits in the frame
+// on its way to disk so recovery exercises the truncate-on-mismatch path.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mutex.hpp"
+#include "serve/job.hpp"
+
+namespace xct::serve {
+
+enum class RecordType : std::uint32_t {
+    Submit = 1,
+    Accept = 2,
+    Reject = 3,
+    Start = 4,
+    Done = 5,
+    Cancel = 6,
+    Shed = 7,
+    Fail = 8,
+};
+
+const char* to_string(RecordType t);
+
+struct Record {
+    RecordType type = RecordType::Submit;
+    JobId job = 0;
+    std::string payload;
+};
+
+class Journal {
+public:
+    /// Opens (creating if absent) the journal at `path`, replays every
+    /// valid frame into recovered(), and truncates the file back to the
+    /// end of the last valid frame — so appends after a crash never land
+    /// unreachable beyond a torn record.  `fsync_each` trades durability
+    /// for speed in tests.
+    explicit Journal(std::filesystem::path path, bool fsync_each = true);
+    ~Journal();
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+
+    /// Records replayed at open, in append order.
+    const std::vector<Record>& recovered() const { return recovered_; }
+
+    /// Frames dropped at open (0 on a clean file; > 0 means the tail was
+    /// torn or corrupt and recovery truncated it).
+    std::size_t truncated_frames() const { return truncated_; }
+
+    /// Append one record durably.  Serialised internally (any engine
+    /// thread may append); throws faults::InjectedFault when a
+    /// serve.journal.append kind=throw plan fires (nothing is written),
+    /// std::runtime_error on a real I/O failure.
+    void append(RecordType type, JobId job, std::string_view payload);
+
+    const std::filesystem::path& path() const { return path_; }
+
+    /// Replay `path` without opening it for append (tests, inspection).
+    /// Tolerant: stops at the first invalid frame.
+    static std::vector<Record> replay(const std::filesystem::path& path);
+
+private:
+    std::filesystem::path path_;
+    bool fsync_each_;
+    int fd_ = -1;
+    Mutex m_{"serve.journal"};
+    std::vector<Record> recovered_;
+    std::size_t truncated_ = 0;
+};
+
+}  // namespace xct::serve

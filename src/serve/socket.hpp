@@ -1,0 +1,55 @@
+#pragma once
+// Local-socket transport of the job API (DESIGN.md §3k).
+//
+// AF_UNIX stream sockets, newline-delimited, one request per connection:
+// the client connects, writes one JSON line, reads one JSON line back,
+// and the connection closes.  Deliberately minimal — the daemon's unit of
+// concurrency is the engine worker, not the connection, and one-shot
+// connections keep the accept loop free of per-client framing state, so
+// a SIGKILLed client can never wedge the daemon (fault containment, not
+// throughput, is what the transport owes the tentpole).
+//
+// Raw-memory discipline: this file talks POSIX (socket/bind/accept and fd
+// read/write) with C aggregate types only — no reinterpret_cast, no
+// owning raw pointers — so it stays inside the tree-wide `rawmem` lint
+// rule without an exemption.
+
+#include <atomic>
+#include <filesystem>
+#include <functional>
+#include <string>
+
+namespace xct::serve {
+
+/// Handle one request line, return one response line (without the '\n').
+using Handler = std::function<std::string(const std::string&)>;
+
+class UnixServer {
+public:
+    /// Binds and listens on `path` (an existing stale socket file is
+    /// unlinked first — the journal, not the socket, is the source of
+    /// truth across restarts).  Throws std::runtime_error on failure.
+    explicit UnixServer(std::filesystem::path path);
+    ~UnixServer();
+    UnixServer(const UnixServer&) = delete;
+    UnixServer& operator=(const UnixServer&) = delete;
+
+    /// Accept-and-serve loop; returns when `stop` becomes true (checked
+    /// between connections at a poll cadence of ~100 ms).  Handler
+    /// exceptions are mapped to {"ok":false,...} responses, never out of
+    /// the loop.
+    void run(const Handler& handler, const std::atomic<bool>& stop);
+
+    const std::filesystem::path& path() const { return path_; }
+
+private:
+    std::filesystem::path path_;
+    int fd_ = -1;
+};
+
+/// One-shot client: connect to `path`, send `line`, return the response
+/// line.  Throws std::runtime_error on connect/IO failure (daemon down).
+std::string unix_request(const std::filesystem::path& path, const std::string& line,
+                         double timeout_s = 30.0);
+
+}  // namespace xct::serve

@@ -33,6 +33,8 @@ inline void record(Registry& reg)
     wd.supervise("no.such.section", [] {});         // LINT: names
     record("bogus.flightspan", nullptr, 0.0, 1.0);  // LINT: names
     reg.counter("soak.bogus.jobs").add(1);          // LINT: names
+    corrupt("serve.unregistered.site", nullptr);    // LINT: names
+    reg.counter("serve.bogus.rejections").add(1);   // LINT: names
 }
 
 }  // namespace fixture

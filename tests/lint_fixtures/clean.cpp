@@ -44,6 +44,13 @@ inline void integrity_sites()
     wd.supervise("health_probe", [] {});  // registered watchdog section
 }
 
+inline void serve_sites(Registry& reg)
+{
+    corrupt("serve.journal.append", nullptr);  // registered serve fault site
+    reg.counter("serve.shed").add(1);          // registered exactly
+    reg.counter("serve.reject.deadline").add(1);  // registered via prefix
+}
+
 inline float sum_volume(Registry& reg, const std::vector<float>& buf, index_t nx, index_t ny,
                         index_t nz)
 {

@@ -102,6 +102,11 @@ TEST(LintRegistry, ParsesExactAndPrefixEntries)
     EXPECT_TRUE(reg.allows("fft.transforms"));
     EXPECT_TRUE(reg.allows("faults.injected"));
     EXPECT_TRUE(reg.allows("rank.dropout"));
+    // The serving layer's fault sites and metrics.
+    EXPECT_TRUE(reg.allows("serve.journal.append"));
+    EXPECT_TRUE(reg.allows("serve.accept"));
+    EXPECT_TRUE(reg.allows("serve.shed"));
+    EXPECT_TRUE(reg.allows("serve.reject.queue_full"));  // prefix entry
     // Prefix entries admit any non-empty suffix...
     EXPECT_TRUE(reg.allows("pipeline.stage.filter.seconds"));
     EXPECT_TRUE(reg.allows("minimpi.reduce_sum.calls"));
